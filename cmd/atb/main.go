@@ -1,0 +1,78 @@
+// Command atb runs the Apache Thrift Benchmarks on the simulated
+// cluster: the raw-protocol studies behind Figures 4–5 and the
+// hint-driven studies behind Figures 11–14.
+//
+// Usage:
+//
+//	atb -bench latency-protocols|throughput-protocols|latency-hints|throughput-hints|mix [-size N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hatrpc/internal/atb"
+	"hatrpc/internal/stats"
+)
+
+func main() {
+	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix")
+	size := flag.Int("size", 512, "payload size for the mix benchmark")
+	flag.Parse()
+
+	switch *bench {
+	case "latency-protocols":
+		pts := atb.RunProtoLatency(atb.DefaultProtoLatencyConfig())
+		tb := stats.NewTable("protocol", "polling", "size", "avg", "p99")
+		for _, p := range pts {
+			tb.Row(p.Proto.String(), poll(p.Busy), stats.FormatBytes(p.Size),
+				stats.FormatNs(p.AvgNs), stats.FormatNs(p.P99Ns))
+		}
+		fmt.Print(tb)
+	case "throughput-protocols":
+		pts := atb.RunProtoThroughput(atb.DefaultProtoThroughputConfig())
+		tb := stats.NewTable("protocol", "polling", "size", "clients", "Kops/s", "MB/s")
+		for _, p := range pts {
+			tb.Row(p.Proto.String(), poll(p.Busy), stats.FormatBytes(p.Size), p.Clients,
+				fmt.Sprintf("%.1f", p.OpsPerS/1000), fmt.Sprintf("%.1f", p.MBps))
+		}
+		fmt.Print(tb)
+	case "latency-hints":
+		pts := atb.RunHintLatency(atb.DefaultHintLatencyConfig())
+		tb := stats.NewTable("system", "size", "avg", "p99")
+		for _, p := range pts {
+			tb.Row(p.System, stats.FormatBytes(p.Size), stats.FormatNs(p.AvgNs), stats.FormatNs(p.P99Ns))
+		}
+		fmt.Print(tb)
+	case "throughput-hints":
+		pts := atb.RunHintThroughput(atb.DefaultHintThroughputConfig())
+		tb := stats.NewTable("system", "size", "clients", "Kops/s", "MB/s")
+		for _, p := range pts {
+			tb.Row(p.System, stats.FormatBytes(p.Size), p.Clients,
+				fmt.Sprintf("%.1f", p.OpsPerS/1000), fmt.Sprintf("%.1f", p.MBps))
+		}
+		fmt.Print(tb)
+	case "mix":
+		cfg := atb.DefaultMixConfig512()
+		if *size == 131072 {
+			cfg = atb.DefaultMixConfig128K()
+		}
+		pts := atb.RunMix(cfg)
+		tb := stats.NewTable("system", "clients", "lat-call avg", "tput-call Kops/s")
+		for _, p := range pts {
+			tb.Row(p.System, p.Clients, stats.FormatNs(p.LatAvgNs), fmt.Sprintf("%.1f", p.TputOpsS/1000))
+		}
+		fmt.Print(tb)
+	default:
+		fmt.Fprintf(os.Stderr, "atb: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+}
+
+func poll(busy bool) string {
+	if busy {
+		return "busy"
+	}
+	return "event"
+}

@@ -1,0 +1,64 @@
+// Command hatc is the HatRPC compiler: it parses a hint-annotated Thrift
+// IDL file (Figure 7 grammar) and emits Go code — structs, typed clients,
+// processors and hint tables — against the hatrpc runtime.
+//
+// Usage:
+//
+//	hatc -in service.hrpc -out gen.go [-pkg name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+
+	"hatrpc/internal/codegen"
+	"hatrpc/internal/idl"
+)
+
+func main() {
+	in := flag.String("in", "", "input IDL file (.hrpc/.thrift)")
+	out := flag.String("out", "", "output Go file (default stdout)")
+	pkg := flag.String("pkg", "", "output package name (default: IDL namespace)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "hatc: -in is required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	doc, warns, err := idl.Parse(*in, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range warns {
+		fmt.Fprintln(os.Stderr, "hatc: warning:", w)
+	}
+	code, err := codegen.Generate(doc, codegen.Options{Package: *pkg})
+	if err != nil {
+		fatal(err)
+	}
+	formatted, err := format.Source([]byte(code))
+	if err != nil {
+		// Emit unformatted output for debugging, but fail.
+		if *out != "" {
+			os.WriteFile(*out, []byte(code), 0o644)
+		}
+		fatal(fmt.Errorf("generated code does not parse: %v", err))
+	}
+	if *out == "" {
+		os.Stdout.Write(formatted)
+		return
+	}
+	if err := os.WriteFile(*out, formatted, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hatc:", err)
+	os.Exit(1)
+}

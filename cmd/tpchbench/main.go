@@ -1,0 +1,81 @@
+// Command tpchbench runs the TPC-H comparison of §5.5 (Figure 17): all
+// 22 queries over the simulated 10-node cluster on three RPC stacks —
+// vanilla Thrift over IPoIB, HatRPC-Service, and HatRPC-Function.
+//
+// Usage:
+//
+//	tpchbench [-sf 0.02] [-workers 9] [-queries 1,6,19]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hatrpc/internal/stats"
+	"hatrpc/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.02, "scale factor (paper used 1000 on real hardware)")
+	workers := flag.Int("workers", 9, "worker node count")
+	queries := flag.String("queries", "", "comma-separated query numbers (default: all 22)")
+	flag.Parse()
+
+	cfg := tpch.DefaultBenchConfig()
+	cfg.SF = *sf
+	cfg.Workers = *workers
+	if *queries != "" {
+		for _, s := range strings.Split(*queries, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 || n > 22 {
+				fmt.Fprintf(os.Stderr, "tpchbench: bad query %q\n", s)
+				os.Exit(2)
+			}
+			cfg.Queries = append(cfg.Queries, n)
+		}
+	}
+
+	fmt.Printf("TPC-H SF%g, %d workers + 1 coordinator\n\n", cfg.SF, cfg.Workers)
+	results := tpch.RunBench(cfg)
+
+	byQS := map[int]map[tpch.Stack]int64{}
+	var qs []int
+	for _, r := range results {
+		if byQS[r.Query] == nil {
+			byQS[r.Query] = map[tpch.Stack]int64{}
+			qs = append(qs, r.Query)
+		}
+		byQS[r.Query][r.Stack] = r.TimeNs
+	}
+	tb := stats.NewTable("query", "IPoIB", "HatRPC-Svc", "HatRPC-Fn", "Svc speedup", "Fn speedup")
+	totals := map[tpch.Stack]int64{}
+	for _, q := range qs {
+		m := byQS[q]
+		for s, t := range m {
+			totals[s] += t
+		}
+		tb.Row(fmt.Sprintf("Q%d", q),
+			stats.FormatNs(float64(m[tpch.StackIPoIB])),
+			stats.FormatNs(float64(m[tpch.StackHatService])),
+			stats.FormatNs(float64(m[tpch.StackHatFunction])),
+			ratio(m[tpch.StackIPoIB], m[tpch.StackHatService]),
+			ratio(m[tpch.StackIPoIB], m[tpch.StackHatFunction]))
+	}
+	tb.Row("TOTAL",
+		stats.FormatNs(float64(totals[tpch.StackIPoIB])),
+		stats.FormatNs(float64(totals[tpch.StackHatService])),
+		stats.FormatNs(float64(totals[tpch.StackHatFunction])),
+		ratio(totals[tpch.StackIPoIB], totals[tpch.StackHatService]),
+		ratio(totals[tpch.StackIPoIB], totals[tpch.StackHatFunction]))
+	fmt.Print(tb)
+}
+
+func ratio(base, v int64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(v))
+}

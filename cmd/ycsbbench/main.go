@@ -1,0 +1,63 @@
+// Command ycsbbench runs the extended YCSB comparison of §5.4 (Figures
+// 15 and 16): HatKV under HatRPC-Service and HatRPC-Function hints versus
+// the emulated AR-gRPC, HERD, Pilaf and RFP communication protocols, all
+// over the same LMDB-backed store.
+//
+// Usage:
+//
+//	ycsbbench [-workload A|B] [-clients N] [-records N] [-duration ns]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hatrpc/internal/stats"
+	"hatrpc/internal/ycsb"
+)
+
+func main() {
+	workload := flag.String("workload", "A", "YCSB workload: A or B")
+	clients := flag.Int("clients", 128, "total client count")
+	records := flag.Int("records", 3000, "preloaded record count")
+	duration := flag.Int64("duration", 500_000, "measured run length (virtual ns)")
+	flag.Parse()
+
+	var w ycsb.Workload
+	switch *workload {
+	case "A", "a":
+		w = ycsb.WorkloadA(*records)
+	case "B", "b":
+		w = ycsb.WorkloadB(*records)
+	default:
+		fmt.Fprintf(os.Stderr, "ycsbbench: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	cfg := ycsb.DefaultRunConfig(w)
+	cfg.Clients = *clients
+	cfg.DurationNs = *duration
+
+	fmt.Printf("YCSB workload-%s: %d records, %d clients over %d nodes\n\n",
+		w.Name, w.Records, cfg.Clients, cfg.Nodes-1)
+	results := ycsb.Run(cfg)
+
+	thr := stats.NewTable("system", "total Kops/s", "Get", "Put", "MGet", "MPut")
+	lat := stats.NewTable("system", "Get µs", "Put µs", "MGet µs", "MPut µs")
+	for _, r := range results {
+		thr.Row(r.System.String(),
+			fmt.Sprintf("%.1f", r.TotalOps/1000),
+			kops(r.PerOp[ycsb.OpGet].OpsPerS), kops(r.PerOp[ycsb.OpPut].OpsPerS),
+			kops(r.PerOp[ycsb.OpMultiGet].OpsPerS), kops(r.PerOp[ycsb.OpMultiPut].OpsPerS))
+		lat.Row(r.System.String(),
+			us(r.PerOp[ycsb.OpGet].AvgLatNs), us(r.PerOp[ycsb.OpPut].AvgLatNs),
+			us(r.PerOp[ycsb.OpMultiGet].AvgLatNs), us(r.PerOp[ycsb.OpMultiPut].AvgLatNs))
+	}
+	fmt.Println("(a) Throughput (Kops/s per operation)")
+	fmt.Println(thr)
+	fmt.Println("(b) Average latency per operation")
+	fmt.Println(lat)
+}
+
+func kops(v float64) string { return fmt.Sprintf("%.1f", v/1000) }
+func us(ns float64) string  { return fmt.Sprintf("%.1f", ns/1000) }

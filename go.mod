@@ -1,0 +1,3 @@
+module hatrpc
+
+go 1.22

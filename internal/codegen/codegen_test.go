@@ -1,0 +1,166 @@
+package codegen
+
+import (
+	"go/format"
+	"strings"
+	"testing"
+
+	"hatrpc/internal/idl"
+)
+
+const testIDL = `
+namespace go testsvc
+
+typedef i64 Timestamp
+const i32 MAX_BATCH = 10
+
+enum Status {
+  OK = 0,
+  NOT_FOUND = 5,
+}
+
+struct KVPair {
+  1: string key,
+  2: binary value,
+  3: Timestamp ts,
+  4: Status st,
+  5: list<i32> tags,
+  6: map<string, double> weights,
+  7: set<i64> ids,
+}
+
+exception KVError {
+  1: string message,
+  2: i32 code,
+}
+
+service KVStore {
+  hint: concurrency=128, perf_goal=throughput;
+  s_hint: numa=bind;
+
+  binary Get(1: string key) throws (1: KVError err)
+    [ hint: payload_size=1024; c_hint: perf_goal=latency; ]
+  void Put(1: string key, 2: binary value)
+  list<KVPair> Scan(1: string prefix, 2: i32 limit)
+  oneway void Log(1: string msg)
+}
+`
+
+func generate(t *testing.T) string {
+	t.Helper()
+	doc, warns, err := idl.Parse("test.hrpc", testIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("warnings: %v", warns)
+	}
+	code, err := Generate(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+func TestGeneratedCodeParsesAsGo(t *testing.T) {
+	code := generate(t)
+	if _, err := format.Source([]byte(code)); err != nil {
+		// Dump a window around the failure for debugging.
+		t.Fatalf("generated code does not parse: %v\n----\n%s", err, code)
+	}
+}
+
+func TestGeneratedCodeDeterministic(t *testing.T) {
+	a := generate(t)
+	b := generate(t)
+	if a != b {
+		t.Fatal("generator output is not deterministic")
+	}
+}
+
+func TestGeneratedSymbols(t *testing.T) {
+	code := generate(t)
+	for _, sym := range []string{
+		"package testsvc",
+		"type Timestamp = int64",
+		"const MAX_BATCH = 10",
+		"type Status int32",
+		"Status_NOT_FOUND Status = 5",
+		"type KVPair struct {",
+		"type KVError struct {",
+		"func (x *KVError) Error() string",
+		"type KVStoreHandler interface {",
+		"Get(p *sim.Proc, key_ string) ([]byte, error)",
+		"Put(p *sim.Proc, key_ string, value_ []byte) error",
+		"Scan(p *sim.Proc, prefix_ string, limit_ int32) ([]*KVPair, error)",
+		"Log(p *sim.Proc, msg_ string) error",
+		"type KVStoreClient struct {",
+		"func NewKVStoreClient(t trdma.Transport) *KVStoreClient",
+		"type KVStoreProcessor struct {",
+		"func (pr *KVStoreProcessor) ProcessBytes(p *sim.Proc, fnID uint32, req []byte) []byte",
+		"var KVStoreHints = &trdma.ServiceHints{",
+		`"concurrency": "128"`,
+		`"numa": "bind"`,
+		`"perf_goal": "latency"`,
+		`"Get": 1,`,
+		`"Log": true,`,
+	} {
+		if !strings.Contains(code, sym) {
+			t.Errorf("generated code missing %q", sym)
+		}
+	}
+}
+
+func TestGeneratedHintTableStructure(t *testing.T) {
+	code := generate(t)
+	// Function-level hints must live in the Functions map, not the
+	// service set.
+	idx := strings.Index(code, "Functions: map[string]*hints.Set{")
+	if idx < 0 {
+		t.Fatal("no Functions map")
+	}
+	if !strings.Contains(code[idx:], `"payload_size": "1024"`) {
+		t.Error("Get's payload_size hint missing from function map")
+	}
+}
+
+func TestServiceInheritanceRejected(t *testing.T) {
+	doc := idl.MustParse("x.hrpc", `service Child extends Base { void F() }`)
+	if _, err := Generate(doc, Options{}); err == nil {
+		t.Fatal("extends accepted")
+	}
+}
+
+func TestDefaultPackageName(t *testing.T) {
+	doc := idl.MustParse("x.hrpc", `service S { void F() }`)
+	code, err := Generate(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "package gen") {
+		t.Error("default package name not applied")
+	}
+	code, err = Generate(doc, Options{Package: "custom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "package custom") {
+		t.Error("explicit package name not applied")
+	}
+}
+
+func TestNestedContainersGenerate(t *testing.T) {
+	doc := idl.MustParse("n.hrpc", `
+struct Deep {
+  1: map<string, list<map<i32, binary>>> layers,
+}
+service S { Deep Roundtrip(1: Deep d) }
+`)
+	code, err := Generate(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := format.Source([]byte(code)); err != nil {
+		t.Fatalf("nested container code does not parse: %v", err)
+	}
+}

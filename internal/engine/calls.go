@@ -1,0 +1,368 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hatrpc/internal/sim"
+	"hatrpc/internal/verbs"
+)
+
+// CallOpts selects the protocol and polling discipline for one RPC.
+type CallOpts struct {
+	// Proto carries the request payload.
+	Proto Protocol
+	// RespProto tells the server how this client wants the response
+	// delivered (client-side hints drive the fetch path). Zero value
+	// means "same as Proto".
+	RespProto Protocol
+	// Busy selects busy polling on the client side.
+	Busy bool
+	// Oneway sends the request without waiting for any response.
+	Oneway bool
+}
+
+// resolve applies Hybrid-EagerRNDV's size switch and the RespProto
+// default (ProtoAuto → same as request).
+func (o CallOpts) resolve(size, threshold int) (req, resp Protocol) {
+	req = o.Proto
+	resp = o.RespProto
+	if resp == ProtoAuto {
+		resp = o.Proto
+	}
+	if req == HybridEagerRNDV {
+		if size > threshold {
+			req = WriteRNDV
+		} else {
+			req = EagerSendRecv
+		}
+	}
+	if req == HybridEagerRead {
+		if size > threshold {
+			req = ReadRNDV
+		} else {
+			req = EagerSendRecv
+		}
+	}
+	return req, resp
+}
+
+// Call performs one RPC: ships req to the server with the requested
+// protocol, waits for the response per RespProto, and returns the
+// response payload.
+func (c *Conn) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, error) {
+	if c.server {
+		return nil, fmt.Errorf("engine: Call on server-side connection")
+	}
+	if len(req) > c.eng.cfg.MaxMsgSize {
+		return nil, fmt.Errorf("engine: request of %d bytes exceeds MaxMsgSize %d", len(req), c.eng.cfg.MaxMsgSize)
+	}
+	c.eng.Stats.Calls++
+	c.eng.Stats.BytesSent += int64(len(req))
+	c.seq++
+	reqProto, respProto := opts.resolve(len(req), c.eng.cfg.RndvThreshold)
+	h := hdr{
+		kind: kReq, proto: reqProto, respProto: respProto,
+		fn: fn, length: uint32(len(req)), seq: c.seq,
+	}
+	if opts.Oneway {
+		h.respProto = ProtoAuto // marks "no response expected"
+		c.sendMessage(p, h, req, opts.Busy)
+		return nil, nil
+	}
+	c.sendMessage(p, h, req, opts.Busy)
+
+	// Fetch-style responses are client-driven; the fetch loops spin on
+	// their READ completions regardless of the call's polling mode —
+	// short client-side spins are these designs' defining trait (RFP,
+	// Pilaf and FaRM all poll one-sided results).
+	switch respProto {
+	case RFP:
+		return c.fetchRFP(p, true), nil
+	case Pilaf:
+		return c.fetchKV(p, 2, true), nil
+	case FaRM:
+		return c.fetchKV(p, 1, true), nil
+	}
+	a := c.NextArrival(p, opts.Busy)
+	if a.Kind != kResp {
+		return nil, fmt.Errorf("engine: expected response, got kind %d", a.Kind)
+	}
+	return a.Payload, nil
+}
+
+// sendMessage ships [hdr|payload] using the wire protocol in h.proto.
+// It is used for requests (client) and two-sided responses (server).
+func (c *Conn) sendMessage(p *sim.Proc, h hdr, payload []byte, busy bool) {
+	switch h.proto {
+	case EagerSendRecv:
+		c.sendEager(p, h, payload)
+	case DirectWriteSend:
+		c.sendDirectWrite(p, h, payload, false)
+	case ChainedWriteSend:
+		c.sendDirectWrite(p, h, payload, true)
+	case DirectWriteIMM:
+		c.sendWriteImm(p, h, payload)
+	case WriteRNDV:
+		c.sendWriteRNDV(p, h, payload, busy)
+	case ReadRNDV:
+		c.sendReadRNDV(p, h, payload)
+	case RFP, HERD:
+		c.sendRfpWrite(p, h, payload)
+	case Pilaf, FaRM:
+		// Pilaf/FaRM requests travel eagerly (SEND); only the response
+		// path is server-bypass.
+		c.sendEager(p, h, payload)
+	default:
+		panic("engine: sendMessage: unresolved protocol " + h.proto.String())
+	}
+}
+
+// sendEager copies the payload into staging slots and SENDs it,
+// segmenting messages larger than one ring slot. The defining costs of
+// the eager protocol are the copy and the per-slot management work.
+func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte) {
+	cm := c.eng.dev.CostModel()
+	slotCap := c.slotSize - hdrSize
+	off := 0
+	for {
+		n := len(payload) - off
+		if n > slotCap {
+			n = slotCap
+		}
+		fh := h
+		fh.off = uint32(off)
+		c.eng.node.CPU.Compute(p, c.eng.node.NUMAWork(sim.Duration(cm.EagerSlotMgmtNs), c.numaBound))
+		c.memcpyCharge(p, n)
+		putHdr(c.stageMR.Buf, fh)
+		copy(c.stageMR.Buf[hdrSize:], payload[off:off+n])
+		c.qp.PostSend(p, &verbs.SendWR{
+			WRID: c.wrid(), Op: verbs.OpSend,
+			SGE:        verbs.SGE{MR: c.stageMR, Off: 0, Len: hdrSize + n},
+			Inline:     hdrSize+n <= 256,
+			Unsignaled: true,
+		})
+		off += n
+		if off >= len(payload) {
+			return
+		}
+	}
+}
+
+// sendDirectWrite WRITEs [hdr|payload] into the peer's pre-known direct
+// buffer, then SENDs a notification. chained=false posts two work
+// requests (two doorbells, Fig. 3b); chained=true posts them as one
+// chain (one doorbell, Fig. 3c).
+func (c *Conn) sendDirectWrite(p *sim.Proc, h hdr, payload []byte, chained bool) {
+	putHdr(c.stageMR.Buf, h)
+	copy(c.stageMR.Buf[hdrSize:], payload)
+	nh := hdr{kind: kNotify, proto: h.proto, seq: h.seq}
+	putHdr(c.stageMR.Buf[c.stageNotifyOff():], nh)
+	write := &verbs.SendWR{
+		WRID: c.wrid(), Op: verbs.OpWrite,
+		SGE:        verbs.SGE{MR: c.stageMR, Off: 0, Len: hdrSize + len(payload)},
+		Remote:     c.peerDirect,
+		Unsignaled: true,
+	}
+	send := &verbs.SendWR{
+		WRID: c.wrid(), Op: verbs.OpSend,
+		SGE:        verbs.SGE{MR: c.stageMR, Off: c.stageNotifyOff(), Len: hdrSize},
+		Inline:     true,
+		Unsignaled: true,
+	}
+	if chained {
+		write.Next = send
+		c.qp.PostSend(p, write)
+	} else {
+		c.qp.PostSend(p, write)
+		c.qp.PostSend(p, send)
+	}
+}
+
+// stageNotifyOff is the staging offset reserved for notify headers.
+func (c *Conn) stageNotifyOff() int { return c.eng.cfg.MaxMsgSize + hdrSize }
+
+// sendWriteImm WRITEs [hdr|payload] into the peer's direct buffer with an
+// immediate, completing delivery in a single work request (Fig. 3f).
+func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte) {
+	putHdr(c.stageMR.Buf, h)
+	copy(c.stageMR.Buf[hdrSize:], payload)
+	c.qp.PostSend(p, &verbs.SendWR{
+		WRID: c.wrid(), Op: verbs.OpWriteImm,
+		SGE:        verbs.SGE{MR: c.stageMR, Off: 0, Len: hdrSize + len(payload)},
+		Remote:     c.peerDirect,
+		Imm:        immDirect,
+		Inline:     hdrSize+len(payload) <= 256,
+		Unsignaled: true,
+	})
+}
+
+// sendWriteRNDV runs the WRITE-based rendezvous: RTS, wait for the CTS
+// grant, then WRITE_WITH_IMM into the granted pool buffer.
+func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool) {
+	rts := hdr{kind: kRTS, proto: WriteRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
+	c.postSmall(p, rts)
+	c.waitCTS(p, h.seq, busy)
+	rk, ok := c.shared.rndv[rndvKey(h.seq, c.server)]
+	if !ok {
+		panic("engine: CTS without exposed buffer")
+	}
+	// Zero-copy: the payload was serialized straight into registered
+	// staging (rendezvous avoids the eager copy; that is its point).
+	putHdr(c.stageMR.Buf, h)
+	copy(c.stageMR.Buf[hdrSize:], payload)
+	c.qp.PostSend(p, &verbs.SendWR{
+		WRID: c.wrid(), Op: verbs.OpWriteImm,
+		SGE:        verbs.SGE{MR: c.stageMR, Off: 0, Len: hdrSize + len(payload)},
+		Remote:     rk,
+		Imm:        h.seq,
+		Unsignaled: true,
+	})
+}
+
+// sendReadRNDV exposes the payload in a pool buffer and sends an RTS; the
+// peer READs it and FINs (Fig. 3e).
+func (c *Conn) sendReadRNDV(p *sim.Proc, h hdr, payload []byte) {
+	// Zero-copy exposure: serialized straight into the pool buffer.
+	buf := c.eng.acquireRndv(p, len(payload)+hdrSize)
+	putHdr(buf.Buf, h)
+	copy(buf.Buf[hdrSize:], payload)
+	c.rndvOut[h.seq] = buf
+	c.shared.rndv[rndvKey(h.seq, c.server)] = buf.RKey()
+	rts := hdr{kind: kRTS, proto: ReadRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
+	c.postSmall(p, rts)
+}
+
+// sendRfpWrite WRITEs [hdr|payload] into the server's polled request
+// region (RFP and HERD request path).
+func (c *Conn) sendRfpWrite(p *sim.Proc, h hdr, payload []byte) {
+	putHdr(c.stageMR.Buf, h)
+	copy(c.stageMR.Buf[hdrSize:], payload)
+	c.qp.PostSend(p, &verbs.SendWR{
+		WRID: c.wrid(), Op: verbs.OpWrite,
+		SGE:        verbs.SGE{MR: c.stageMR, Off: 0, Len: hdrSize + len(payload)},
+		Remote:     c.peerRfpIn,
+		Unsignaled: true,
+	})
+}
+
+// readRemote issues one READ and blocks until it completes.
+func (c *Conn) readRemote(p *sim.Proc, rk verbs.RKey, off, n int, busy bool) []byte {
+	id := c.wrid()
+	c.qp.PostSend(p, &verbs.SendWR{
+		WRID: id, Op: verbs.OpRead,
+		SGE:    verbs.SGE{MR: c.directMR, Off: 0, Len: n},
+		Remote: rk, RemoteOff: off,
+	})
+	c.waitRead(p, id, busy)
+	return c.directMR.Buf[:n]
+}
+
+// retryDelay paces ready-flag polling loops.
+const retryDelay = 600 // ns between one-sided polls of a not-yet-ready result
+
+// fetchRFP is the client half of RFP's remote fetching: READ the server's
+// response region until the sequence stamp matches, fetching the tail
+// with a second READ when the response exceeds the first chunk.
+func (c *Conn) fetchRFP(p *sim.Proc, busy bool) []byte {
+	chunk := c.eng.cfg.RFPChunk
+	for {
+		b := c.readRemote(p, c.peerRfpOut, 0, chunk, busy)
+		h := getHdr(b)
+		if h.seq != c.seq || h.kind != kResp {
+			c.eng.Stats.ReadRetries++
+			p.Sleep(retryDelay)
+			continue
+		}
+		n := int(h.length)
+		got := chunk - hdrSize
+		if n <= got {
+			return append([]byte(nil), b[hdrSize:hdrSize+n]...)
+		}
+		// Tail fetch for large responses.
+		out := make([]byte, n)
+		copy(out, b[hdrSize:])
+		rest := c.readRemote(p, c.peerRfpOut, chunk, n-got, busy)
+		copy(out[got:], rest)
+		return out
+	}
+}
+
+// fetchKV is the Pilaf/FaRM client fetch: metaReads metadata READs (two
+// for Pilaf, one for FaRM) followed by one payload READ of the published
+// length.
+func (c *Conn) fetchKV(p *sim.Proc, metaReads int, busy bool) []byte {
+	for {
+		meta := c.readRemote(p, c.peerKvMeta, 0, 16, busy)
+		seq := binary.LittleEndian.Uint32(meta[0:])
+		n := int(binary.LittleEndian.Uint32(meta[4:]))
+		if seq != c.seq {
+			c.eng.Stats.ReadRetries++
+			p.Sleep(retryDelay)
+			continue
+		}
+		for i := 1; i < metaReads; i++ {
+			c.readRemote(p, c.peerKvMeta, 0, 16, busy)
+		}
+		b := c.readRemote(p, c.peerKvPay, 0, n, busy)
+		return append([]byte(nil), b[:n]...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Server response paths
+
+// SendResponse delivers resp for the request described by a, honouring
+// the client's requested response protocol.
+func (c *Conn) SendResponse(p *sim.Proc, a Arrival, resp []byte, busy bool) {
+	if !c.server {
+		panic("engine: SendResponse on client connection")
+	}
+	respProto := a.RespProto
+	if respProto == HybridEagerRNDV {
+		if len(resp) > c.eng.cfg.RndvThreshold {
+			respProto = WriteRNDV
+		} else {
+			respProto = EagerSendRecv
+		}
+	}
+	if respProto == HybridEagerRead {
+		if len(resp) > c.eng.cfg.RndvThreshold {
+			respProto = ReadRNDV
+		} else {
+			respProto = EagerSendRecv
+		}
+	}
+	h := hdr{kind: kResp, proto: respProto, respProto: respProto, fn: a.Fn, length: uint32(len(resp)), seq: a.Seq}
+	switch respProto {
+	case RFP:
+		c.publish(p, c.rfpOutMR, h, resp)
+	case Pilaf, FaRM:
+		c.publishKV(p, h, resp)
+	case HERD:
+		// HERD responds two-sided.
+		eh := h
+		eh.proto = HERD
+		c.sendEager(p, eh, resp)
+	default:
+		c.sendMessage(p, h, resp, busy)
+	}
+}
+
+// publish copies [hdr|payload] into a locally-registered region that the
+// client fetches one-sided. Only local memory work; no network operation.
+func (c *Conn) publish(p *sim.Proc, mr *verbs.MR, h hdr, payload []byte) {
+	c.memcpyCharge(p, len(payload)+hdrSize)
+	copy(mr.Buf[hdrSize:], payload)
+	putHdr(mr.Buf, h) // header (with seq stamp) written last
+}
+
+// publishKV publishes payload + metadata for Pilaf/FaRM-style fetching:
+// value first, then the metadata record carrying (seq, length).
+func (c *Conn) publishKV(p *sim.Proc, h hdr, payload []byte) {
+	c.memcpyCharge(p, len(payload)+16)
+	copy(c.kvPayMR.Buf, payload)
+	binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[4:], h.length)
+	binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[8:], 0xABCD)
+	binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[0:], h.seq) // seq last
+}

@@ -1,0 +1,643 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+	"hatrpc/internal/verbs"
+)
+
+// Config sizes the engine's per-connection resources.
+type Config struct {
+	// MaxMsgSize bounds a single RPC payload; direct buffers are sized to
+	// hold it.
+	MaxMsgSize int
+	// EagerSlotSize is the payload capacity of one circular-buffer slot.
+	EagerSlotSize int
+	// EagerSlots is the ring depth (pre-posted receives per connection).
+	EagerSlots int
+	// RndvThreshold is the Hybrid-EagerRNDV switchover point.
+	RndvThreshold int
+	// RFPChunk is the default first-READ size when fetching an RFP
+	// response of unknown length.
+	RFPChunk int
+	// NoFetchBufs skips the server-side published regions (RFP/HERD
+	// request slot, Pilaf/FaRM meta+payload). Benchmarks that pin a
+	// two-sided protocol set this to keep per-connection memory small.
+	NoFetchBufs bool
+}
+
+// DefaultConfig returns the sizing used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		MaxMsgSize:    1 << 20,
+		EagerSlotSize: DefaultRndvThreshold,
+		EagerSlots:    64,
+		RndvThreshold: DefaultRndvThreshold,
+		RFPChunk:      4096,
+	}
+}
+
+// Stats counts engine activity; benchmarks read these for resource
+// accounting.
+type Stats struct {
+	Calls       int64
+	BytesSent   int64
+	ReadRetries int64
+	RndvAllocs  int64
+	PinnedBytes int64
+}
+
+// Engine is the per-node RDMA communication engine.
+type Engine struct {
+	node *simnet.Node
+	dev  *verbs.Device
+	pd   *verbs.PD
+	cfg  Config
+	env  *sim.Env
+
+	rndvFree map[int][]*verbs.MR // size-class → free registered buffers
+	Stats    Stats
+}
+
+// New creates an engine on the node (opening a simulated RNIC).
+func New(node *simnet.Node, cfg Config) *Engine {
+	if cfg.MaxMsgSize <= 0 {
+		cfg = DefaultConfig()
+	}
+	dev := verbs.OpenDevice(node, nil)
+	return &Engine{
+		node:     node,
+		dev:      dev,
+		pd:       dev.AllocPD(),
+		cfg:      cfg,
+		env:      node.Cluster().Env(),
+		rndvFree: make(map[int][]*verbs.MR),
+	}
+}
+
+// Node returns the node this engine runs on.
+func (e *Engine) Node() *simnet.Node { return e.node }
+
+// Config returns the engine sizing.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Cores returns the node's core count (for subscription classification).
+func (e *Engine) Cores() int { return e.node.CPU.Cores() }
+
+// sizeClass rounds a buffer size up to a power of two for pooling.
+func sizeClass(n int) int {
+	c := 4096
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// acquireRndv takes a registered buffer from the rendezvous pool,
+// registering a new one (expensive) only when the pool is dry (§4.3:
+// "HatRPC pre-allocates and registers a buffer pool which makes
+// requesting memories fast during the communication").
+func (e *Engine) acquireRndv(p *sim.Proc, size int) *verbs.MR {
+	cls := sizeClass(size)
+	free := e.rndvFree[cls]
+	if n := len(free); n > 0 {
+		mr := free[n-1]
+		e.rndvFree[cls] = free[:n-1]
+		p.Sleep(200) // pool pop + bookkeeping
+		return mr
+	}
+	e.Stats.RndvAllocs++
+	e.Stats.PinnedBytes += int64(cls)
+	return e.pd.RegisterMR(p, cls)
+}
+
+func (e *Engine) releaseRndv(mr *verbs.MR) {
+	cls := sizeClass(mr.Len())
+	e.rndvFree[cls] = append(e.rndvFree[cls], mr)
+}
+
+// ---------------------------------------------------------------------------
+// Wire header
+
+const hdrSize = 24
+
+// Message kinds.
+const (
+	kReq    byte = 1
+	kResp   byte = 2
+	kRTS    byte = 3
+	kCTS    byte = 4
+	kNotify byte = 5
+	kFin    byte = 6
+)
+
+const immDirect uint32 = 0xFFFFFFFF
+
+type hdr struct {
+	kind      byte
+	proto     Protocol
+	respProto Protocol
+	fn        uint32
+	length    uint32 // total payload length of the message
+	seq       uint32
+	off       uint32 // fragment offset (eager segmentation)
+}
+
+func putHdr(b []byte, h hdr) {
+	b[0] = h.kind
+	b[1] = byte(h.proto)
+	b[2] = byte(h.respProto)
+	b[3] = 0
+	binary.LittleEndian.PutUint32(b[4:], h.fn)
+	binary.LittleEndian.PutUint32(b[8:], h.length)
+	binary.LittleEndian.PutUint32(b[12:], h.seq)
+	binary.LittleEndian.PutUint32(b[16:], h.off)
+	binary.LittleEndian.PutUint32(b[20:], 0)
+}
+
+func getHdr(b []byte) hdr {
+	return hdr{
+		kind:      b[0],
+		proto:     Protocol(b[1]),
+		respProto: Protocol(b[2]),
+		fn:        binary.LittleEndian.Uint32(b[4:]),
+		length:    binary.LittleEndian.Uint32(b[8:]),
+		seq:       binary.LittleEndian.Uint32(b[12:]),
+		off:       binary.LittleEndian.Uint32(b[16:]),
+	}
+}
+
+// rndvKey namespaces the shared rendezvous table by transfer direction so
+// a request and its response (same seq) never collide.
+func rndvKey(seq uint32, fromServer bool) uint64 {
+	k := uint64(seq) << 1
+	if fromServer {
+		k |= 1
+	}
+	return k
+}
+
+// Arrival is a delivered request (at the server) or response (at the
+// client).
+type Arrival struct {
+	Kind      byte
+	Proto     Protocol
+	RespProto Protocol
+	Fn        uint32
+	Seq       uint32
+	Payload   []byte
+}
+
+// connShared is the per-connection control blackboard both endpoints
+// reference. In a real deployment rendezvous RKeys travel inside CTS/RTS
+// packets; in the simulation the key bytes are represented by entries in
+// this shared table, while the data payloads still traverse the simulated
+// fabric.
+type connShared struct {
+	rndv map[uint64]verbs.RKey // rndvKey → exposed buffer for WRITE/READ
+}
+
+// hello is the out-of-band connection handshake payload (QPN/LID/rkey
+// exchange in a real system).
+type hello struct {
+	qp     *verbs.QP
+	direct verbs.RKey
+	rfpIn  verbs.RKey
+	rfpOut verbs.RKey
+	kvMeta verbs.RKey
+	kvPay  verbs.RKey
+	shared *connShared
+}
+
+// Conn is one endpoint of an engine connection. A Conn carries one
+// outstanding call at a time (Thrift connection semantics); concurrency
+// comes from many connections.
+type Conn struct {
+	eng    *Engine
+	server bool
+
+	qp  *verbs.QP
+	cq  *verbs.CQ
+	sig *sim.Signal
+
+	eagerMR  *verbs.MR // receive ring
+	slotSize int
+	slots    int
+	stageMR  *verbs.MR // outbound staging
+	directMR *verbs.MR // inbound direct-write target
+
+	// Server-side published regions (client reads them one-sided).
+	rfpInMR  *verbs.MR
+	rfpOutMR *verbs.MR
+	kvMetaMR *verbs.MR
+	kvPayMR  *verbs.MR
+
+	// Peer rkeys.
+	peerDirect verbs.RKey
+	peerRfpIn  verbs.RKey
+	peerRfpOut verbs.RKey
+	peerKvMeta verbs.RKey
+	peerKvPay  verbs.RKey
+
+	shared *connShared
+
+	seq      uint32
+	nextWRID uint64
+
+	rfpPending   bool                 // server: un-consumed RFP/HERD request in rfpInMR
+	rndvIn       map[uint32]*verbs.MR // receiver: buffers awaiting WRITE_IMM, by seq
+	rndvOut      map[uint32]*verbs.MR // sender: exposed buffers awaiting FIN, by seq
+	pendingReads map[uint64]hdr       // READ wrid → header context (Read-RNDV pull)
+
+	ctsReady  map[uint32]bool // CTS seen for seq
+	finSeen   map[uint32]bool
+	frags     map[uint32]*fragState // eager reassembly by seq
+	respQueue []Arrival             // completed arrivals not yet consumed
+
+	busyLoaded bool
+	numaBound  bool
+}
+
+func (e *Engine) newConn(server bool, shared *connShared) *Conn {
+	c := &Conn{
+		eng:          e,
+		server:       server,
+		cq:           e.dev.CreateCQ(),
+		sig:          sim.NewSignal(e.env),
+		slotSize:     e.cfg.EagerSlotSize + hdrSize,
+		slots:        e.cfg.EagerSlots,
+		shared:       shared,
+		rndvIn:       make(map[uint32]*verbs.MR),
+		rndvOut:      make(map[uint32]*verbs.MR),
+		pendingReads: make(map[uint64]hdr),
+		ctsReady:     make(map[uint32]bool),
+		finSeen:      make(map[uint32]bool),
+		frags:        make(map[uint32]*fragState),
+	}
+	c.qp = e.dev.CreateQP(c.cq, c.cq)
+	c.cq.SetNotify(c.sig.Fire)
+	c.eagerMR = e.pd.RegisterMRNoCost(c.slots * c.slotSize)
+	// Staging holds [hdr|payload] plus a dedicated tail region for notify
+	// headers so Direct-Write-Send chains never overlap the payload.
+	c.stageMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + 2*hdrSize)
+	c.directMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
+	e.Stats.PinnedBytes += int64(c.slots*c.slotSize + 2*(e.cfg.MaxMsgSize+hdrSize))
+	if server && !e.cfg.NoFetchBufs {
+		c.rfpInMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
+		c.rfpOutMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
+		c.kvMetaMR = e.pd.RegisterMRNoCost(32)
+		c.kvPayMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
+		e.Stats.PinnedBytes += int64(3*(e.cfg.MaxMsgSize+hdrSize) + 32)
+		c.rfpInMR.SetWriteNotify(func() {
+			c.rfpPending = true
+			c.sig.Fire()
+		})
+	}
+	for i := 0; i < c.slots; i++ {
+		c.qp.PostRecv(verbs.RecvWR{
+			WRID: uint64(i),
+			SGE:  verbs.SGE{MR: c.eagerMR, Off: i * c.slotSize, Len: c.slotSize},
+		})
+	}
+	return c
+}
+
+func (c *Conn) helloFor() *hello {
+	h := &hello{qp: c.qp, direct: c.directMR.RKey(), shared: c.shared}
+	if c.server {
+		h.rfpIn = c.rfpInMR.RKey()
+		h.rfpOut = c.rfpOutMR.RKey()
+		h.kvMeta = c.kvMetaMR.RKey()
+		h.kvPay = c.kvPayMR.RKey()
+	}
+	return h
+}
+
+func (c *Conn) applyHello(h *hello) {
+	c.qp.Connect(h.qp)
+	c.peerDirect = h.direct
+	c.peerRfpIn = h.rfpIn
+	c.peerRfpOut = h.rfpOut
+	c.peerKvMeta = h.kvMeta
+	c.peerKvPay = h.kvPay
+	c.shared = h.shared
+}
+
+// SetNUMABound marks the connection's processing as NUMA-local (§3.3,
+// §5.5): CPU work on this connection is not penalized for remote-socket
+// access.
+func (c *Conn) SetNUMABound(b bool) { c.numaBound = b }
+
+func (c *Conn) wrid() uint64 {
+	c.nextWRID++
+	return c.nextWRID
+}
+
+// memcpyCharge charges CPU copy time, scaled by NUMA placement.
+func (c *Conn) memcpyCharge(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	w := sim.Duration(c.eng.dev.CostModel().MemcpyTime(n))
+	c.eng.node.CPU.Compute(p, c.eng.node.NUMAWork(w, c.numaBound))
+}
+
+// ---------------------------------------------------------------------------
+// Dialing and accepting
+
+// Listener accepts engine connections for a named service.
+type Listener struct {
+	eng *Engine
+	l   *simnet.Listener
+}
+
+// Listen registers a service port on the engine's node.
+func (e *Engine) Listen(port string) *Listener {
+	return &Listener{eng: e, l: e.node.Listen(port)}
+}
+
+// Accept blocks until a client dials, completing the QP/buffer handshake
+// and returning the server-side connection.
+func (ln *Listener) Accept(p *sim.Proc) *Conn {
+	ep := ln.l.Accept(p)
+	ch := ep.Recv(p).(*hello)
+	c := ln.eng.newConn(true, ch.shared)
+	c.applyHello(ch)
+	ep.Send(p, c.helloFor(), 256)
+	return c
+}
+
+// Dial connects to a service port on a remote node, performing the
+// out-of-band handshake (QP numbers, rkeys) and returning the client-side
+// connection.
+func (e *Engine) Dial(p *sim.Proc, target *simnet.Node, port string) *Conn {
+	ep := e.node.Connect(p, target, port)
+	c := e.newConn(false, &connShared{rndv: make(map[uint64]verbs.RKey)})
+	ep.Send(p, c.helloFor(), 256)
+	sh := ep.Recv(p).(*hello)
+	c.applyHello(sh)
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Event pump
+
+// chargeDetect applies the completion-detection cost for the configured
+// polling discipline.
+func (c *Conn) chargeDetect(p *sim.Proc, busy bool) {
+	cm := c.eng.dev.CostModel()
+	cpu := c.eng.node.CPU
+	if busy {
+		p.Sleep(sim.Duration(cm.BusyDetectNs(cpu.LoadFactor())))
+	} else {
+		p.Sleep(sim.Duration(float64(cm.InterruptWakeNs) * cpu.LoadFactor()))
+	}
+}
+
+// enterWait registers the busy-poll CPU load for the duration of a wait.
+func (c *Conn) enterWait(busy bool) {
+	if busy && !c.busyLoaded {
+		c.eng.node.CPU.AddLoad(1)
+		c.busyLoaded = true
+	}
+}
+
+func (c *Conn) exitWait() {
+	if c.busyLoaded {
+		c.eng.node.CPU.RemoveLoad(1)
+		c.busyLoaded = false
+	}
+}
+
+// NextArrival blocks until a request (server) or response (client)
+// arrives, processing protocol-internal control traffic (RTS/CTS/FIN)
+// along the way.
+func (c *Conn) NextArrival(p *sim.Proc, busy bool) Arrival {
+	c.enterWait(busy)
+	defer c.exitWait()
+	for {
+		if n := len(c.respQueue); n > 0 {
+			a := c.respQueue[0]
+			c.respQueue = c.respQueue[1:]
+			return a
+		}
+		if wc, ok := c.cq.TryPoll(); ok {
+			if a, done := c.handleWC(p, wc); done {
+				c.chargeDetect(p, busy)
+				return a
+			}
+			continue
+		}
+		if c.rfpPending {
+			c.rfpPending = false
+			h := getHdr(c.rfpInMR.Buf)
+			payload := append([]byte(nil), c.rfpInMR.Buf[hdrSize:hdrSize+int(h.length)]...)
+			c.chargeDetect(p, busy)
+			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}
+		}
+		c.sig.Wait(p)
+	}
+}
+
+// waitCTS pumps until the CTS for seq arrives, queueing any unrelated
+// arrivals.
+func (c *Conn) waitCTS(p *sim.Proc, seq uint32, busy bool) {
+	c.enterWait(busy)
+	defer c.exitWait()
+	for !c.ctsReady[seq] {
+		if wc, ok := c.cq.TryPoll(); ok {
+			if a, done := c.handleWC(p, wc); done {
+				c.respQueue = append(c.respQueue, a)
+			}
+			continue
+		}
+		c.sig.Wait(p)
+	}
+	delete(c.ctsReady, seq)
+	c.chargeDetect(p, busy)
+}
+
+// waitRead pumps until the READ with the given wrid completes.
+func (c *Conn) waitRead(p *sim.Proc, wrid uint64, busy bool) {
+	c.enterWait(busy)
+	defer c.exitWait()
+	for {
+		if wc, ok := c.cq.TryPoll(); ok {
+			if wc.Op == verbs.OpRead && wc.WRID == wrid {
+				c.chargeDetect(p, busy)
+				return
+			}
+			if a, done := c.handleWC(p, wc); done {
+				c.respQueue = append(c.respQueue, a)
+			}
+			continue
+		}
+		c.sig.Wait(p)
+	}
+}
+
+// handleWC interprets one completion. It returns (arrival, true) when the
+// completion finishes an application-level message.
+func (c *Conn) handleWC(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
+	switch wc.Op {
+	case verbs.OpRecv:
+		if wc.HasImm {
+			return c.handleWriteImm(p, wc)
+		}
+		return c.handleRecvSlot(p, wc)
+	case verbs.OpRead:
+		if rts, ok := c.pendingReads[wc.WRID]; ok {
+			delete(c.pendingReads, wc.WRID)
+			// Read-RNDV pull completed: the pulled buffer carries the
+			// original [hdr|payload] (the RTS only announced it).
+			buf := c.rndvIn[rts.seq]
+			delete(c.rndvIn, rts.seq)
+			h := getHdr(buf.Buf)
+			payload := append([]byte(nil), buf.Buf[hdrSize:hdrSize+int(h.length)]...)
+			c.eng.releaseRndv(buf)
+			c.postSmall(p, hdr{kind: kFin, proto: h.proto, seq: h.seq})
+			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true
+		}
+		return Arrival{}, false
+	default:
+		// Send-side completions carry no application event.
+		return Arrival{}, false
+	}
+}
+
+// fragState accumulates a segmented eager message.
+type fragState struct {
+	h   hdr
+	buf []byte
+	got int
+}
+
+// handleRecvSlot processes a two-sided SEND landing in an eager ring slot.
+func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
+	slot := int(wc.WRID)
+	base := slot * c.slotSize
+	buf := c.eagerMR.Buf[base : base+c.slotSize]
+	h := getHdr(buf)
+	// Recycle the ring slot after extracting the fragment.
+	frag := append([]byte(nil), buf[hdrSize:wc.ByteLen]...)
+	c.qp.PostRecv(verbs.RecvWR{
+		WRID: wc.WRID,
+		SGE:  verbs.SGE{MR: c.eagerMR, Off: base, Len: c.slotSize},
+	})
+	switch h.kind {
+	case kReq, kResp:
+		// Eager delivery: per-slot management cost plus the copy out of
+		// the ring slot.
+		cm := c.eng.dev.CostModel()
+		c.eng.node.CPU.Compute(p, c.eng.node.NUMAWork(sim.Duration(cm.EagerSlotMgmtNs), c.numaBound))
+		c.memcpyCharge(p, len(frag))
+		if int(h.length) == len(frag) && h.off == 0 {
+			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: frag}, true
+		}
+		// Segmented message: accumulate until complete.
+		st, ok := c.frags[h.seq]
+		if !ok {
+			st = &fragState{h: h, buf: make([]byte, h.length)}
+			c.frags[h.seq] = st
+		}
+		copy(st.buf[h.off:], frag)
+		st.got += len(frag)
+		if st.got < int(h.length) {
+			return Arrival{}, false
+		}
+		delete(c.frags, h.seq)
+		return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: st.buf}, true
+	case kNotify:
+		// Direct-Write-Send: payload already written into directMR.
+		dh := getHdr(c.directMR.Buf)
+		payload := append([]byte(nil), c.directMR.Buf[hdrSize:hdrSize+int(dh.length)]...)
+		return Arrival{Kind: dh.kind, Proto: dh.proto, RespProto: dh.respProto, Fn: dh.fn, Seq: dh.seq, Payload: payload}, true
+	case kRTS:
+		return c.handleRTS(p, h)
+	case kCTS:
+		c.ctsReady[h.seq] = true
+		return Arrival{}, false
+	case kFin:
+		if buf, ok := c.rndvOut[h.seq]; ok {
+			delete(c.rndvOut, h.seq)
+			delete(c.shared.rndv, rndvKey(h.seq, c.server))
+			c.eng.releaseRndv(buf)
+		}
+		return Arrival{}, false
+	}
+	return Arrival{}, false
+}
+
+// handleRTS reacts to a rendezvous request-to-send.
+func (c *Conn) handleRTS(p *sim.Proc, h hdr) (Arrival, bool) {
+	switch h.proto {
+	case WriteRNDV, HybridEagerRNDV:
+		// Expose a pool buffer and grant. The entry is keyed by the
+		// *sender's* side (our peer).
+		buf := c.eng.acquireRndv(p, int(h.length)+hdrSize)
+		c.rndvIn[h.seq] = buf
+		c.shared.rndv[rndvKey(h.seq, !c.server)] = buf.RKey()
+		c.postSmall(p, hdr{kind: kCTS, proto: h.proto, seq: h.seq})
+		return Arrival{}, false
+	case ReadRNDV:
+		// Pull the payload from the buffer exposed by the sender (peer).
+		rk, ok := c.shared.rndv[rndvKey(h.seq, !c.server)]
+		if !ok {
+			panic("engine: Read-RNDV RTS without exposed buffer")
+		}
+		buf := c.eng.acquireRndv(p, int(h.length)+hdrSize)
+		c.rndvIn[h.seq] = buf
+		id := c.wrid()
+		c.pendingReads[id] = h
+		c.qp.PostSend(p, &verbs.SendWR{
+			WRID: id, Op: verbs.OpRead,
+			SGE:    verbs.SGE{MR: buf, Off: 0, Len: int(h.length) + hdrSize},
+			Remote: rk,
+		})
+		return Arrival{}, false
+	}
+	return Arrival{}, false
+}
+
+// handleWriteImm processes a WRITE_WITH_IMM completion: either a direct
+// message in directMR or a rendezvous payload landing in a granted
+// buffer.
+func (c *Conn) handleWriteImm(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
+	// The consumed zero-length recv slot is recycled.
+	slot := int(wc.WRID)
+	base := slot * c.slotSize
+	c.qp.PostRecv(verbs.RecvWR{
+		WRID: wc.WRID,
+		SGE:  verbs.SGE{MR: c.eagerMR, Off: base, Len: c.slotSize},
+	})
+	if wc.Imm == immDirect {
+		h := getHdr(c.directMR.Buf)
+		payload := append([]byte(nil), c.directMR.Buf[hdrSize:hdrSize+int(h.length)]...)
+		return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true
+	}
+	seq := wc.Imm
+	buf, ok := c.rndvIn[seq]
+	if !ok {
+		panic(fmt.Sprintf("engine: WRITE_IMM for unknown rndv seq %d", seq))
+	}
+	delete(c.rndvIn, seq)
+	h := getHdr(buf.Buf)
+	payload := append([]byte(nil), buf.Buf[hdrSize:hdrSize+int(h.length)]...)
+	delete(c.shared.rndv, rndvKey(seq, !c.server))
+	c.eng.releaseRndv(buf)
+	return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true
+}
+
+// postSmall sends a header-only control message through the eager ring.
+func (c *Conn) postSmall(p *sim.Proc, h hdr) {
+	putHdr(c.stageMR.Buf, h)
+	c.qp.PostSend(p, &verbs.SendWR{
+		WRID: c.wrid(), Op: verbs.OpSend,
+		SGE:        verbs.SGE{MR: c.stageMR, Off: 0, Len: hdrSize},
+		Inline:     true,
+		Unsignaled: true,
+	})
+}

@@ -1,0 +1,411 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hatrpc/internal/hints"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// testCluster builds a 2-node cluster with a server engine on node 0
+// (echo handler that reverses nothing, appends a marker) and a client
+// engine on node 1.
+func testCluster(seed int64) (*sim.Env, *Engine, *Engine) {
+	env := sim.NewEnv(seed)
+	cl := simnet.NewCluster(env, simnet.Config{
+		Nodes: 2, Cores: 28, Sockets: 2, LinkGbps: 100, PropDelayNs: 600, NUMAPenalty: 1.25,
+	})
+	srv := New(cl.Node(0), DefaultConfig())
+	cli := New(cl.Node(1), DefaultConfig())
+	return env, srv, cli
+}
+
+// echoHandler returns the request payload with a 4-byte prefix.
+func echoHandler(p *sim.Proc, fn uint32, req []byte) []byte {
+	out := make([]byte, 4+len(req))
+	copy(out, "ECHO")
+	copy(out[4:], req)
+	return out
+}
+
+// dataProtocols are all protocols exercised by the round-trip matrix.
+var dataProtocols = []Protocol{
+	EagerSendRecv, DirectWriteSend, ChainedWriteSend, WriteRNDV, ReadRNDV,
+	DirectWriteIMM, Pilaf, FaRM, RFP, HERD, HybridEagerRNDV,
+}
+
+func TestEveryProtocolRoundTripsEveryPolling(t *testing.T) {
+	sizes := []int{0, 1, 64, 4096, 4097, 131072}
+	for _, proto := range dataProtocols {
+		for _, busy := range []bool{true, false} {
+			for _, size := range sizes {
+				name := fmt.Sprintf("%s/busy=%v/size=%d", proto, busy, size)
+				t.Run(name, func(t *testing.T) {
+					env, srvEng, cliEng := testCluster(1)
+					srv := srvEng.Serve("svc", echoHandler)
+					srv.Busy = busy
+					req := make([]byte, size)
+					for i := range req {
+						req[i] = byte(i * 7)
+					}
+					var resp []byte
+					var err error
+					env.Spawn("client", func(p *sim.Proc) {
+						c := cliEng.Dial(p, srvEng.Node(), "svc")
+						resp, err = c.Call(p, 3, req, CallOpts{Proto: proto, Busy: busy})
+						env.Stop()
+					})
+					env.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := echoHandler(nil, 3, req)
+					if !bytes.Equal(resp, want) {
+						t.Fatalf("response mismatch: got %d bytes, want %d", len(resp), len(want))
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestSequentialCallsOnOneConn(t *testing.T) {
+	env, srvEng, cliEng := testCluster(2)
+	srvEng.Serve("svc", echoHandler)
+	var got []string
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		for i := 0; i < 20; i++ {
+			req := []byte(fmt.Sprintf("msg-%02d", i))
+			proto := dataProtocols[i%len(dataProtocols)]
+			resp, err := c.Call(p, uint32(i), req, CallOpts{Proto: proto, Busy: true})
+			if err != nil {
+				t.Errorf("call %d (%s): %v", i, proto, err)
+				break
+			}
+			got = append(got, string(resp))
+		}
+		env.Stop()
+	})
+	env.Run()
+	if len(got) != 20 {
+		t.Fatalf("completed %d calls, want 20", len(got))
+	}
+	for i, g := range got {
+		want := fmt.Sprintf("ECHOmsg-%02d", i)
+		if g != want {
+			t.Fatalf("call %d = %q, want %q", i, g, want)
+		}
+	}
+}
+
+func TestMultipleClientsConcurrently(t *testing.T) {
+	env, srvEng, cliEng := testCluster(3)
+	srvEng.Serve("svc", echoHandler)
+	done := 0
+	const N = 16
+	for i := 0; i < N; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("client%d", i), func(p *sim.Proc) {
+			c := cliEng.Dial(p, srvEng.Node(), "svc")
+			for j := 0; j < 5; j++ {
+				req := []byte(fmt.Sprintf("c%d-m%d", i, j))
+				resp, err := c.Call(p, 1, req, CallOpts{Proto: DirectWriteIMM, Busy: false})
+				if err != nil || string(resp) != "ECHO"+string(req) {
+					t.Errorf("client %d call %d: %q %v", i, j, resp, err)
+					return
+				}
+			}
+			done++
+		})
+	}
+	env.Run()
+	if done != N {
+		t.Fatalf("%d clients finished, want %d", done, N)
+	}
+}
+
+func TestAsymmetricRequestResponseProtocols(t *testing.T) {
+	// Large request via Write-RNDV, small response via Direct-WriteIMM —
+	// the HatKV PUT pattern (§4.4).
+	env, srvEng, cliEng := testCluster(4)
+	srvEng.Serve("svc", func(p *sim.Proc, fn uint32, req []byte) []byte {
+		return []byte("OK")
+	})
+	var resp []byte
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		req := make([]byte, 100_000)
+		var err error
+		resp, err = c.Call(p, 9, req, CallOpts{Proto: WriteRNDV, RespProto: DirectWriteIMM, Busy: true})
+		if err != nil {
+			t.Error(err)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if string(resp) != "OK" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestChainedSavesLatencyOverUnchained(t *testing.T) {
+	lat := func(proto Protocol) sim.Time {
+		env, srvEng, cliEng := testCluster(5)
+		srv := srvEng.Serve("svc", echoHandler)
+		srv.Busy = true
+		var total sim.Time
+		env.Spawn("client", func(p *sim.Proc) {
+			c := cliEng.Dial(p, srvEng.Node(), "svc")
+			c.Call(p, 1, make([]byte, 512), CallOpts{Proto: proto, Busy: true}) // warm
+			start := p.Now()
+			for i := 0; i < 10; i++ {
+				c.Call(p, 1, make([]byte, 512), CallOpts{Proto: proto, Busy: true})
+			}
+			total = p.Now() - start
+			env.Stop()
+		})
+		env.Run()
+		return total
+	}
+	unchained := lat(DirectWriteSend)
+	chained := lat(ChainedWriteSend)
+	if chained >= unchained {
+		t.Fatalf("chained (%d) not faster than unchained (%d)", chained, unchained)
+	}
+}
+
+func TestWriteImmFastestSmallMessageLatency(t *testing.T) {
+	// Fig. 4 headline: with busy polling, Direct-WriteIMM beats eager,
+	// rendezvous and the fetch protocols for small messages.
+	lat := func(proto Protocol) sim.Time {
+		env, srvEng, cliEng := testCluster(6)
+		srv := srvEng.Serve("svc", echoHandler)
+		srv.Busy = true
+		var total sim.Time
+		env.Spawn("client", func(p *sim.Proc) {
+			c := cliEng.Dial(p, srvEng.Node(), "svc")
+			c.Call(p, 1, make([]byte, 64), CallOpts{Proto: proto, Busy: true})
+			start := p.Now()
+			for i := 0; i < 20; i++ {
+				c.Call(p, 1, make([]byte, 64), CallOpts{Proto: proto, Busy: true})
+			}
+			total = p.Now() - start
+			env.Stop()
+		})
+		env.Run()
+		return total
+	}
+	imm := lat(DirectWriteIMM)
+	for _, other := range []Protocol{EagerSendRecv, WriteRNDV, ReadRNDV, Pilaf, FaRM, RFP} {
+		if o := lat(other); imm >= o {
+			t.Errorf("Direct-WriteIMM (%d) not faster than %s (%d) for 64B", imm, other, o)
+		}
+	}
+}
+
+func TestRndvCheaperThanEagerForLargeMessages(t *testing.T) {
+	// Above the threshold the eager double-copy dominates; rendezvous
+	// must win for, say, 512 KB.
+	lat := func(proto Protocol) sim.Time {
+		env, srvEng, cliEng := testCluster(7)
+		srv := srvEng.Serve("svc", func(p *sim.Proc, fn uint32, req []byte) []byte { return []byte("ok") })
+		srv.Busy = true
+		var total sim.Time
+		env.Spawn("client", func(p *sim.Proc) {
+			c := cliEng.Dial(p, srvEng.Node(), "svc")
+			c.Call(p, 1, make([]byte, 512<<10), CallOpts{Proto: proto, RespProto: DirectWriteIMM, Busy: true})
+			start := p.Now()
+			for i := 0; i < 5; i++ {
+				c.Call(p, 1, make([]byte, 512<<10), CallOpts{Proto: proto, RespProto: DirectWriteIMM, Busy: true})
+			}
+			total = p.Now() - start
+			env.Stop()
+		})
+		env.Run()
+		return total
+	}
+	if e, w := lat(EagerSendRecv), lat(WriteRNDV); w >= e {
+		t.Fatalf("Write-RNDV (%d) not cheaper than eager (%d) at 512KB", w, e)
+	}
+}
+
+func TestRndvPoolReuse(t *testing.T) {
+	env, srvEng, cliEng := testCluster(8)
+	srvEng.Serve("svc", echoHandler)
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		for i := 0; i < 10; i++ {
+			c.Call(p, 1, make([]byte, 100_000), CallOpts{Proto: WriteRNDV, RespProto: DirectWriteIMM, Busy: true})
+		}
+		env.Stop()
+	})
+	env.Run()
+	// All ten transfers are the same size class: the pool must allocate
+	// once and reuse afterwards.
+	if srvEng.Stats.RndvAllocs > 2 {
+		t.Fatalf("rendezvous pool allocated %d buffers for 10 same-size calls", srvEng.Stats.RndvAllocs)
+	}
+}
+
+func TestRFPRetriesWhenServerSlow(t *testing.T) {
+	env, srvEng, cliEng := testCluster(9)
+	srvEng.Serve("svc", func(p *sim.Proc, fn uint32, req []byte) []byte {
+		p.Sleep(50_000) // 50µs server-side work
+		return []byte("slow")
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		resp, err := c.Call(p, 1, []byte("q"), CallOpts{Proto: RFP, Busy: true})
+		if err != nil || string(resp) != "slow" {
+			t.Errorf("resp=%q err=%v", resp, err)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if cliEng.Stats.ReadRetries == 0 {
+		t.Fatal("RFP fetch never retried despite slow server")
+	}
+}
+
+func TestRFPLargeResponseSecondRead(t *testing.T) {
+	env, srvEng, cliEng := testCluster(10)
+	big := make([]byte, 20_000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	srvEng.Serve("svc", func(p *sim.Proc, fn uint32, req []byte) []byte { return big })
+	var resp []byte
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		resp, _ = c.Call(p, 1, []byte("q"), CallOpts{Proto: RFP, Busy: true})
+		env.Stop()
+	})
+	env.Run()
+	if !bytes.Equal(resp, big) {
+		t.Fatalf("large RFP response corrupted: %d bytes", len(resp))
+	}
+}
+
+func TestCallTooLargeRejected(t *testing.T) {
+	env, srvEng, cliEng := testCluster(11)
+	srvEng.Serve("svc", echoHandler)
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		_, err := c.Call(p, 1, make([]byte, DefaultConfig().MaxMsgSize+1), CallOpts{Proto: EagerSendRecv})
+		if err == nil {
+			t.Error("oversized call accepted")
+		}
+		env.Stop()
+	})
+	env.Run()
+}
+
+func TestCallOnServerConnRejected(t *testing.T) {
+	env, srvEng, cliEng := testCluster(12)
+	srv := srvEng.Serve("svc", echoHandler)
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		c.Call(p, 1, []byte("x"), CallOpts{Proto: DirectWriteIMM, Busy: true})
+		if _, err := srv.Conns()[0].Call(p, 1, nil, CallOpts{}); err == nil {
+			t.Error("Call on server conn accepted")
+		}
+		env.Stop()
+	})
+	env.Run()
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() sim.Time {
+		env, srvEng, cliEng := testCluster(99)
+		srvEng.Serve("svc", echoHandler)
+		var done sim.Time
+		env.Spawn("client", func(p *sim.Proc) {
+			c := cliEng.Dial(p, srvEng.Node(), "svc")
+			for i := 0; i < 10; i++ {
+				c.Call(p, 1, make([]byte, 1024), CallOpts{Proto: DirectWriteIMM, Busy: true})
+			}
+			done = p.Now()
+			env.Stop()
+		})
+		env.Run()
+		return done
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+// --- Fig. 6 selection mapping ---
+
+func TestFig06Mapping(t *testing.T) {
+	cores := 28
+	cases := []struct {
+		goal  hints.PerfGoal
+		conc  int
+		size  int
+		proto Protocol
+		busy  bool
+	}{
+		{hints.GoalLatency, 1, 64, DirectWriteIMM, true},
+		{hints.GoalLatency, 1, 131072, DirectWriteIMM, true},
+		{hints.GoalLatency, 512, 64, DirectWriteIMM, true},
+		{hints.GoalThroughput, 8, 512, DirectWriteIMM, true},
+		{hints.GoalThroughput, 8, 131072, DirectWriteIMM, true},
+		{hints.GoalThroughput, 28, 512, DirectWriteIMM, false},
+		{hints.GoalThroughput, 512, 512, DirectWriteIMM, false},
+		{hints.GoalThroughput, 512, 131072, RFP, false},
+		{hints.GoalResUtil, 8, 512, DirectWriteIMM, false},
+		{hints.GoalResUtil, 8, 131072, WriteRNDV, false},
+		{hints.GoalResUtil, 512, 512, EagerSendRecv, false},
+		{hints.GoalResUtil, 512, 131072, WriteRNDV, false},
+	}
+	for _, c := range cases {
+		r := hints.Resolved{Goal: c.goal, Concurrency: c.conc, Polling: hints.PollAuto}
+		plan := SelectPlan(r, cores, c.size, DefaultRndvThreshold)
+		if plan.Proto != c.proto || plan.Busy != c.busy {
+			t.Errorf("SelectPlan(%s, conc=%d, size=%d) = {%s busy=%v}, want {%s busy=%v}",
+				c.goal, c.conc, c.size, plan.Proto, plan.Busy, c.proto, c.busy)
+		}
+	}
+}
+
+func TestSelectPlanPollingOverride(t *testing.T) {
+	r := hints.Resolved{Goal: hints.GoalLatency, Concurrency: 1, Polling: hints.PollEvent}
+	if plan := SelectPlan(r, 28, 64, 0); plan.Busy {
+		t.Fatal("explicit event polling hint not honoured")
+	}
+	r = hints.Resolved{Goal: hints.GoalResUtil, Concurrency: 512, Polling: hints.PollBusy}
+	if plan := SelectPlan(r, 28, 64, 0); !plan.Busy {
+		t.Fatal("explicit busy polling hint not honoured")
+	}
+}
+
+func TestSelectPlanDefaults(t *testing.T) {
+	// No hints at all (unknown payload): the engine cannot pre-commit
+	// size-specialized buffers, so it stays on the adaptive hybrid.
+	plan := SelectPlan(hints.DefaultResolved(), 28, 0, 0)
+	if plan.Proto != HybridEagerRNDV || plan.Busy {
+		t.Fatalf("default plan = %+v", plan)
+	}
+	// A payload hint upgrades the plan — the information hints buy.
+	r := hints.DefaultResolved()
+	r.PayloadSize = 512
+	if plan := SelectPlan(r, 28, 0, 0); plan.Proto != DirectWriteIMM {
+		t.Fatalf("hinted plan = %+v", plan)
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	for _, pr := range AllProtocols {
+		if pr.String() == "" || pr.String()[0] == 'P' && pr != Pilaf {
+			t.Errorf("protocol %d has suspicious String %q", pr, pr.String())
+		}
+	}
+	if ProtoAuto.String() != "auto" {
+		t.Error("ProtoAuto string")
+	}
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"fmt"
+
+	"hatrpc/internal/sim"
+)
+
+// Handler processes one request payload and returns the response payload.
+// It runs on the per-connection dispatcher process; CPU work must be
+// charged explicitly via the process (e.g. node.CPU.Compute).
+type Handler func(p *sim.Proc, fn uint32, req []byte) []byte
+
+// Server accepts engine connections on a port and runs one dispatcher
+// process per connection — the threaded-server model the paper's
+// evaluation uses.
+type Server struct {
+	eng     *Engine
+	ln      *Listener
+	handler Handler
+
+	// Busy selects busy polling for dispatcher waits. With many
+	// connections and busy polling, dispatchers oversubscribe the node's
+	// cores — the Figure 5 collapse.
+	Busy bool
+	// NUMABind pins dispatchers NIC-locally (no remote-socket penalty on
+	// copies/compute).
+	NUMABind bool
+
+	// Served counts completed requests.
+	Served int64
+
+	conns []*Conn
+}
+
+// Serve starts accepting connections for the named port, dispatching each
+// on its own simulation process.
+func (e *Engine) Serve(port string, h Handler) *Server {
+	s := &Server{eng: e, ln: e.Listen(port), handler: h}
+	e.env.Spawn(fmt.Sprintf("engsrv-%d-%s", e.node.ID(), port), s.acceptLoop)
+	return s
+}
+
+func (s *Server) acceptLoop(p *sim.Proc) {
+	for i := 0; ; i++ {
+		c := s.ln.Accept(p)
+		c.SetNUMABound(s.NUMABind)
+		s.conns = append(s.conns, c)
+		s.eng.env.Spawn(fmt.Sprintf("%s-disp%d", p.Name(), i), func(dp *sim.Proc) {
+			s.dispatch(dp, c)
+		})
+	}
+}
+
+func (s *Server) dispatch(p *sim.Proc, c *Conn) {
+	for {
+		a := c.NextArrival(p, s.Busy)
+		if a.Kind != kReq {
+			continue
+		}
+		resp := s.handler(p, a.Fn, a.Payload)
+		if a.RespProto != ProtoAuto { // ProtoAuto marks a oneway request
+			c.SendResponse(p, a, resp, s.Busy)
+		}
+		s.Served++
+	}
+}
+
+// Conns returns the accepted server-side connections (for inspection).
+func (s *Server) Conns() []*Conn { return s.conns }

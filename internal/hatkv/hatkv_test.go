@@ -1,0 +1,183 @@
+package hatkv_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hatrpc/internal/engine"
+	"hatrpc/internal/hatkv"
+	kvgen "hatrpc/internal/hatkv/gen"
+	"hatrpc/internal/lmdb"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+	"hatrpc/internal/trdma"
+)
+
+func setup(seed int64) (*sim.Env, *simnet.Cluster) {
+	env := sim.NewEnv(seed)
+	cfg := simnet.DefaultConfig()
+	cfg.Nodes = 3
+	return env, simnet.NewCluster(env, cfg)
+}
+
+func TestStoreHintTuning(t *testing.T) {
+	env, cl := setup(1)
+	_ = env
+	// Function hints carry concurrency=128 + throughput goal → NoSync +
+	// widened reader table.
+	tuned, err := hatkv.NewStore(cl.Node(0), hatkv.FunctionHints(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuned.Tuned {
+		t.Fatal("hinted store not tuned")
+	}
+	if tuned.Env().Sync() != lmdb.NoSync {
+		t.Fatalf("sync mode = %d, want NoSync for throughput goal", tuned.Env().Sync())
+	}
+	if tuned.Env().MaxReaders() != 130 {
+		t.Fatalf("max readers = %d, want 130 (concurrency hint + 2)", tuned.Env().MaxReaders())
+	}
+	// No hints → stock configuration.
+	stock, err := hatkv.NewStore(cl.Node(0), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stock.Tuned || stock.Env().Sync() != lmdb.SyncFull {
+		t.Fatalf("stock store tuned unexpectedly: %+v", stock.Env())
+	}
+}
+
+func TestEndToEndKVOperations(t *testing.T) {
+	env, cl := setup(2)
+	srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
+	cliEng := engine.New(cl.Node(1), engine.DefaultConfig())
+	sh := hatkv.FunctionHints()
+	store, err := hatkv.NewStore(cl.Node(0), sh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hatkv.Serve(srvEng, sh, store)
+
+	env.Spawn("client", func(p *sim.Proc) {
+		tr := trdma.Dial(p, cliEng, cl.Node(0), sh, nil)
+		c := kvgen.NewHatKVClient(tr)
+
+		if err := c.Put(p, "alpha", []byte("value-1")); err != nil {
+			t.Error(err)
+		}
+		v, err := c.Get(p, "alpha")
+		if err != nil || string(v) != "value-1" {
+			t.Errorf("Get = %q, %v", v, err)
+		}
+		// Missing key surfaces the declared KVError exception.
+		_, err = c.Get(p, "missing")
+		if err == nil {
+			t.Error("missing key did not error")
+		} else if _, ok := err.(*kvgen.KVError); !ok {
+			t.Errorf("error type %T, want *kvgen.KVError", err)
+		}
+
+		pairs := make([]*kvgen.KVPair, 10)
+		keys := make([]string, 10)
+		for i := range pairs {
+			keys[i] = fmt.Sprintf("batch-%02d", i)
+			pairs[i] = &kvgen.KVPair{Key: keys[i], Value: []byte{byte(i), byte(i * 2)}}
+		}
+		if err := c.MultiPut(p, pairs); err != nil {
+			t.Error(err)
+		}
+		vals, err := c.MultiGet(p, keys)
+		if err != nil || len(vals) != 10 {
+			t.Fatalf("MultiGet = %d vals, %v", len(vals), err)
+		}
+		for i, v := range vals {
+			if !bytes.Equal(v, pairs[i].Value) {
+				t.Errorf("vals[%d] = %v", i, v)
+			}
+		}
+		env.Stop()
+	})
+	env.Run()
+	if store.Env().Stats.Commits != 2 { // one Put + one MultiPut txn
+		t.Fatalf("commits = %d, want 2 (MultiPut batches into one txn)", store.Env().Stats.Commits)
+	}
+}
+
+func TestConcurrentWritersSerialized(t *testing.T) {
+	env, cl := setup(3)
+	srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
+	sh := hatkv.FunctionHints()
+	store, err := hatkv.NewStore(cl.Node(0), sh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hatkv.Serve(srvEng, sh, store)
+	engs := []*engine.Engine{
+		engine.New(cl.Node(1), engine.DefaultConfig()),
+		engine.New(cl.Node(2), engine.DefaultConfig()),
+	}
+	done := 0
+	for i := 0; i < 8; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			tr := trdma.Dial(p, engs[i%2], cl.Node(0), sh, nil)
+			c := kvgen.NewHatKVClient(tr)
+			for j := 0; j < 5; j++ {
+				if err := c.Put(p, fmt.Sprintf("k-%d-%d", i, j), []byte("v")); err != nil {
+					t.Errorf("writer %d: %v", i, err)
+					return
+				}
+			}
+			done++
+		})
+	}
+	env.Run()
+	if done != 8 {
+		t.Fatalf("%d writers finished", done)
+	}
+	if store.Env().Stats.Commits != 40 {
+		t.Fatalf("commits = %d, want 40", store.Env().Stats.Commits)
+	}
+}
+
+func TestServiceOnlyHintsStripFunctionLevel(t *testing.T) {
+	svc := hatkv.ServiceOnlyHints()
+	full := hatkv.FunctionHints()
+	if len(svc.FnIDs) != len(full.FnIDs) {
+		t.Fatal("fn ids lost")
+	}
+	for name, set := range svc.Functions {
+		if !set.Empty() {
+			t.Errorf("function %s kept hints in service-only table", name)
+		}
+	}
+	// Service-level hints retained.
+	if svc.Service.Shared["concurrency"] != "128" {
+		t.Error("service-level concurrency hint lost")
+	}
+}
+
+func TestPreload(t *testing.T) {
+	_, cl := setup(4)
+	store, err := hatkv.NewStore(cl.Node(0), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Preload(100, func(i int) string { return fmt.Sprintf("pre-%03d", i) }, []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := store.Env().BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txn.Abort()
+	v, err := txn.Get([]byte("pre-050"))
+	if err != nil || string(v) != "seed" {
+		t.Fatalf("preloaded Get = %q, %v", v, err)
+	}
+	if store.Env().Entries() != 100 {
+		t.Fatalf("entries = %d", store.Env().Entries())
+	}
+}

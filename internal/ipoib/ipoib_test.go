@@ -1,0 +1,143 @@
+package ipoib
+
+import (
+	"bytes"
+	"testing"
+
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+func setup(seed int64) (*sim.Env, *simnet.Cluster) {
+	env := sim.NewEnv(seed)
+	return env, simnet.NewCluster(env, simnet.DefaultConfig())
+}
+
+func TestRoundTrip(t *testing.T) {
+	env, cl := setup(1)
+	env.Spawn("server", func(p *sim.Proc) {
+		ln := Listen(cl.Node(0), "svc", nil)
+		c := ln.Accept(p)
+		for i := 0; i < 3; i++ {
+			req := c.Recv(p)
+			c.Send(p, append([]byte("echo:"), req...))
+		}
+	})
+	var responses [][]byte
+	env.Spawn("client", func(p *sim.Proc) {
+		c := Dial(p, cl.Node(1), cl.Node(0), "svc", nil)
+		for i := 0; i < 3; i++ {
+			resp := c.Call(p, []byte{byte('a' + i)})
+			responses = append(responses, resp)
+		}
+	})
+	env.Run()
+	if len(responses) != 3 || !bytes.Equal(responses[2], []byte("echo:c")) {
+		t.Fatalf("responses = %q", responses)
+	}
+}
+
+func TestKernelPathIsExpensive(t *testing.T) {
+	// A small IPoIB round trip must cost at least the syscall + interrupt
+	// constants on both sides (the baseline's defining overhead).
+	env, cl := setup(2)
+	env.Spawn("server", func(p *sim.Proc) {
+		ln := Listen(cl.Node(0), "svc", nil)
+		c := ln.Accept(p)
+		c.Send(p, c.Recv(p))
+	})
+	var rtt sim.Time
+	env.Spawn("client", func(p *sim.Proc) {
+		c := Dial(p, cl.Node(1), cl.Node(0), "svc", nil)
+		start := p.Now()
+		c.Call(p, make([]byte, 64))
+		rtt = p.Now() - start
+	})
+	env.Run()
+	cm := DefaultCostModel()
+	floor := 2*(cm.SyscallNs+cm.InterruptNs) + 2*int64(simnet.DefaultConfig().PropDelayNs)
+	if int64(rtt) < floor {
+		t.Fatalf("IPoIB RTT %dns below kernel-path floor %dns", rtt, floor)
+	}
+}
+
+func TestLargeTransferBandwidthDegraded(t *testing.T) {
+	// 1MB over IPoIB at ~40Gbps effective must take >200µs one way —
+	// several times the raw 100Gbps link time.
+	env, cl := setup(3)
+	var recvAt sim.Time
+	env.Spawn("server", func(p *sim.Proc) {
+		ln := Listen(cl.Node(0), "svc", nil)
+		c := ln.Accept(p)
+		c.Recv(p)
+		recvAt = p.Now()
+	})
+	var sendStart sim.Time
+	env.Spawn("client", func(p *sim.Proc) {
+		c := Dial(p, cl.Node(1), cl.Node(0), "svc", nil)
+		sendStart = p.Now()
+		c.Send(p, make([]byte, 1<<20))
+	})
+	env.Run()
+	elapsed := int64(recvAt - sendStart)
+	if elapsed < 200_000 {
+		t.Fatalf("1MB over IPoIB in %dns; effective bandwidth too high for the baseline", elapsed)
+	}
+}
+
+func TestPayloadIntegrity(t *testing.T) {
+	env, cl := setup(4)
+	payload := make([]byte, 100_000)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var got []byte
+	env.Spawn("server", func(p *sim.Proc) {
+		ln := Listen(cl.Node(0), "svc", nil)
+		c := ln.Accept(p)
+		got = c.Recv(p)
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		c := Dial(p, cl.Node(1), cl.Node(0), "svc", nil)
+		c.Send(p, payload)
+	})
+	env.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted in flight")
+	}
+}
+
+func TestMultipleConnectionsIndependent(t *testing.T) {
+	env, cl := setup(5)
+	env.Spawn("server", func(p *sim.Proc) {
+		ln := Listen(cl.Node(0), "svc", nil)
+		for i := 0; i < 2; i++ {
+			conn := ln.Accept(p)
+			env.Spawn("handler", func(hp *sim.Proc) {
+				for {
+					conn.Send(hp, conn.Recv(hp))
+				}
+			})
+		}
+	})
+	done := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Spawn("client", func(p *sim.Proc) {
+			c := Dial(p, cl.Node(1+i), cl.Node(0), "svc", nil)
+			for j := 0; j < 4; j++ {
+				msg := []byte{byte(i), byte(j)}
+				resp := c.Call(p, msg)
+				if !bytes.Equal(resp, msg) {
+					t.Errorf("client %d: cross-connection mixup: %v", i, resp)
+					return
+				}
+			}
+			done++
+		})
+	}
+	env.Run()
+	if done != 2 {
+		t.Fatalf("%d clients finished", done)
+	}
+}

@@ -1,0 +1,485 @@
+// Package lmdb is an embedded key-value store modelled on LMDB (the
+// paper's HatKV storage backend, §4.4): a copy-on-write B+tree with MVCC
+// — any number of read transactions against immutable snapshots, one
+// write transaction at a time — plus LMDB's operational knobs that HatKV
+// tunes through hints: the max-readers limit and the commit sync mode.
+//
+// The store is a pure in-memory data structure: it charges no simulated
+// time itself. HatKV translates its operation counts and sync mode into
+// CPU/IO costs on the simulation's clock.
+package lmdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// order is the B+tree fan-out.
+const order = 32
+
+// Errors returned by the store.
+var (
+	ErrReadersFull   = errors.New("lmdb: max readers reached")
+	ErrWriterActive  = errors.New("lmdb: another write transaction is active")
+	ErrTxnDone       = errors.New("lmdb: transaction already finished")
+	ErrReadOnly      = errors.New("lmdb: write on read-only transaction")
+	ErrNotFound      = errors.New("lmdb: key not found")
+	ErrEnvClosed     = errors.New("lmdb: environment closed")
+	ErrInvalidOption = errors.New("lmdb: invalid option")
+)
+
+// SyncMode controls commit durability (LMDB's MDB_NOSYNC family).
+type SyncMode int
+
+// Sync modes, strongest first.
+const (
+	// SyncFull fsyncs data and meta on every commit.
+	SyncFull SyncMode = iota
+	// SyncMeta fsyncs the meta page only (MDB_NOMETASYNC inverse).
+	SyncMeta
+	// NoSync trusts the OS page cache (MDB_NOSYNC).
+	NoSync
+)
+
+// Options configures an environment.
+type Options struct {
+	// MaxReaders bounds concurrent read transactions (the knob HatKV
+	// sets from the concurrency hint).
+	MaxReaders int
+	// Sync is the commit durability mode.
+	Sync SyncMode
+}
+
+// Stats counts environment activity.
+type Stats struct {
+	Puts          int64
+	Gets          int64
+	Deletes       int64
+	Commits       int64
+	Aborts        int64
+	SyncedCommits int64
+	PagesCopied   int64 // COW node copies (a proxy for write amplification)
+	Entries       int64
+}
+
+// Env is a database environment.
+type Env struct {
+	opt     Options
+	root    *node
+	txnID   uint64
+	readers int
+	writer  bool
+	closed  bool
+	Stats   Stats
+}
+
+// Open creates an environment.
+func Open(opt Options) (*Env, error) {
+	if opt.MaxReaders <= 0 {
+		opt.MaxReaders = 126 // LMDB's default
+	}
+	if opt.Sync < SyncFull || opt.Sync > NoSync {
+		return nil, ErrInvalidOption
+	}
+	return &Env{opt: opt}, nil
+}
+
+// SetMaxReaders adjusts the reader limit (hint-driven retuning).
+func (e *Env) SetMaxReaders(n int) error {
+	if n <= 0 {
+		return ErrInvalidOption
+	}
+	e.opt.MaxReaders = n
+	return nil
+}
+
+// SetSync adjusts the commit sync mode (hint-driven retuning).
+func (e *Env) SetSync(m SyncMode) error {
+	if m < SyncFull || m > NoSync {
+		return ErrInvalidOption
+	}
+	e.opt.Sync = m
+	return nil
+}
+
+// Sync returns the current sync mode.
+func (e *Env) Sync() SyncMode { return e.opt.Sync }
+
+// MaxReaders returns the reader limit.
+func (e *Env) MaxReaders() int { return e.opt.MaxReaders }
+
+// Readers returns the live read-transaction count.
+func (e *Env) Readers() int { return e.readers }
+
+// Close shuts the environment.
+func (e *Env) Close() { e.closed = true }
+
+// node is a B+tree node. Leaves hold keys+values; internal nodes hold
+// separator keys and children. Nodes are immutable once part of a
+// committed root — writers copy on write.
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaf only
+	children []*node  // internal only
+}
+
+func (n *node) clone() *node {
+	c := &node{leaf: n.leaf}
+	c.keys = append([][]byte(nil), n.keys...)
+	if n.leaf {
+		c.vals = append([][]byte(nil), n.vals...)
+	} else {
+		c.children = append([]*node(nil), n.children...)
+	}
+	return c
+}
+
+// search returns the index of the first key >= k.
+func searchKeys(keys [][]byte, k []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Txn is a transaction: a snapshot root plus, for writers, COW state.
+type Txn struct {
+	env      *Env
+	root     *node
+	readOnly bool
+	done     bool
+	id       uint64
+	size     int64 // entry-count delta
+}
+
+// BeginRead opens a read transaction against the current snapshot.
+func (e *Env) BeginRead() (*Txn, error) {
+	if e.closed {
+		return nil, ErrEnvClosed
+	}
+	if e.readers >= e.opt.MaxReaders {
+		return nil, ErrReadersFull
+	}
+	e.readers++
+	return &Txn{env: e, root: e.root, readOnly: true, id: e.txnID}, nil
+}
+
+// BeginWrite opens the (single) write transaction.
+func (e *Env) BeginWrite() (*Txn, error) {
+	if e.closed {
+		return nil, ErrEnvClosed
+	}
+	if e.writer {
+		return nil, ErrWriterActive
+	}
+	e.writer = true
+	return &Txn{env: e, root: e.root, id: e.txnID + 1}, nil
+}
+
+// ID returns the transaction id (snapshot version).
+func (t *Txn) ID() uint64 { return t.id }
+
+// Get returns the value for key, or ErrNotFound.
+func (t *Txn) Get(key []byte) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	t.env.Stats.Gets++
+	n := t.root
+	for n != nil {
+		i := searchKeys(n.keys, key)
+		if n.leaf {
+			if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+				return n.vals[i], nil
+			}
+			return nil, ErrNotFound
+		}
+		if i < len(n.keys) && bytes.Compare(key, n.keys[i]) >= 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	return nil, ErrNotFound
+}
+
+// Put inserts or replaces key → value (the value is copied).
+func (t *Txn) Put(key, value []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.readOnly {
+		return ErrReadOnly
+	}
+	t.env.Stats.Puts++
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	if t.root == nil {
+		t.root = &node{leaf: true, keys: [][]byte{k}, vals: [][]byte{v}}
+		t.size++
+		return nil
+	}
+	root, split, sepKey, added := t.insert(t.root, k, v)
+	if added {
+		t.size++
+	}
+	if split != nil {
+		t.root = &node{
+			leaf:     false,
+			keys:     [][]byte{sepKey},
+			children: []*node{root, split},
+		}
+	} else {
+		t.root = root
+	}
+	return nil
+}
+
+// insert performs COW insertion, returning the (copied) node, an optional
+// split sibling with its separator key, and whether a new entry was
+// added.
+func (t *Txn) insert(n *node, key, val []byte) (*node, *node, []byte, bool) {
+	t.env.Stats.PagesCopied++
+	c := n.clone()
+	i := searchKeys(c.keys, key)
+	if c.leaf {
+		added := true
+		if i < len(c.keys) && bytes.Equal(c.keys[i], key) {
+			c.vals[i] = val
+			added = false
+		} else {
+			c.keys = append(c.keys, nil)
+			copy(c.keys[i+1:], c.keys[i:])
+			c.keys[i] = key
+			c.vals = append(c.vals, nil)
+			copy(c.vals[i+1:], c.vals[i:])
+			c.vals[i] = val
+		}
+		if len(c.keys) <= order {
+			return c, nil, nil, added
+		}
+		mid := len(c.keys) / 2
+		right := &node{
+			leaf: true,
+			keys: append([][]byte(nil), c.keys[mid:]...),
+			vals: append([][]byte(nil), c.vals[mid:]...),
+		}
+		c.keys = c.keys[:mid]
+		c.vals = c.vals[:mid]
+		return c, right, right.keys[0], added
+	}
+	if i < len(c.keys) && bytes.Compare(key, c.keys[i]) >= 0 {
+		i++
+	}
+	child, split, sepKey, added := t.insert(c.children[i], key, val)
+	c.children[i] = child
+	if split != nil {
+		c.keys = append(c.keys, nil)
+		copy(c.keys[i+1:], c.keys[i:])
+		c.keys[i] = sepKey
+		c.children = append(c.children, nil)
+		copy(c.children[i+2:], c.children[i+1:])
+		c.children[i+1] = split
+	}
+	if len(c.keys) <= order {
+		return c, nil, nil, added
+	}
+	mid := len(c.keys) / 2
+	sep := c.keys[mid]
+	right := &node{
+		leaf:     false,
+		keys:     append([][]byte(nil), c.keys[mid+1:]...),
+		children: append([]*node(nil), c.children[mid+1:]...),
+	}
+	c.keys = c.keys[:mid]
+	c.children = c.children[:mid+1]
+	return c, right, sep, added
+}
+
+// Delete removes key; it returns ErrNotFound if absent. (Rebalancing is
+// not performed — deleted slots are compacted lazily, which matches the
+// append-mostly YCSB usage.)
+func (t *Txn) Delete(key []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.readOnly {
+		return ErrReadOnly
+	}
+	t.env.Stats.Deletes++
+	root, found := t.remove(t.root, key)
+	if !found {
+		return ErrNotFound
+	}
+	t.root = root
+	t.size--
+	return nil
+}
+
+func (t *Txn) remove(n *node, key []byte) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	t.env.Stats.PagesCopied++
+	c := n.clone()
+	i := searchKeys(c.keys, key)
+	if c.leaf {
+		if i >= len(c.keys) || !bytes.Equal(c.keys[i], key) {
+			return n, false
+		}
+		c.keys = append(c.keys[:i], c.keys[i+1:]...)
+		c.vals = append(c.vals[:i], c.vals[i+1:]...)
+		return c, true
+	}
+	if i < len(c.keys) && bytes.Compare(key, c.keys[i]) >= 0 {
+		i++
+	}
+	child, found := t.remove(c.children[i], key)
+	if !found {
+		return n, false
+	}
+	c.children[i] = child
+	return c, true
+}
+
+// Commit publishes the write transaction's root (no-op for readers,
+// which just release their slot).
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	e := t.env
+	if t.readOnly {
+		e.readers--
+		return nil
+	}
+	e.writer = false
+	e.root = t.root
+	e.txnID = t.id
+	e.Stats.Commits++
+	e.Stats.Entries += t.size
+	if e.opt.Sync != NoSync {
+		e.Stats.SyncedCommits++
+	}
+	return nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.readOnly {
+		t.env.readers--
+		return
+	}
+	t.env.writer = false
+	t.env.Stats.Aborts++
+}
+
+// Entries returns the committed entry count.
+func (e *Env) Entries() int64 { return e.Stats.Entries }
+
+// ---------------------------------------------------------------------------
+// Cursor
+
+// Cursor iterates keys in order within a transaction's snapshot.
+type Cursor struct {
+	stack []cursorFrame
+	valid bool
+}
+
+type cursorFrame struct {
+	n   *node
+	idx int
+}
+
+// Seek positions the cursor at the first key >= key.
+func (t *Txn) Seek(key []byte) *Cursor {
+	c := &Cursor{}
+	n := t.root
+	for n != nil {
+		i := searchKeys(n.keys, key)
+		if n.leaf {
+			c.stack = append(c.stack, cursorFrame{n, i})
+			c.valid = i < len(n.keys)
+			if !c.valid {
+				c.advanceLeaf()
+			}
+			return c
+		}
+		if i < len(n.keys) && bytes.Compare(key, n.keys[i]) >= 0 {
+			i++
+		}
+		c.stack = append(c.stack, cursorFrame{n, i})
+		n = n.children[i]
+	}
+	return c
+}
+
+// Valid reports whether the cursor points at an entry.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Key returns the current key.
+func (c *Cursor) Key() []byte {
+	f := c.stack[len(c.stack)-1]
+	return f.n.keys[f.idx]
+}
+
+// Value returns the current value.
+func (c *Cursor) Value() []byte {
+	f := c.stack[len(c.stack)-1]
+	return f.n.vals[f.idx]
+}
+
+// Next advances to the following key.
+func (c *Cursor) Next() {
+	if !c.valid {
+		return
+	}
+	top := &c.stack[len(c.stack)-1]
+	top.idx++
+	if top.idx < len(top.n.keys) {
+		return
+	}
+	c.advanceLeaf()
+}
+
+// advanceLeaf pops exhausted frames and descends to the next leaf.
+func (c *Cursor) advanceLeaf() {
+	c.stack = c.stack[:len(c.stack)-1] // drop leaf frame
+	for len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		top.idx++
+		if top.idx < len(top.n.children) {
+			n := top.n.children[top.idx]
+			for !n.leaf {
+				c.stack = append(c.stack, cursorFrame{n, 0})
+				n = n.children[0]
+			}
+			c.stack = append(c.stack, cursorFrame{n, 0})
+			c.valid = len(n.keys) > 0
+			if !c.valid {
+				continue
+			}
+			return
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+	c.valid = false
+}
+
+// String describes the env for debugging.
+func (e *Env) String() string {
+	return fmt.Sprintf("lmdb.Env{txn=%d entries=%d readers=%d sync=%d}",
+		e.txnID, e.Stats.Entries, e.readers, e.opt.Sync)
+}

@@ -1,0 +1,412 @@
+package lmdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func open(t *testing.T) *Env {
+	t.Helper()
+	e, err := Open(Options{MaxReaders: 16, Sync: NoSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func put(t *testing.T, e *Env, k, v string) {
+	t.Helper()
+	w, err := e.BeginWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put([]byte(k), []byte(v)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	e := open(t)
+	put(t, e, "alpha", "1")
+	put(t, e, "beta", "2")
+	r, err := e.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Abort()
+	v, err := r.Get([]byte("alpha"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get(alpha) = %q, %v", v, err)
+	}
+	if _, err := r.Get([]byte("gamma")); err != ErrNotFound {
+		t.Fatalf("missing key error = %v", err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	e := open(t)
+	put(t, e, "k", "old")
+	put(t, e, "k", "new")
+	r, _ := e.BeginRead()
+	defer r.Abort()
+	if v, _ := r.Get([]byte("k")); string(v) != "new" {
+		t.Fatalf("Get = %q", v)
+	}
+	if e.Entries() != 1 {
+		t.Fatalf("entries = %d, want 1", e.Entries())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e := open(t)
+	put(t, e, "a", "1")
+	put(t, e, "b", "2")
+	w, _ := e.BeginWrite()
+	if err := w.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Delete([]byte("zzz")); err != ErrNotFound {
+		t.Fatalf("delete missing = %v", err)
+	}
+	w.Commit()
+	r, _ := e.BeginRead()
+	defer r.Abort()
+	if _, err := r.Get([]byte("a")); err != ErrNotFound {
+		t.Fatal("deleted key still present")
+	}
+	if v, _ := r.Get([]byte("b")); string(v) != "2" {
+		t.Fatal("sibling key lost")
+	}
+	if e.Entries() != 1 {
+		t.Fatalf("entries = %d", e.Entries())
+	}
+}
+
+func TestLargeTreeSplitsAndStaysSorted(t *testing.T) {
+	e := open(t)
+	w, _ := e.BeginWrite()
+	const N = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(N)
+	for _, i := range perm {
+		if err := w.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Commit()
+	r, _ := e.BeginRead()
+	defer r.Abort()
+	// Every key is readable.
+	for i := 0; i < N; i += 97 {
+		k := fmt.Sprintf("key-%06d", i)
+		v, err := r.Get([]byte(k))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%s) = %q, %v", k, v, err)
+		}
+	}
+	// Full scan is sorted and complete.
+	c := r.Seek(nil)
+	count := 0
+	var last []byte
+	for c.Valid() {
+		if last != nil && bytes.Compare(last, c.Key()) >= 0 {
+			t.Fatalf("scan out of order at %q after %q", c.Key(), last)
+		}
+		last = append(last[:0], c.Key()...)
+		count++
+		c.Next()
+	}
+	if count != N {
+		t.Fatalf("scan found %d keys, want %d", count, N)
+	}
+}
+
+func TestMVCCSnapshotIsolation(t *testing.T) {
+	e := open(t)
+	put(t, e, "x", "v1")
+	r1, _ := e.BeginRead()
+	put(t, e, "x", "v2")
+	put(t, e, "y", "only-after-r1")
+	r2, _ := e.BeginRead()
+
+	if v, _ := r1.Get([]byte("x")); string(v) != "v1" {
+		t.Fatalf("r1 sees %q, want v1 (snapshot violated)", v)
+	}
+	if _, err := r1.Get([]byte("y")); err != ErrNotFound {
+		t.Fatal("r1 sees future key")
+	}
+	if v, _ := r2.Get([]byte("x")); string(v) != "v2" {
+		t.Fatalf("r2 sees %q, want v2", v)
+	}
+	r1.Abort()
+	r2.Abort()
+}
+
+func TestSingleWriterEnforced(t *testing.T) {
+	e := open(t)
+	w1, err := e.BeginWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BeginWrite(); err != ErrWriterActive {
+		t.Fatalf("second writer error = %v", err)
+	}
+	w1.Abort()
+	if _, err := e.BeginWrite(); err != nil {
+		t.Fatalf("writer after abort: %v", err)
+	}
+}
+
+func TestMaxReadersEnforced(t *testing.T) {
+	e, _ := Open(Options{MaxReaders: 2, Sync: NoSync})
+	r1, err := e.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BeginRead(); err != ErrReadersFull {
+		t.Fatalf("third reader error = %v", err)
+	}
+	r1.Abort()
+	if _, err := e.BeginRead(); err != nil {
+		t.Fatalf("reader after release: %v", err)
+	}
+	r2.Abort()
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	e := open(t)
+	put(t, e, "stable", "yes")
+	w, _ := e.BeginWrite()
+	w.Put([]byte("temp"), []byte("gone"))
+	w.Abort()
+	r, _ := e.BeginRead()
+	defer r.Abort()
+	if _, err := r.Get([]byte("temp")); err != ErrNotFound {
+		t.Fatal("aborted write visible")
+	}
+	if _, err := r.Get([]byte("stable")); err != nil {
+		t.Fatal("stable key lost by abort")
+	}
+}
+
+func TestTxnDoneErrors(t *testing.T) {
+	e := open(t)
+	w, _ := e.BeginWrite()
+	w.Commit()
+	if err := w.Put([]byte("k"), []byte("v")); err != ErrTxnDone {
+		t.Fatalf("put after commit = %v", err)
+	}
+	if err := w.Commit(); err != ErrTxnDone {
+		t.Fatalf("double commit = %v", err)
+	}
+	r, _ := e.BeginRead()
+	r.Abort()
+	if _, err := r.Get([]byte("k")); err != ErrTxnDone {
+		t.Fatalf("get after abort = %v", err)
+	}
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	e := open(t)
+	r, _ := e.BeginRead()
+	defer r.Abort()
+	if err := r.Put([]byte("k"), []byte("v")); err != ErrReadOnly {
+		t.Fatalf("put on reader = %v", err)
+	}
+	if err := r.Delete([]byte("k")); err != ErrReadOnly {
+		t.Fatalf("delete on reader = %v", err)
+	}
+}
+
+func TestSeekPositioning(t *testing.T) {
+	e := open(t)
+	w, _ := e.BeginWrite()
+	for _, k := range []string{"b", "d", "f", "h"} {
+		w.Put([]byte(k), []byte("v"+k))
+	}
+	w.Commit()
+	r, _ := e.BeginRead()
+	defer r.Abort()
+	cases := []struct{ seek, want string }{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"h", "h"},
+	}
+	for _, c := range cases {
+		cur := r.Seek([]byte(c.seek))
+		if !cur.Valid() || string(cur.Key()) != c.want {
+			t.Errorf("Seek(%q) at %q valid=%v, want %q", c.seek, cur.Key(), cur.Valid(), c.want)
+		}
+	}
+	if cur := r.Seek([]byte("z")); cur.Valid() {
+		t.Errorf("Seek past end valid at %q", cur.Key())
+	}
+}
+
+func TestCursorRangeScan(t *testing.T) {
+	e := open(t)
+	w, _ := e.BeginWrite()
+	for i := 0; i < 100; i++ {
+		w.Put([]byte(fmt.Sprintf("user%03d", i)), []byte{byte(i)})
+	}
+	w.Commit()
+	r, _ := e.BeginRead()
+	defer r.Abort()
+	cur := r.Seek([]byte("user050"))
+	var got []string
+	for i := 0; i < 10 && cur.Valid(); i++ {
+		got = append(got, string(cur.Key()))
+		cur.Next()
+	}
+	if len(got) != 10 || got[0] != "user050" || got[9] != "user059" {
+		t.Fatalf("range scan = %v", got)
+	}
+}
+
+func TestSyncModeAccounting(t *testing.T) {
+	e, _ := Open(Options{MaxReaders: 4, Sync: SyncFull})
+	put2 := func() {
+		w, _ := e.BeginWrite()
+		w.Put([]byte("k"), []byte("v"))
+		w.Commit()
+	}
+	put2()
+	if e.Stats.SyncedCommits != 1 {
+		t.Fatalf("synced commits = %d", e.Stats.SyncedCommits)
+	}
+	e.SetSync(NoSync)
+	put2()
+	if e.Stats.SyncedCommits != 1 {
+		t.Fatalf("NoSync commit counted as synced")
+	}
+	if e.Stats.Commits != 2 {
+		t.Fatalf("commits = %d", e.Stats.Commits)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := Open(Options{Sync: SyncMode(9)}); err != ErrInvalidOption {
+		t.Fatal("bad sync mode accepted")
+	}
+	e := open(t)
+	if err := e.SetMaxReaders(0); err != ErrInvalidOption {
+		t.Fatal("zero max readers accepted")
+	}
+	if err := e.SetSync(SyncMode(-1)); err != ErrInvalidOption {
+		t.Fatal("bad sync accepted")
+	}
+}
+
+func TestEnvClosed(t *testing.T) {
+	e := open(t)
+	e.Close()
+	if _, err := e.BeginRead(); err != ErrEnvClosed {
+		t.Fatal("read on closed env")
+	}
+	if _, err := e.BeginWrite(); err != ErrEnvClosed {
+		t.Fatal("write on closed env")
+	}
+}
+
+// Property: the store agrees with a map reference model under random
+// put/delete/get sequences, and scans are always sorted.
+func TestPropertyAgainstMapModel(t *testing.T) {
+	f := func(ops []uint32) bool {
+		e, _ := Open(Options{MaxReaders: 4, Sync: NoSync})
+		model := map[string]string{}
+		w, _ := e.BeginWrite()
+		for _, op := range ops {
+			key := fmt.Sprintf("k%03d", op%199)
+			switch op % 3 {
+			case 0, 1: // put
+				val := fmt.Sprintf("v%d", op)
+				if w.Put([]byte(key), []byte(val)) != nil {
+					return false
+				}
+				model[key] = val
+			case 2: // delete
+				err := w.Delete([]byte(key))
+				_, existed := model[key]
+				if existed != (err == nil) {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		if w.Commit() != nil {
+			return false
+		}
+		r, _ := e.BeginRead()
+		defer r.Abort()
+		for k, v := range model {
+			got, err := r.Get([]byte(k))
+			if err != nil || string(got) != v {
+				return false
+			}
+		}
+		// Scan must equal the sorted model keys.
+		var want []string
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		cur := r.Seek(nil)
+		var got []string
+		for cur.Valid() {
+			got = append(got, string(cur.Key()))
+			cur.Next()
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot reads never observe writes from later transactions.
+func TestPropertySnapshotStability(t *testing.T) {
+	f := func(n uint8) bool {
+		e, _ := Open(Options{MaxReaders: 8, Sync: NoSync})
+		w, _ := e.BeginWrite()
+		for i := 0; i < int(n%50)+1; i++ {
+			w.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v0"))
+		}
+		w.Commit()
+		r, _ := e.BeginRead()
+		defer r.Abort()
+		before := e.Stats.Gets
+		w2, _ := e.BeginWrite()
+		for i := 0; i < int(n%50)+1; i++ {
+			w2.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v1"))
+		}
+		w2.Commit()
+		_ = before
+		for i := 0; i < int(n%50)+1; i++ {
+			v, err := r.Get([]byte(fmt.Sprintf("k%d", i)))
+			if err != nil || string(v) != "v0" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import "math"
+
+// CPU models a node's processor complex as a processor-sharing (PS)
+// server with a fixed number of cores. Compute tasks carry a work amount
+// expressed as nanoseconds of dedicated-core time; while R tasks are
+// runnable on C cores every task progresses at rate min(1, C/R). Busy-poll
+// loops register as persistent load (AddLoad/RemoveLoad) — they consume
+// core share without ever completing, which is exactly how spin-polling
+// degrades co-located work under over-subscription.
+//
+// The PS abstraction reproduces the first-order behaviour the paper's
+// Figure 5 depends on: with clients ≤ cores (under-subscription) busy
+// polling is free, and beyond that every added poller stretches everyone's
+// service time linearly.
+type CPU struct {
+	env   *Env
+	cores int
+	load  int // persistent runnable load (busy pollers)
+
+	tasks      map[*cpuTask]struct{}
+	lastUpdate Time
+	rate       float64 // current per-task progress rate in (0,1]
+	completion *event  // pending earliest-completion callback
+}
+
+type cpuTask struct {
+	remaining float64 // ns of dedicated-core work left
+	proc      *Proc
+}
+
+// NewCPU returns a PS CPU with the given core count.
+func NewCPU(env *Env, cores int) *CPU {
+	if cores < 1 {
+		panic("sim: CPU needs at least one core")
+	}
+	return &CPU{
+		env:   env,
+		cores: cores,
+		tasks: make(map[*cpuTask]struct{}),
+		rate:  1,
+	}
+}
+
+// Cores returns the core count.
+func (c *CPU) Cores() int { return c.cores }
+
+// Runnable returns the current number of runnable entities
+// (active compute tasks plus persistent load).
+func (c *CPU) Runnable() int { return len(c.tasks) + c.load }
+
+// LoadFactor returns runnable/cores, floored at 1. It is the slowdown
+// factor experienced by any single runnable entity.
+func (c *CPU) LoadFactor() float64 {
+	r := c.Runnable()
+	if r <= c.cores {
+		return 1
+	}
+	return float64(r) / float64(c.cores)
+}
+
+// AddLoad registers n persistent runnable entities (e.g. busy pollers).
+func (c *CPU) AddLoad(n int) {
+	c.advance()
+	c.load += n
+	c.reschedule()
+}
+
+// RemoveLoad deregisters n persistent runnable entities.
+func (c *CPU) RemoveLoad(n int) {
+	c.advance()
+	c.load -= n
+	if c.load < 0 {
+		panic("sim: CPU load underflow")
+	}
+	c.reschedule()
+}
+
+// Compute blocks the process for work nanoseconds of dedicated-core time,
+// stretched by processor sharing while the CPU is over-committed.
+func (c *CPU) Compute(p *Proc, work Duration) {
+	if work <= 0 {
+		return
+	}
+	c.advance()
+	t := &cpuTask{remaining: float64(work), proc: p}
+	c.tasks[t] = struct{}{}
+	c.reschedule()
+	p.park()
+}
+
+// advance applies progress to all running tasks for the time elapsed since
+// the last state change and completes any finished tasks.
+func (c *CPU) advance() {
+	now := c.env.now
+	elapsed := float64(now - c.lastUpdate)
+	c.lastUpdate = now
+	if elapsed <= 0 || len(c.tasks) == 0 {
+		return
+	}
+	progress := elapsed * c.rate
+	for t := range c.tasks {
+		t.remaining -= progress
+		if t.remaining <= 1e-6 {
+			delete(c.tasks, t)
+			c.env.schedule(now, t.proc, nil)
+		}
+	}
+}
+
+// reschedule recomputes the PS rate and re-arms the earliest-completion
+// callback.
+func (c *CPU) reschedule() {
+	r := c.Runnable()
+	if r <= c.cores {
+		c.rate = 1
+	} else {
+		c.rate = float64(c.cores) / float64(r)
+	}
+	c.env.cancel(c.completion)
+	c.completion = nil
+	if len(c.tasks) == 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for t := range c.tasks {
+		if t.remaining < minRem {
+			minRem = t.remaining
+		}
+	}
+	eta := Time(math.Ceil(minRem / c.rate))
+	if eta < 1 {
+		eta = 1
+	}
+	c.completion = c.env.schedule(c.env.now+eta, nil, func() {
+		c.completion = nil
+		c.advance()
+		c.reschedule()
+	})
+}

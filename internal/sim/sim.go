@@ -1,0 +1,394 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel in the style of SimPy: simulation processes are goroutines that
+// execute strictly one at a time under a cooperative scheduler driven by a
+// virtual clock. All blocking operations (Sleep, Wait, resource
+// acquisition) park the calling process and hand control back to the
+// scheduler, which advances virtual time to the next pending event.
+//
+// Determinism: events are ordered by (time, sequence number), processes
+// never run concurrently, and all randomness flows through the
+// environment's seeded RNG — so a given seed always produces an identical
+// event order and identical virtual-time results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// Time is virtual time in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = time.Duration
+
+// event is a scheduled wakeup for a parked process or a deferred callback.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc  // non-nil: resume this process
+	fn   func() // non-nil: run this callback inside the scheduler
+	idx  int    // heap index
+	dead bool   // cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock plus the scheduler
+// state. An Env must be driven from a single OS goroutine via Run or
+// RunUntil.
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	// resume/yield handshake with the currently running process.
+	sched   chan struct{} // signals the scheduler that the process parked
+	current *Proc
+
+	nprocs  int // live (not yet finished) processes
+	stopped bool
+	done    chan struct{} // closed by Shutdown to release parked goroutines
+}
+
+// NewEnv returns a fresh environment whose RNG is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		sched: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic RNG. It must only be used
+// from simulation processes (never concurrently).
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Proc is a simulation process. A Proc's body runs on its own goroutine
+// but is mutually exclusive with every other process in the Env.
+type Proc struct {
+	env    *Env
+	resume chan struct{}
+	name   string
+	done   bool
+	wake   *event // pending timer if parked in Sleep; nil otherwise
+}
+
+// Env returns the environment this process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the debug name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+func (e *Env) schedule(at Time, proc *Proc, fn func()) *event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %d < %d", at, e.now))
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, proc: proc, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+func (e *Env) cancel(ev *event) {
+	if ev != nil && !ev.dead {
+		ev.dead = true
+	}
+}
+
+// Spawn starts fn as a new simulation process. It may be called from
+// outside the simulation (before Run) or from inside another process.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, resume: make(chan struct{}), name: name}
+	e.nprocs++
+	// The process first runs when the scheduler reaches its start event.
+	e.schedule(e.now, p, nil)
+	go func() {
+		select {
+		case <-p.resume: // wait for first dispatch
+		case <-e.done:
+			return
+		}
+		fn(p)
+		p.done = true
+		e.nprocs--
+		e.sched <- struct{}{} // return control to scheduler
+	}()
+	return p
+}
+
+// At schedules fn to run inside the scheduler loop at absolute time at.
+// fn must not block; it is intended for timer-style callbacks.
+func (e *Env) At(at Time, fn func()) { e.schedule(at, nil, fn) }
+
+// After schedules fn to run d from now.
+func (e *Env) After(d Duration, fn func()) { e.At(e.now+Time(d), fn) }
+
+// park hands control from the running process back to the scheduler and
+// blocks until the scheduler resumes this process. If the environment is
+// shut down while parked, the goroutine exits (running its defers) so
+// finished simulations release their memory.
+func (p *Proc) park() {
+	e := p.env
+	e.sched <- struct{}{}
+	select {
+	case <-p.resume:
+	case <-e.done:
+		runtime.Goexit()
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	p.wake = e.schedule(e.now+Time(d), p, nil)
+	p.park()
+	p.wake = nil
+}
+
+// Yield reschedules the process at the current time behind already-queued
+// events, letting same-timestamp work interleave deterministically.
+func (p *Proc) Yield() {
+	e := p.env
+	e.schedule(e.now, p, nil)
+	p.park()
+}
+
+// dispatch resumes process pr and waits until it parks or finishes.
+func (e *Env) dispatch(pr *Proc) {
+	e.current = pr
+	pr.resume <- struct{}{}
+	<-e.sched
+	e.current = nil
+}
+
+// Run executes events until the event queue is exhausted or the
+// environment is stopped. It returns the final virtual time.
+func (e *Env) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= limit. It returns the
+// virtual time of the last executed event (or limit if the queue emptied
+// beyond it).
+func (e *Env) RunUntil(limit Time) Time {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at > limit {
+			heap.Push(&e.events, ev)
+			e.now = limit
+			return e.now
+		}
+		e.now = ev.at
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.proc != nil && !ev.proc.done:
+			e.dispatch(ev.proc)
+		}
+	}
+	return e.now
+}
+
+// Stop halts the scheduler after the current event completes.
+func (e *Env) Stop() { e.stopped = true }
+
+// Shutdown releases every goroutine still parked in the environment so
+// the simulation's memory can be reclaimed. Call it after the final Run;
+// the environment must not be used afterwards.
+func (e *Env) Shutdown() {
+	select {
+	case <-e.done:
+	default:
+		close(e.done)
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (e *Env) Stopped() bool { return e.stopped }
+
+// ---------------------------------------------------------------------------
+// Signals: single-wakeup condition variables for process synchronization.
+
+// Signal is a deterministic FIFO wait queue. Processes call Wait; other
+// processes (or scheduler callbacks) call Fire to wake exactly one waiter,
+// or Broadcast to wake all current waiters.
+type Signal struct {
+	env     *Env
+	waiters []*Proc
+	pending int // fires delivered with no waiter present
+}
+
+// NewSignal returns a Signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait parks the process until a Fire is delivered to it. If a Fire
+// arrived earlier with no waiter, Wait consumes it and returns without
+// blocking (semaphore semantics), after a deterministic yield.
+func (s *Signal) Wait(p *Proc) {
+	if s.pending > 0 {
+		s.pending--
+		p.Yield()
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// TryConsume consumes a pending fire without blocking. It reports whether
+// one was available.
+func (s *Signal) TryConsume() bool {
+	if s.pending > 0 {
+		s.pending--
+		return true
+	}
+	return false
+}
+
+// Fire wakes the oldest waiter, or records a pending fire if none waits.
+// It may be called from a process or from a scheduler callback.
+func (s *Signal) Fire() {
+	if len(s.waiters) == 0 {
+		s.pending++
+		return
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.env.schedule(s.env.now, w, nil)
+}
+
+// Broadcast wakes every currently-waiting process (it does not add
+// pending fires).
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		s.env.schedule(s.env.now, w, nil)
+	}
+}
+
+// Waiting returns the number of parked waiters.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// ---------------------------------------------------------------------------
+// Queue: an unbounded deterministic FIFO channel between processes.
+
+// Queue is a FIFO of arbitrary items with blocking Pop.
+type Queue[T any] struct {
+	items []T
+	sig   *Signal
+}
+
+// NewQueue returns an empty queue bound to env.
+func NewQueue[T any](env *Env) *Queue[T] {
+	return &Queue[T]{sig: NewSignal(env)}
+}
+
+// Push appends an item and wakes one waiting consumer.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.sig.Fire()
+}
+
+// Pop removes and returns the oldest item, blocking the process while the
+// queue is empty.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.sig.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes the oldest item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// ---------------------------------------------------------------------------
+// Mutex: a FIFO mutual-exclusion lock for simulation processes.
+
+// Mutex serializes processes around a critical section (e.g. a
+// single-writer store). Waiters wake FIFO.
+type Mutex struct {
+	locked bool
+	sig    *Signal
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(env *Env) *Mutex { return &Mutex{sig: NewSignal(env)} }
+
+// Lock blocks p until the mutex is acquired.
+func (m *Mutex) Lock(p *Proc) {
+	for m.locked {
+		m.sig.Wait(p)
+	}
+	m.locked = true
+}
+
+// Unlock releases the mutex and wakes one waiter.
+func (m *Mutex) Unlock() {
+	if !m.locked {
+		panic("sim: unlock of unlocked mutex")
+	}
+	m.locked = false
+	m.sig.Fire()
+}
+
+// TryLock acquires the mutex if free.
+func (m *Mutex) TryLock() bool {
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	return true
+}

@@ -1,0 +1,285 @@
+// Package simnet models the cluster fabric the paper evaluated on: a set
+// of nodes, each with a processor-sharing CPU and a NIC attached to a
+// full-bisection switch, plus an out-of-band (ethernet/TCP-like) control
+// channel used for connection establishment and handshakes.
+//
+// The fabric is intentionally message-granular: a transfer occupies the
+// sender's TX engine for bytes/bandwidth, propagates for a fixed delay,
+// and occupies the receiver's RX engine for bytes/bandwidth. Contention on
+// either side queues FIFO, which is what makes a many-clients-one-server
+// incast saturate at link rate, exactly as on the real cluster.
+package simnet
+
+import (
+	"fmt"
+
+	"hatrpc/internal/sim"
+)
+
+// Config describes the simulated cluster hardware. The defaults mirror
+// the paper's testbed (§5.1): 10 nodes, 28-core Skylake, ConnectX-5
+// EDR 100 Gbps.
+type Config struct {
+	Nodes       int
+	Cores       int     // cores per node
+	Sockets     int     // NUMA sockets per node
+	LinkGbps    float64 // NIC line rate
+	PropDelayNs int64   // one-way switch propagation
+	NUMAPenalty float64 // multiplier on CPU work for NUMA-remote tasks
+}
+
+// DefaultConfig returns the paper-testbed configuration.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:       10,
+		Cores:       28,
+		Sockets:     2,
+		LinkGbps:    100,
+		PropDelayNs: 600,
+		NUMAPenalty: 1.25,
+	}
+}
+
+// Cluster is a simulated cluster.
+type Cluster struct {
+	env   *sim.Env
+	cfg   Config
+	nodes []*Node
+}
+
+// NewCluster builds the nodes described by cfg inside env.
+func NewCluster(env *sim.Env, cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic("simnet: need at least one node")
+	}
+	if cfg.Sockets < 1 {
+		cfg.Sockets = 1
+	}
+	c := &Cluster{env: env, cfg: cfg}
+	bytesPerNs := cfg.LinkGbps / 8.0 // Gbps → bytes per ns
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			id:        i,
+			cluster:   c,
+			CPU:       sim.NewCPU(env, cfg.Cores),
+			TX:        NewBandwidthGate(env, bytesPerNs),
+			RX:        NewBandwidthGate(env, bytesPerNs),
+			listeners: make(map[string]*sim.Queue[*Endpoint]),
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c
+}
+
+// Env returns the simulation environment.
+func (c *Cluster) Env() *sim.Env { return c.env }
+
+// Config returns the cluster hardware description.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// PropDelay returns the one-way fabric propagation delay.
+func (c *Cluster) PropDelay() sim.Duration {
+	return sim.Duration(c.cfg.PropDelayNs)
+}
+
+// Node is one simulated machine.
+type Node struct {
+	id      int
+	cluster *Cluster
+	CPU     *sim.CPU
+	TX      *BandwidthGate // NIC transmit serialization
+	RX      *BandwidthGate // NIC receive serialization
+
+	listeners map[string]*sim.Queue[*Endpoint]
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.id }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// NUMAWork scales a CPU work amount for NUMA placement: bound tasks run
+// at 1×, unbound tasks on a multi-socket node pay the remote-socket
+// penalty.
+func (n *Node) NUMAWork(work sim.Duration, bound bool) sim.Duration {
+	if bound || n.cluster.cfg.Sockets <= 1 {
+		return work
+	}
+	return sim.Duration(float64(work) * n.cluster.cfg.NUMAPenalty)
+}
+
+// LocalCores returns the cores of one NUMA socket (the NIC-local one).
+func (n *Node) LocalCores() int {
+	return n.cluster.cfg.Cores / n.cluster.cfg.Sockets
+}
+
+// ---------------------------------------------------------------------------
+// BandwidthGate: FIFO serialization resource.
+
+// BandwidthGate serializes transfers at a fixed byte rate. Acquisitions
+// queue FIFO in arrival order; each occupies the gate for size/rate.
+type BandwidthGate struct {
+	env        *sim.Env
+	bytesPerNs float64
+	nextFree   sim.Time
+	busyNs     int64 // accumulated occupancy, for utilization accounting
+}
+
+// NewBandwidthGate returns a gate with the given rate in bytes/ns.
+func NewBandwidthGate(env *sim.Env, bytesPerNs float64) *BandwidthGate {
+	if bytesPerNs <= 0 {
+		panic("simnet: gate rate must be positive")
+	}
+	return &BandwidthGate{env: env, bytesPerNs: bytesPerNs}
+}
+
+// SerializationTime returns the unloaded time to push size bytes through.
+func (g *BandwidthGate) SerializationTime(size int) sim.Duration {
+	return sim.Duration(float64(size) / g.bytesPerNs)
+}
+
+// Transmit blocks p until size bytes have been serialized through the
+// gate, including any FIFO queueing behind earlier transmissions.
+func (g *BandwidthGate) Transmit(p *sim.Proc, size int) {
+	if size <= 0 {
+		return
+	}
+	now := p.Now()
+	start := now
+	if g.nextFree > start {
+		start = g.nextFree
+	}
+	ser := g.SerializationTime(size)
+	g.nextFree = start + sim.Time(ser)
+	g.busyNs += int64(ser)
+	p.Sleep(sim.Duration(g.nextFree - now))
+}
+
+// Reserve accounts a transmission without blocking the caller; it returns
+// the virtual time at which the transfer completes. Used by NIC engines
+// that pipeline DMA with transmit.
+func (g *BandwidthGate) Reserve(now sim.Time, size int) sim.Time {
+	if size <= 0 {
+		return now
+	}
+	start := now
+	if g.nextFree > start {
+		start = g.nextFree
+	}
+	ser := g.SerializationTime(size)
+	g.nextFree = start + sim.Time(ser)
+	g.busyNs += int64(ser)
+	return g.nextFree
+}
+
+// BusyNs returns total accumulated occupancy in nanoseconds.
+func (g *BandwidthGate) BusyNs() int64 { return g.busyNs }
+
+// ---------------------------------------------------------------------------
+// Out-of-band control channel (ethernet/TCP analog).
+
+const (
+	oobBaseDelayNs  = 15000 // ~15µs per OOB message, kernel TCP path
+	oobBytesPerNs   = 1.25  // 10 Gbps management network
+	oobConnectDelay = 90000 // ~3-way handshake + accept wakeup
+)
+
+// Endpoint is one side of an established out-of-band connection. It
+// carries arbitrary control payloads with TCP-like cost; it is used for
+// RDMA connection handshakes (QP/buffer exchange) and by the IPoIB
+// transport.
+type Endpoint struct {
+	local, remote *Node
+	in            *sim.Queue[oobMsg]
+	peer          *Endpoint
+	closed        bool
+}
+
+type oobMsg struct {
+	payload any
+	size    int
+}
+
+// Listen registers (or returns) the accept queue for a named port on the
+// node. Accept blocks a server process until a client connects.
+func (n *Node) Listen(port string) *Listener {
+	q, ok := n.listeners[port]
+	if !ok {
+		q = sim.NewQueue[*Endpoint](n.cluster.env)
+		n.listeners[port] = q
+	}
+	return &Listener{node: n, port: port, q: q}
+}
+
+// Listener accepts OOB connections on a node port.
+type Listener struct {
+	node *Node
+	port string
+	q    *sim.Queue[*Endpoint]
+}
+
+// Accept blocks until a client connects, returning the server-side
+// endpoint.
+func (l *Listener) Accept(p *sim.Proc) *Endpoint { return l.q.Pop(p) }
+
+// Connect establishes an OOB connection from node n to the named port on
+// the target node, blocking p for the handshake latency. It panics if the
+// port has no listener registered (a configuration error in tests).
+func (n *Node) Connect(p *sim.Proc, target *Node, port string) *Endpoint {
+	q, ok := target.listeners[port]
+	if !ok {
+		panic(fmt.Sprintf("simnet: connect to node %d port %q: no listener", target.id, port))
+	}
+	client := &Endpoint{local: n, remote: target, in: sim.NewQueue[oobMsg](n.cluster.env)}
+	server := &Endpoint{local: target, remote: n, in: sim.NewQueue[oobMsg](n.cluster.env)}
+	client.peer, server.peer = server, client
+	p.Sleep(oobConnectDelay)
+	q.Push(server)
+	return client
+}
+
+// LocalNode returns the node this endpoint lives on.
+func (ep *Endpoint) LocalNode() *Node { return ep.local }
+
+// RemoteNode returns the node on the other side.
+func (ep *Endpoint) RemoteNode() *Node { return ep.remote }
+
+// Send ships payload (accounted as size bytes) to the peer, blocking the
+// sender for the local kernel-path cost; delivery is asynchronous after
+// the wire delay.
+func (ep *Endpoint) Send(p *sim.Proc, payload any, size int) {
+	if ep.closed {
+		panic("simnet: send on closed endpoint")
+	}
+	env := ep.local.cluster.env
+	wire := sim.Duration(oobBaseDelayNs + float64(size)/oobBytesPerNs)
+	peer := ep.peer
+	msg := oobMsg{payload: payload, size: size}
+	p.Sleep(2000) // sender syscall + copy
+	env.After(wire, func() { peer.in.Push(msg) })
+}
+
+// Recv blocks until a payload arrives and returns it.
+func (ep *Endpoint) Recv(p *sim.Proc) any {
+	m := ep.in.Pop(p)
+	return m.payload
+}
+
+// TryRecv returns a payload if one is queued.
+func (ep *Endpoint) TryRecv() (any, bool) {
+	m, ok := ep.in.TryPop()
+	if !ok {
+		return nil, false
+	}
+	return m.payload, true
+}
+
+// Close marks the endpoint closed (sends panic afterwards).
+func (ep *Endpoint) Close() { ep.closed = true }

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("N=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if p := s.Percentile(50); p != 3 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := s.Percentile(100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := s.Percentile(25); p != 2 {
+		t.Fatalf("p25 = %v", p)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	s.Add(4)
+	if d := s.Stddev(); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("stddev = %v", d)
+	}
+	var one Sample
+	one.Add(7)
+	if one.Stddev() != 0 {
+		t.Fatal("single sample stddev should be 0")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := s.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAfterPercentileResorts(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1)
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 after re-add = %v", p)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		4: "4B", 512: "512B", 4096: "4KB", 131072: "128KB", 1 << 20: "1MB", 5000: "5000B",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFormatNs(t *testing.T) {
+	cases := map[float64]string{
+		500:     "500ns",
+		1500:    "1.50µs",
+		2500000: "2.50ms",
+		3e9:     "3.00s",
+	}
+	for ns, want := range cases {
+		if got := FormatNs(ns); got != want {
+			t.Errorf("FormatNs(%v) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("proto", "size", "lat")
+	tb.Row("Eager", "512B", 3.14159)
+	tb.Row("Direct-WriteIMM", "128KB", 42)
+	out := tb.String()
+	if !strings.Contains(out, "Direct-WriteIMM") || !strings.Contains(out, "3.14") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	// Separator under headers.
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Fatalf("no separator: %q", lines[1])
+	}
+}

@@ -1,0 +1,524 @@
+package thrift
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Compact protocol constants.
+const (
+	compactProtocolID  byte = 0x82
+	compactVersion     byte = 1
+	compactVersionMask byte = 0x1f
+	compactTypeShift        = 5
+)
+
+// compact wire type codes (distinct from TType).
+const (
+	ctStop      byte = 0x00
+	ctBoolTrue  byte = 0x01
+	ctBoolFalse byte = 0x02
+	ctByte      byte = 0x03
+	ctI16       byte = 0x04
+	ctI32       byte = 0x05
+	ctI64       byte = 0x06
+	ctDouble    byte = 0x07
+	ctBinary    byte = 0x08
+	ctList      byte = 0x09
+	ctSet       byte = 0x0A
+	ctMap       byte = 0x0B
+	ctStruct    byte = 0x0C
+)
+
+func toCompactType(t TType) byte {
+	switch t {
+	case STOP:
+		return ctStop
+	case BOOL:
+		return ctBoolTrue
+	case BYTE:
+		return ctByte
+	case I16:
+		return ctI16
+	case I32:
+		return ctI32
+	case I64:
+		return ctI64
+	case DOUBLE:
+		return ctDouble
+	case STRING:
+		return ctBinary
+	case LIST:
+		return ctList
+	case SET:
+		return ctSet
+	case MAP:
+		return ctMap
+	case STRUCT:
+		return ctStruct
+	}
+	panic(fmt.Sprintf("thrift: no compact encoding for %v", t))
+}
+
+func fromCompactType(c byte) (TType, error) {
+	switch c {
+	case ctStop:
+		return STOP, nil
+	case ctBoolTrue, ctBoolFalse:
+		return BOOL, nil
+	case ctByte:
+		return BYTE, nil
+	case ctI16:
+		return I16, nil
+	case ctI32:
+		return I32, nil
+	case ctI64:
+		return I64, nil
+	case ctDouble:
+		return DOUBLE, nil
+	case ctBinary:
+		return STRING, nil
+	case ctList:
+		return LIST, nil
+	case ctSet:
+		return SET, nil
+	case ctMap:
+		return MAP, nil
+	case ctStruct:
+		return STRUCT, nil
+	}
+	return 0, fmt.Errorf("thrift: unknown compact type 0x%02x", c)
+}
+
+// TCompactProtocol is the Thrift compact protocol: varint/zigzag integers
+// and delta-encoded field ids. It produces substantially smaller payloads
+// than the binary protocol for structured data.
+type TCompactProtocol struct {
+	trans TTransport
+
+	lastFieldID int16
+	fieldStack  []int16
+
+	pendingBoolField bool
+	pendingBoolID    int16
+
+	pendingBoolValue bool // read side: bool value decoded from field header
+	havePendingBool  bool
+}
+
+var _ TProtocol = (*TCompactProtocol)(nil)
+
+// NewTCompactProtocol returns a compact protocol over trans.
+func NewTCompactProtocol(trans TTransport) *TCompactProtocol {
+	return &TCompactProtocol{trans: trans}
+}
+
+// Transport returns the underlying transport.
+func (p *TCompactProtocol) Transport() TTransport { return p.trans }
+
+// Flush flushes the underlying transport.
+func (p *TCompactProtocol) Flush() error { return p.trans.Flush() }
+
+func (p *TCompactProtocol) writeByteRaw(b byte) error {
+	_, err := p.trans.Write([]byte{b})
+	return err
+}
+
+func (p *TCompactProtocol) writeVarint(v uint64) error {
+	var buf [10]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := p.trans.Write(buf[:n])
+	return err
+}
+
+func (p *TCompactProtocol) readVarint() (uint64, error) {
+	return binary.ReadUvarint(byteReaderOf{p.trans})
+}
+
+type byteReaderOf struct{ t TTransport }
+
+func (r byteReaderOf) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r.t, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func zigzag32(v int32) uint64 { return uint64(uint32((v << 1) ^ (v >> 31))) }
+func zigzag64(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+func unzig32(v uint64) int32  { u := uint32(v); return int32(u>>1) ^ -int32(u&1) }
+func unzig64(v uint64) int64  { return int64(v>>1) ^ -int64(v&1) }
+
+// WriteMessageBegin emits the compact message header.
+func (p *TCompactProtocol) WriteMessageBegin(name string, typeID TMessageType, seqid int32) error {
+	if err := p.writeByteRaw(compactProtocolID); err != nil {
+		return err
+	}
+	if err := p.writeByteRaw((compactVersion & compactVersionMask) | byte(typeID)<<compactTypeShift); err != nil {
+		return err
+	}
+	if err := p.writeVarint(uint64(uint32(seqid))); err != nil {
+		return err
+	}
+	return p.WriteString(name)
+}
+
+// WriteMessageEnd is a no-op.
+func (p *TCompactProtocol) WriteMessageEnd() error { return nil }
+
+// WriteStructBegin pushes the field-id delta context.
+func (p *TCompactProtocol) WriteStructBegin(string) error {
+	p.fieldStack = append(p.fieldStack, p.lastFieldID)
+	p.lastFieldID = 0
+	return nil
+}
+
+// WriteStructEnd pops the field-id delta context.
+func (p *TCompactProtocol) WriteStructEnd() error {
+	n := len(p.fieldStack)
+	if n == 0 {
+		return fmt.Errorf("thrift: WriteStructEnd without begin")
+	}
+	p.lastFieldID = p.fieldStack[n-1]
+	p.fieldStack = p.fieldStack[:n-1]
+	return nil
+}
+
+func (p *TCompactProtocol) writeFieldHeader(ctype byte, id int16) error {
+	delta := id - p.lastFieldID
+	if delta > 0 && delta <= 15 {
+		if err := p.writeByteRaw(byte(delta)<<4 | ctype); err != nil {
+			return err
+		}
+	} else {
+		if err := p.writeByteRaw(ctype); err != nil {
+			return err
+		}
+		if err := p.writeVarint(zigzag32(int32(id))); err != nil {
+			return err
+		}
+	}
+	p.lastFieldID = id
+	return nil
+}
+
+// WriteFieldBegin emits the delta-encoded field header. Bool fields defer
+// emission to WriteBool, which folds the value into the type nibble.
+func (p *TCompactProtocol) WriteFieldBegin(_ string, typeID TType, id int16) error {
+	if typeID == BOOL {
+		p.pendingBoolField = true
+		p.pendingBoolID = id
+		return nil
+	}
+	return p.writeFieldHeader(toCompactType(typeID), id)
+}
+
+// WriteFieldEnd is a no-op.
+func (p *TCompactProtocol) WriteFieldEnd() error { return nil }
+
+// WriteFieldStop emits the stop byte.
+func (p *TCompactProtocol) WriteFieldStop() error { return p.writeByteRaw(ctStop) }
+
+// WriteMapBegin emits the compact map header.
+func (p *TCompactProtocol) WriteMapBegin(kt, vt TType, size int) error {
+	if size == 0 {
+		return p.writeByteRaw(0)
+	}
+	if err := p.writeVarint(uint64(size)); err != nil {
+		return err
+	}
+	return p.writeByteRaw(toCompactType(kt)<<4 | toCompactType(vt))
+}
+
+// WriteMapEnd is a no-op.
+func (p *TCompactProtocol) WriteMapEnd() error { return nil }
+
+// WriteListBegin emits the compact list header.
+func (p *TCompactProtocol) WriteListBegin(et TType, size int) error {
+	if size < 15 {
+		return p.writeByteRaw(byte(size)<<4 | toCompactType(et))
+	}
+	if err := p.writeByteRaw(0xf0 | toCompactType(et)); err != nil {
+		return err
+	}
+	return p.writeVarint(uint64(size))
+}
+
+// WriteListEnd is a no-op.
+func (p *TCompactProtocol) WriteListEnd() error { return nil }
+
+// WriteSetBegin emits the compact set header.
+func (p *TCompactProtocol) WriteSetBegin(et TType, size int) error {
+	return p.WriteListBegin(et, size)
+}
+
+// WriteSetEnd is a no-op.
+func (p *TCompactProtocol) WriteSetEnd() error { return nil }
+
+// WriteBool emits a bool, folding it into a pending field header when one
+// is deferred.
+func (p *TCompactProtocol) WriteBool(v bool) error {
+	ct := ctBoolFalse
+	if v {
+		ct = ctBoolTrue
+	}
+	if p.pendingBoolField {
+		p.pendingBoolField = false
+		return p.writeFieldHeader(ct, p.pendingBoolID)
+	}
+	return p.writeByteRaw(ct)
+}
+
+// WriteI8 emits one byte.
+func (p *TCompactProtocol) WriteI8(v int8) error { return p.writeByteRaw(byte(v)) }
+
+// WriteI16 emits a zigzag varint.
+func (p *TCompactProtocol) WriteI16(v int16) error { return p.writeVarint(zigzag32(int32(v))) }
+
+// WriteI32 emits a zigzag varint.
+func (p *TCompactProtocol) WriteI32(v int32) error { return p.writeVarint(zigzag32(v)) }
+
+// WriteI64 emits a zigzag varint.
+func (p *TCompactProtocol) WriteI64(v int64) error { return p.writeVarint(zigzag64(v)) }
+
+// WriteDouble emits a little-endian IEEE-754 double.
+func (p *TCompactProtocol) WriteDouble(v float64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	_, err := p.trans.Write(b[:])
+	return err
+}
+
+// WriteString emits a varint-length-prefixed string.
+func (p *TCompactProtocol) WriteString(v string) error {
+	if err := p.writeVarint(uint64(len(v))); err != nil {
+		return err
+	}
+	_, err := p.trans.Write([]byte(v))
+	return err
+}
+
+// WriteBinary emits a varint-length-prefixed byte slice.
+func (p *TCompactProtocol) WriteBinary(v []byte) error {
+	if err := p.writeVarint(uint64(len(v))); err != nil {
+		return err
+	}
+	_, err := p.trans.Write(v)
+	return err
+}
+
+// ReadMessageBegin parses the compact message header.
+func (p *TCompactProtocol) ReadMessageBegin() (string, TMessageType, int32, error) {
+	pid, err := p.readByteRaw()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if pid != compactProtocolID {
+		return "", 0, 0, fmt.Errorf("thrift: bad compact protocol id 0x%02x", pid)
+	}
+	vt, err := p.readByteRaw()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if vt&compactVersionMask != compactVersion {
+		return "", 0, 0, fmt.Errorf("thrift: bad compact version %d", vt&compactVersionMask)
+	}
+	typeID := TMessageType(vt >> compactTypeShift & 0x07)
+	seq, err := p.readVarint()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	name, err := p.ReadString()
+	return name, typeID, int32(uint32(seq)), err
+}
+
+// ReadMessageEnd is a no-op.
+func (p *TCompactProtocol) ReadMessageEnd() error { return nil }
+
+func (p *TCompactProtocol) readByteRaw() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(p.trans, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// ReadStructBegin pushes the field-id delta context.
+func (p *TCompactProtocol) ReadStructBegin() (string, error) {
+	p.fieldStack = append(p.fieldStack, p.lastFieldID)
+	p.lastFieldID = 0
+	return "", nil
+}
+
+// ReadStructEnd pops the field-id delta context.
+func (p *TCompactProtocol) ReadStructEnd() error {
+	n := len(p.fieldStack)
+	if n == 0 {
+		return fmt.Errorf("thrift: ReadStructEnd without begin")
+	}
+	p.lastFieldID = p.fieldStack[n-1]
+	p.fieldStack = p.fieldStack[:n-1]
+	return nil
+}
+
+// ReadFieldBegin parses the delta-encoded field header; bool values are
+// captured for the following ReadBool.
+func (p *TCompactProtocol) ReadFieldBegin() (string, TType, int16, error) {
+	b, err := p.readByteRaw()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if b == ctStop {
+		return "", STOP, 0, nil
+	}
+	ctype := b & 0x0f
+	delta := int16(b >> 4)
+	var id int16
+	if delta == 0 {
+		v, err := p.readVarint()
+		if err != nil {
+			return "", 0, 0, err
+		}
+		id = int16(unzig32(v))
+	} else {
+		id = p.lastFieldID + delta
+	}
+	p.lastFieldID = id
+	tt, err := fromCompactType(ctype)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if tt == BOOL {
+		p.havePendingBool = true
+		p.pendingBoolValue = ctype == ctBoolTrue
+	}
+	return "", tt, id, nil
+}
+
+// ReadFieldEnd is a no-op.
+func (p *TCompactProtocol) ReadFieldEnd() error { return nil }
+
+// ReadMapBegin parses the compact map header.
+func (p *TCompactProtocol) ReadMapBegin() (TType, TType, int, error) {
+	size, err := p.readVarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if size == 0 {
+		return 0, 0, 0, nil
+	}
+	kv, err := p.readByteRaw()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	kt, err := fromCompactType(kv >> 4)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	vt, err := fromCompactType(kv & 0x0f)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return kt, vt, int(size), nil
+}
+
+// ReadMapEnd is a no-op.
+func (p *TCompactProtocol) ReadMapEnd() error { return nil }
+
+// ReadListBegin parses the compact list header.
+func (p *TCompactProtocol) ReadListBegin() (TType, int, error) {
+	b, err := p.readByteRaw()
+	if err != nil {
+		return 0, 0, err
+	}
+	et, err := fromCompactType(b & 0x0f)
+	if err != nil {
+		return 0, 0, err
+	}
+	size := int(b >> 4)
+	if size == 15 {
+		v, err := p.readVarint()
+		if err != nil {
+			return 0, 0, err
+		}
+		size = int(v)
+	}
+	return et, size, nil
+}
+
+// ReadListEnd is a no-op.
+func (p *TCompactProtocol) ReadListEnd() error { return nil }
+
+// ReadSetBegin parses the compact set header.
+func (p *TCompactProtocol) ReadSetBegin() (TType, int, error) { return p.ReadListBegin() }
+
+// ReadSetEnd is a no-op.
+func (p *TCompactProtocol) ReadSetEnd() error { return nil }
+
+// ReadBool returns a pending field-header bool or reads a value byte.
+func (p *TCompactProtocol) ReadBool() (bool, error) {
+	if p.havePendingBool {
+		p.havePendingBool = false
+		return p.pendingBoolValue, nil
+	}
+	b, err := p.readByteRaw()
+	return b == ctBoolTrue, err
+}
+
+// ReadI8 reads one byte.
+func (p *TCompactProtocol) ReadI8() (int8, error) {
+	b, err := p.readByteRaw()
+	return int8(b), err
+}
+
+// ReadI16 reads a zigzag varint.
+func (p *TCompactProtocol) ReadI16() (int16, error) {
+	v, err := p.readVarint()
+	return int16(unzig32(v)), err
+}
+
+// ReadI32 reads a zigzag varint.
+func (p *TCompactProtocol) ReadI32() (int32, error) {
+	v, err := p.readVarint()
+	return unzig32(v), err
+}
+
+// ReadI64 reads a zigzag varint.
+func (p *TCompactProtocol) ReadI64() (int64, error) {
+	v, err := p.readVarint()
+	return unzig64(v), err
+}
+
+// ReadDouble reads a little-endian IEEE-754 double.
+func (p *TCompactProtocol) ReadDouble() (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(p.trans, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+// ReadString reads a varint-length-prefixed string.
+func (p *TCompactProtocol) ReadString() (string, error) {
+	b, err := p.ReadBinary()
+	return string(b), err
+}
+
+// ReadBinary reads a varint-length-prefixed byte slice.
+func (p *TCompactProtocol) ReadBinary() ([]byte, error) {
+	n, err := p.readVarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<30 {
+		return nil, fmt.Errorf("thrift: binary too large: %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(p.trans, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

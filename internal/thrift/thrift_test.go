@@ -1,0 +1,456 @@
+package thrift
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// protoFactories enumerates both wire protocols so every test runs under
+// each.
+var protoFactories = map[string]func(TTransport) TProtocol{
+	"binary":  func(t TTransport) TProtocol { return NewTBinaryProtocol(t) },
+	"compact": func(t TTransport) TProtocol { return NewTCompactProtocol(t) },
+}
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	for name, mk := range protoFactories {
+		t.Run(name, func(t *testing.T) {
+			buf := NewTMemoryBuffer()
+			w := mk(buf)
+			check(t, w.WriteBool(true))
+			check(t, w.WriteBool(false))
+			check(t, w.WriteI8(-7))
+			check(t, w.WriteI16(-12345))
+			check(t, w.WriteI32(2_000_000_000))
+			check(t, w.WriteI64(-9e15))
+			check(t, w.WriteDouble(3.14159))
+			check(t, w.WriteDouble(math.Inf(-1)))
+			check(t, w.WriteString("héllo wörld"))
+			check(t, w.WriteBinary([]byte{0, 1, 2, 255}))
+
+			r := mk(buf)
+			if v, _ := r.ReadBool(); !v {
+				t.Error("bool1")
+			}
+			if v, _ := r.ReadBool(); v {
+				t.Error("bool2")
+			}
+			if v, _ := r.ReadI8(); v != -7 {
+				t.Errorf("byte = %d", v)
+			}
+			if v, _ := r.ReadI16(); v != -12345 {
+				t.Errorf("i16 = %d", v)
+			}
+			if v, _ := r.ReadI32(); v != 2_000_000_000 {
+				t.Errorf("i32 = %d", v)
+			}
+			if v, _ := r.ReadI64(); v != -9e15 {
+				t.Errorf("i64 = %d", v)
+			}
+			if v, _ := r.ReadDouble(); v != 3.14159 {
+				t.Errorf("double = %v", v)
+			}
+			if v, _ := r.ReadDouble(); !math.IsInf(v, -1) {
+				t.Errorf("double inf = %v", v)
+			}
+			if v, _ := r.ReadString(); v != "héllo wörld" {
+				t.Errorf("string = %q", v)
+			}
+			if v, _ := r.ReadBinary(); len(v) != 4 || v[3] != 255 {
+				t.Errorf("binary = %v", v)
+			}
+		})
+	}
+}
+
+func TestMessageHeaderRoundTrip(t *testing.T) {
+	for name, mk := range protoFactories {
+		t.Run(name, func(t *testing.T) {
+			buf := NewTMemoryBuffer()
+			w := mk(buf)
+			check(t, w.WriteMessageBegin("Echo.Ping", CALL, 42))
+			check(t, w.WriteMessageEnd())
+			r := mk(buf)
+			name2, typ, seq, err := r.ReadMessageBegin()
+			check(t, err)
+			if name2 != "Echo.Ping" || typ != CALL || seq != 42 {
+				t.Fatalf("header = %q %v %d", name2, typ, seq)
+			}
+		})
+	}
+}
+
+func TestStructWithFieldsRoundTrip(t *testing.T) {
+	for name, mk := range protoFactories {
+		t.Run(name, func(t *testing.T) {
+			buf := NewTMemoryBuffer()
+			w := mk(buf)
+			check(t, w.WriteStructBegin("S"))
+			check(t, w.WriteFieldBegin("flag", BOOL, 1))
+			check(t, w.WriteBool(true))
+			check(t, w.WriteFieldEnd())
+			check(t, w.WriteFieldBegin("n", I32, 2))
+			check(t, w.WriteI32(99))
+			check(t, w.WriteFieldEnd())
+			check(t, w.WriteFieldBegin("far", I64, 500)) // long-form field id
+			check(t, w.WriteI64(1))
+			check(t, w.WriteFieldEnd())
+			check(t, w.WriteFieldStop())
+			check(t, w.WriteStructEnd())
+
+			r := mk(buf)
+			_, err := r.ReadStructBegin()
+			check(t, err)
+			_, ft, id, err := r.ReadFieldBegin()
+			check(t, err)
+			if ft != BOOL || id != 1 {
+				t.Fatalf("field1 = %v %d", ft, id)
+			}
+			if v, _ := r.ReadBool(); !v {
+				t.Error("bool field value")
+			}
+			check(t, r.ReadFieldEnd())
+			_, ft, id, err = r.ReadFieldBegin()
+			check(t, err)
+			if ft != I32 || id != 2 {
+				t.Fatalf("field2 = %v %d", ft, id)
+			}
+			if v, _ := r.ReadI32(); v != 99 {
+				t.Error("i32 field value")
+			}
+			check(t, r.ReadFieldEnd())
+			_, ft, id, err = r.ReadFieldBegin()
+			check(t, err)
+			if ft != I64 || id != 500 {
+				t.Fatalf("field3 = %v %d", ft, id)
+			}
+			if v, _ := r.ReadI64(); v != 1 {
+				t.Error("i64 field value")
+			}
+			check(t, r.ReadFieldEnd())
+			_, ft, _, err = r.ReadFieldBegin()
+			check(t, err)
+			if ft != STOP {
+				t.Fatal("missing stop")
+			}
+			check(t, r.ReadStructEnd())
+		})
+	}
+}
+
+func TestContainersRoundTrip(t *testing.T) {
+	for name, mk := range protoFactories {
+		t.Run(name, func(t *testing.T) {
+			buf := NewTMemoryBuffer()
+			w := mk(buf)
+			check(t, w.WriteListBegin(I32, 20)) // >14 exercises compact long form
+			for i := 0; i < 20; i++ {
+				check(t, w.WriteI32(int32(i)))
+			}
+			check(t, w.WriteListEnd())
+			check(t, w.WriteMapBegin(STRING, I64, 2))
+			check(t, w.WriteString("a"))
+			check(t, w.WriteI64(1))
+			check(t, w.WriteString("b"))
+			check(t, w.WriteI64(2))
+			check(t, w.WriteMapEnd())
+			check(t, w.WriteMapBegin(STRING, I64, 0)) // empty map special case
+			check(t, w.WriteMapEnd())
+			check(t, w.WriteSetBegin(BYTE, 3))
+			for i := 0; i < 3; i++ {
+				check(t, w.WriteI8(int8(i)))
+			}
+			check(t, w.WriteSetEnd())
+
+			r := mk(buf)
+			et, n, err := r.ReadListBegin()
+			check(t, err)
+			if et != I32 || n != 20 {
+				t.Fatalf("list = %v %d", et, n)
+			}
+			for i := 0; i < 20; i++ {
+				if v, _ := r.ReadI32(); v != int32(i) {
+					t.Fatalf("list[%d] = %d", i, v)
+				}
+			}
+			check(t, r.ReadListEnd())
+			kt, vt, n, err := r.ReadMapBegin()
+			check(t, err)
+			if kt != STRING || vt != I64 || n != 2 {
+				t.Fatalf("map = %v %v %d", kt, vt, n)
+			}
+			for i := 0; i < 2; i++ {
+				r.ReadString()
+				r.ReadI64()
+			}
+			check(t, r.ReadMapEnd())
+			_, _, n, err = r.ReadMapBegin()
+			check(t, err)
+			if n != 0 {
+				t.Fatalf("empty map size = %d", n)
+			}
+			st, n, err := r.ReadSetBegin()
+			check(t, err)
+			if st != BYTE || n != 3 {
+				t.Fatalf("set = %v %d", st, n)
+			}
+		})
+	}
+}
+
+func TestSkipComplexValue(t *testing.T) {
+	for name, mk := range protoFactories {
+		t.Run(name, func(t *testing.T) {
+			buf := NewTMemoryBuffer()
+			w := mk(buf)
+			// struct { 1: map<string, list<i32>>; 2: bool } followed by i32 sentinel
+			check(t, w.WriteStructBegin("X"))
+			check(t, w.WriteFieldBegin("m", MAP, 1))
+			check(t, w.WriteMapBegin(STRING, LIST, 1))
+			check(t, w.WriteString("k"))
+			check(t, w.WriteListBegin(I32, 2))
+			check(t, w.WriteI32(1))
+			check(t, w.WriteI32(2))
+			check(t, w.WriteListEnd())
+			check(t, w.WriteMapEnd())
+			check(t, w.WriteFieldEnd())
+			check(t, w.WriteFieldBegin("b", BOOL, 2))
+			check(t, w.WriteBool(true))
+			check(t, w.WriteFieldEnd())
+			check(t, w.WriteFieldStop())
+			check(t, w.WriteStructEnd())
+			check(t, w.WriteI32(777))
+
+			r := mk(buf)
+			check(t, Skip(r, STRUCT))
+			v, err := r.ReadI32()
+			check(t, err)
+			if v != 777 {
+				t.Fatalf("sentinel after skip = %d", v)
+			}
+		})
+	}
+}
+
+func TestApplicationExceptionRoundTrip(t *testing.T) {
+	for name, mk := range protoFactories {
+		t.Run(name, func(t *testing.T) {
+			buf := NewTMemoryBuffer()
+			w := mk(buf)
+			exc := NewApplicationException(ExcUnknownMethod, "no such method")
+			check(t, exc.Write(w))
+			r := mk(buf)
+			var got TApplicationException
+			check(t, got.Read(r))
+			if got.Message != "no such method" || got.Type != ExcUnknownMethod {
+				t.Fatalf("round-trip = %+v", got)
+			}
+		})
+	}
+}
+
+func TestCompactSmallerThanBinary(t *testing.T) {
+	write := func(p TProtocol) {
+		p.WriteStructBegin("S")
+		for i := int16(1); i <= 10; i++ {
+			p.WriteFieldBegin("f", I32, i)
+			p.WriteI32(int32(i))
+			p.WriteFieldEnd()
+		}
+		p.WriteFieldStop()
+		p.WriteStructEnd()
+	}
+	bb := NewTMemoryBuffer()
+	write(NewTBinaryProtocol(bb))
+	cb := NewTMemoryBuffer()
+	write(NewTCompactProtocol(cb))
+	if cb.Len() >= bb.Len() {
+		t.Fatalf("compact (%d) not smaller than binary (%d)", cb.Len(), bb.Len())
+	}
+}
+
+func TestFramedTransportRoundTrip(t *testing.T) {
+	inner := NewTMemoryBuffer()
+	f := NewTFramedTransport(inner)
+	f.Write([]byte("frame-one"))
+	check(t, f.Flush())
+	f.Write([]byte("frame-two!"))
+	check(t, f.Flush())
+
+	r := NewTFramedTransport(inner)
+	buf := make([]byte, 9)
+	if _, err := r.Read(buf); err != nil || string(buf) != "frame-one" {
+		t.Fatalf("frame 1 = %q err %v", buf, err)
+	}
+	buf = make([]byte, 10)
+	if _, err := r.Read(buf); err != nil || string(buf) != "frame-two!" {
+		t.Fatalf("frame 2 = %q err %v", buf, err)
+	}
+}
+
+func TestBufferedTransport(t *testing.T) {
+	inner := NewTMemoryBuffer()
+	b := NewTBufferedTransport(inner, 8)
+	b.Write([]byte("abc"))
+	if inner.Len() != 0 {
+		t.Fatal("small write leaked through before flush")
+	}
+	b.Write([]byte("defghijkl")) // exceeds buffer, spills
+	check(t, b.Flush())
+	r := NewTBufferedTransport(inner, 8)
+	out := make([]byte, 12)
+	n := 0
+	for n < 12 {
+		m, err := r.Read(out[n:])
+		check(t, err)
+		n += m
+	}
+	if string(out) != "abcdefghijkl" {
+		t.Fatalf("buffered read = %q", out)
+	}
+}
+
+func TestBinaryRejectsBadVersion(t *testing.T) {
+	buf := NewTMemoryBufferWith([]byte{0x00, 0x01, 0x02, 0x03, 0, 0, 0, 0})
+	r := NewTBinaryProtocol(buf)
+	if _, _, _, err := r.ReadMessageBegin(); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestCompactRejectsBadProtocolID(t *testing.T) {
+	buf := NewTMemoryBufferWith([]byte{0x99, 0x21})
+	r := NewTCompactProtocol(buf)
+	if _, _, _, err := r.ReadMessageBegin(); err == nil {
+		t.Fatal("bad protocol id accepted")
+	}
+}
+
+func TestMemoryBufferClose(t *testing.T) {
+	m := NewTMemoryBuffer()
+	m.Close()
+	if _, err := m.Write([]byte("x")); err != ErrTransportClosed {
+		t.Fatalf("write after close = %v", err)
+	}
+	if _, err := m.Read(make([]byte, 1)); err != ErrTransportClosed {
+		t.Fatalf("read after close = %v", err)
+	}
+}
+
+// Property: every int64 round-trips through both protocols.
+func TestPropertyI64RoundTrip(t *testing.T) {
+	for name, mk := range protoFactories {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			f := func(v int64) bool {
+				buf := NewTMemoryBuffer()
+				if err := mk(buf).WriteI64(v); err != nil {
+					return false
+				}
+				got, err := mk(buf).ReadI64()
+				return err == nil && got == v
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: arbitrary byte strings round-trip as binary.
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	for name, mk := range protoFactories {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			f := func(v []byte) bool {
+				buf := NewTMemoryBuffer()
+				if err := mk(buf).WriteBinary(v); err != nil {
+					return false
+				}
+				got, err := mk(buf).ReadBinary()
+				if err != nil || len(got) != len(v) {
+					return false
+				}
+				for i := range v {
+					if got[i] != v[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: doubles round-trip bit-exactly (including NaN payloads).
+func TestPropertyDoubleRoundTrip(t *testing.T) {
+	for name, mk := range protoFactories {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			f := func(bits uint64) bool {
+				v := math.Float64frombits(bits)
+				buf := NewTMemoryBuffer()
+				if err := mk(buf).WriteDouble(v); err != nil {
+					return false
+				}
+				got, err := mk(buf).ReadDouble()
+				return err == nil && math.Float64bits(got) == bits
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: field ids survive delta encoding for any positive id sequence.
+func TestPropertyCompactFieldIDs(t *testing.T) {
+	f := func(raw []uint16) bool {
+		ids := make([]int16, 0, len(raw))
+		seen := map[int16]bool{}
+		for _, r := range raw {
+			id := int16(r%4000) + 1
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		buf := NewTMemoryBuffer()
+		w := NewTCompactProtocol(buf)
+		w.WriteStructBegin("S")
+		for _, id := range ids {
+			w.WriteFieldBegin("f", I32, id)
+			w.WriteI32(int32(id))
+			w.WriteFieldEnd()
+		}
+		w.WriteFieldStop()
+		w.WriteStructEnd()
+		r := NewTCompactProtocol(buf)
+		r.ReadStructBegin()
+		for _, want := range ids {
+			_, ft, id, err := r.ReadFieldBegin()
+			if err != nil || ft != I32 || id != want {
+				return false
+			}
+			if v, _ := r.ReadI32(); v != int32(want) {
+				return false
+			}
+		}
+		_, ft, _, err := r.ReadFieldBegin()
+		return err == nil && ft == STOP
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

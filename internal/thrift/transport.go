@@ -1,0 +1,198 @@
+package thrift
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// TMemoryBuffer is an in-memory transport: writes append, reads consume.
+type TMemoryBuffer struct {
+	buf    []byte
+	rpos   int
+	closed bool
+}
+
+// NewTMemoryBuffer returns an empty memory transport.
+func NewTMemoryBuffer() *TMemoryBuffer { return &TMemoryBuffer{} }
+
+// NewTMemoryBufferWith returns a memory transport pre-loaded with data for
+// reading.
+func NewTMemoryBufferWith(data []byte) *TMemoryBuffer {
+	return &TMemoryBuffer{buf: data}
+}
+
+// Read consumes buffered bytes.
+func (m *TMemoryBuffer) Read(p []byte) (int, error) {
+	if m.closed {
+		return 0, ErrTransportClosed
+	}
+	if m.rpos >= len(m.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[m.rpos:])
+	m.rpos += n
+	return n, nil
+}
+
+// Write appends to the buffer.
+func (m *TMemoryBuffer) Write(p []byte) (int, error) {
+	if m.closed {
+		return 0, ErrTransportClosed
+	}
+	m.buf = append(m.buf, p...)
+	return len(p), nil
+}
+
+// Flush is a no-op for memory buffers.
+func (m *TMemoryBuffer) Flush() error { return nil }
+
+// Close marks the buffer closed.
+func (m *TMemoryBuffer) Close() error { m.closed = true; return nil }
+
+// Bytes returns the unread portion of the buffer.
+func (m *TMemoryBuffer) Bytes() []byte { return m.buf[m.rpos:] }
+
+// Len returns the number of unread bytes.
+func (m *TMemoryBuffer) Len() int { return len(m.buf) - m.rpos }
+
+// Reset discards all contents.
+func (m *TMemoryBuffer) Reset() { m.buf = m.buf[:0]; m.rpos = 0 }
+
+// ---------------------------------------------------------------------------
+
+// TFramedTransport wraps a transport with 4-byte length-prefixed frames:
+// each Flush emits one frame, each read refills from one frame. Vanilla
+// Thrift uses this with the non-blocking server; HatRPC's IPoIB baseline
+// uses it over the simulated kernel socket.
+type TFramedTransport struct {
+	inner TTransport
+	wbuf  []byte
+	rbuf  []byte
+	rpos  int
+}
+
+// NewTFramedTransport wraps inner in frame encoding.
+func NewTFramedTransport(inner TTransport) *TFramedTransport {
+	return &TFramedTransport{inner: inner}
+}
+
+// Write accumulates into the current output frame.
+func (t *TFramedTransport) Write(p []byte) (int, error) {
+	t.wbuf = append(t.wbuf, p...)
+	return len(p), nil
+}
+
+// Flush emits the accumulated frame with its length prefix.
+func (t *TFramedTransport) Flush() error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(t.wbuf)))
+	if _, err := t.inner.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.inner.Write(t.wbuf); err != nil {
+		return err
+	}
+	t.wbuf = t.wbuf[:0]
+	return t.inner.Flush()
+}
+
+func (t *TFramedTransport) refill() error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(readerOf(t.inner), hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 1<<30 {
+		return fmt.Errorf("thrift: frame too large: %d", n)
+	}
+	t.rbuf = make([]byte, n)
+	t.rpos = 0
+	_, err := io.ReadFull(readerOf(t.inner), t.rbuf)
+	return err
+}
+
+// Read consumes from the current input frame, refilling as needed.
+func (t *TFramedTransport) Read(p []byte) (int, error) {
+	if t.rpos >= len(t.rbuf) {
+		if err := t.refill(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, t.rbuf[t.rpos:])
+	t.rpos += n
+	return n, nil
+}
+
+// Close closes the inner transport.
+func (t *TFramedTransport) Close() error { return t.inner.Close() }
+
+// readerOf adapts a TTransport to io.Reader (it already is one; this
+// keeps io.ReadFull usage explicit).
+func readerOf(t TTransport) io.Reader { return t }
+
+// ---------------------------------------------------------------------------
+
+// TBufferedTransport batches small writes and reads through fixed-size
+// buffers over the inner transport.
+type TBufferedTransport struct {
+	inner TTransport
+	wbuf  []byte
+	wcap  int
+	rbuf  []byte
+	rpos  int
+	rcap  int
+}
+
+// NewTBufferedTransport wraps inner with bufSize buffers.
+func NewTBufferedTransport(inner TTransport, bufSize int) *TBufferedTransport {
+	if bufSize <= 0 {
+		bufSize = 4096
+	}
+	return &TBufferedTransport{inner: inner, wcap: bufSize, rcap: bufSize}
+}
+
+// Write buffers p, spilling to the inner transport when full.
+func (t *TBufferedTransport) Write(p []byte) (int, error) {
+	t.wbuf = append(t.wbuf, p...)
+	if len(t.wbuf) >= t.wcap {
+		if _, err := t.inner.Write(t.wbuf); err != nil {
+			return 0, err
+		}
+		t.wbuf = t.wbuf[:0]
+	}
+	return len(p), nil
+}
+
+// Flush drains the write buffer and flushes the inner transport.
+func (t *TBufferedTransport) Flush() error {
+	if len(t.wbuf) > 0 {
+		if _, err := t.inner.Write(t.wbuf); err != nil {
+			return err
+		}
+		t.wbuf = t.wbuf[:0]
+	}
+	return t.inner.Flush()
+}
+
+// Read serves from the read buffer, refilling in bulk.
+func (t *TBufferedTransport) Read(p []byte) (int, error) {
+	if t.rpos >= len(t.rbuf) {
+		buf := make([]byte, t.rcap)
+		n, err := t.inner.Read(buf)
+		if n == 0 {
+			if err == nil {
+				err = io.EOF
+			}
+			return 0, err
+		}
+		t.rbuf = buf[:n]
+		t.rpos = 0
+	}
+	n := copy(p, t.rbuf[t.rpos:])
+	t.rpos += n
+	return n, nil
+}
+
+// Close closes the inner transport.
+func (t *TBufferedTransport) Close() error { return t.inner.Close() }

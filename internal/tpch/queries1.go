@@ -1,0 +1,650 @@
+package tpch
+
+import (
+	"encoding/gob"
+	"sort"
+	"strings"
+)
+
+func init() {
+	gob.Register(map[string]*Q1Agg{})
+	gob.Register([]Q2Cand{})
+	gob.Register(map[int64]*Q3Agg{})
+	gob.Register(map[string]int64{})
+	gob.Register(map[int32]float64{})
+	gob.Register(map[string]float64{})
+	gob.Register(Q8Partial{})
+	gob.Register(map[string]*Q9Agg{})
+	gob.Register(Q11Partial{})
+}
+
+// ---------------------------------------------------------------------------
+// Q1: pricing summary report.
+
+// Q1Agg is the per-(returnflag,linestatus) accumulator.
+type Q1Agg struct {
+	Qty, Price, Disc, Charge, DiscSum float64
+	Count                             int64
+}
+
+type q1 struct{}
+
+func (q1) Num() int    { return 1 }
+func (q1) Large() bool { return false }
+
+func (q1) Fragment(db *DB) (any, int) {
+	cutoff := MkDate(1998, 12, 1) - 90
+	out := map[string]*Q1Agg{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if l.ShipDate > cutoff {
+			continue
+		}
+		k := string([]byte{l.ReturnFlag, l.LineStatus})
+		a := out[k]
+		if a == nil {
+			a = &Q1Agg{}
+			out[k] = a
+		}
+		a.Qty += l.Qty
+		a.Price += l.ExtPrice
+		a.Disc += l.ExtPrice * (1 - l.Discount)
+		a.Charge += l.ExtPrice * (1 - l.Discount) * (1 + l.Tax)
+		a.DiscSum += l.Discount
+		a.Count++
+	}
+	return out, len(db.Lineitem)
+}
+
+func (q1) Merge(coord *DB, partials []any) [][]string {
+	total := map[string]*Q1Agg{}
+	for _, p := range partials {
+		for k, a := range p.(map[string]*Q1Agg) {
+			t := total[k]
+			if t == nil {
+				t = &Q1Agg{}
+				total[k] = t
+			}
+			t.Qty += a.Qty
+			t.Price += a.Price
+			t.Disc += a.Disc
+			t.Charge += a.Charge
+			t.DiscSum += a.DiscSum
+			t.Count += a.Count
+		}
+	}
+	var rows [][]string
+	for _, k := range sortedKeys(total) {
+		a := total[k]
+		n := float64(a.Count)
+		rows = append(rows, []string{
+			k[:1], k[1:], f2(a.Qty), f2(a.Price), f2(a.Disc), f2(a.Charge),
+			f2(a.Qty / n), f2(a.Price / n), f4(a.DiscSum / n), itoa(a.Count),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q2: minimum cost supplier (size 15, type *BRASS, region EUROPE).
+
+// Q2Cand is one qualifying partsupp candidate row.
+type Q2Cand struct {
+	PartKey int32
+	SuppKey int32
+	Cost    float64
+}
+
+type q2 struct{}
+
+func (q2) Num() int    { return 2 }
+func (q2) Large() bool { return true }
+
+func (q2) Fragment(db *DB) (any, int) {
+	var out []Q2Cand
+	for i := range db.PartSupp {
+		ps := &db.PartSupp[i]
+		pt := db.PartIdx[ps.PartKey]
+		if pt.Size != 15 || !strings.HasSuffix(pt.Type, "BRASS") {
+			continue
+		}
+		sup := db.SuppIdx[ps.SuppKey]
+		if db.NatIdx[sup.Nation].RegionKey != 3 { // EUROPE
+			continue
+		}
+		out = append(out, Q2Cand{PartKey: ps.PartKey, SuppKey: ps.SuppKey, Cost: ps.SupplyCost})
+	}
+	return out, len(db.PartSupp)
+}
+
+func (q2) Merge(coord *DB, partials []any) [][]string {
+	minCost := map[int32]float64{}
+	var all []Q2Cand
+	for _, p := range partials {
+		for _, c := range p.([]Q2Cand) {
+			all = append(all, c)
+			if mc, ok := minCost[c.PartKey]; !ok || c.Cost < mc {
+				minCost[c.PartKey] = c.Cost
+			}
+		}
+	}
+	var rows [][]string
+	for _, c := range all {
+		if c.Cost != minCost[c.PartKey] {
+			continue
+		}
+		s := coord.SuppIdx[c.SuppKey]
+		pt := coord.PartIdx[c.PartKey]
+		rows = append(rows, []string{
+			f2(s.Acctbal), s.Name, coord.NatIdx[s.Nation].Name,
+			i32toa(c.PartKey), pt.Mfgr, s.Addr, s.Phone,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i][0] != rows[j][0] {
+			return rows[i][0] > rows[j][0]
+		}
+		if rows[i][2] != rows[j][2] {
+			return rows[i][2] < rows[j][2]
+		}
+		if rows[i][1] != rows[j][1] {
+			return rows[i][1] < rows[j][1]
+		}
+		return rows[i][3] < rows[j][3]
+	})
+	if len(rows) > 100 {
+		rows = rows[:100]
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q3: shipping priority (segment BUILDING, date 1995-03-15).
+
+// Q3Agg accumulates revenue per qualifying order.
+type Q3Agg struct {
+	Revenue  float64
+	Date     Date
+	ShipPrio int32
+}
+
+type q3 struct{}
+
+func (q3) Num() int    { return 3 }
+func (q3) Large() bool { return false }
+
+func (q3) Fragment(db *DB) (any, int) {
+	pivot := MkDate(1995, 3, 15)
+	// Qualifying orders on this partition (customer is replicated).
+	ok := map[int32]*Q3Agg{}
+	for i := range db.Orders {
+		o := &db.Orders[i]
+		if o.Date >= pivot {
+			continue
+		}
+		if db.CustIdx[o.CustKey].Segment != "BUILDING" {
+			continue
+		}
+		ok[o.Key] = &Q3Agg{Date: o.Date, ShipPrio: o.ShipPrio}
+	}
+	out := map[int64]*Q3Agg{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		a := ok[l.OrderKey]
+		if a == nil || l.ShipDate <= pivot {
+			continue
+		}
+		a.Revenue += l.ExtPrice * (1 - l.Discount)
+		out[int64(l.OrderKey)] = a
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q3) Merge(coord *DB, partials []any) [][]string {
+	type row struct {
+		okey int64
+		a    *Q3Agg
+	}
+	var all []row
+	for _, p := range partials {
+		for k, a := range p.(map[int64]*Q3Agg) {
+			all = append(all, row{k, a})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].a.Revenue != all[j].a.Revenue {
+			return all[i].a.Revenue > all[j].a.Revenue
+		}
+		return all[i].a.Date < all[j].a.Date
+	})
+	if len(all) > 10 {
+		all = all[:10]
+	}
+	var rows [][]string
+	for _, r := range all {
+		rows = append(rows, []string{itoa(r.okey), f2(r.a.Revenue), itoa(int64(r.a.Date)), i32toa(r.a.ShipPrio)})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q4: order priority checking (1993-07 quarter).
+
+type q4 struct{}
+
+func (q4) Num() int    { return 4 }
+func (q4) Large() bool { return false }
+
+func (q4) Fragment(db *DB) (any, int) {
+	lo, hi := MkDate(1993, 7, 1), MkDate(1993, 10, 1)
+	late := map[int32]bool{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if l.CommitDate < l.ReceiptDate {
+			late[l.OrderKey] = true
+		}
+	}
+	out := map[string]int64{}
+	for i := range db.Orders {
+		o := &db.Orders[i]
+		if o.Date >= lo && o.Date < hi && late[o.Key] {
+			out[o.Priority]++
+		}
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q4) Merge(coord *DB, partials []any) [][]string {
+	return mergeCountMap(partials)
+}
+
+// mergeCountMap merges map[string]int64 partials into sorted rows.
+func mergeCountMap(partials []any) [][]string {
+	total := map[string]int64{}
+	for _, p := range partials {
+		for k, v := range p.(map[string]int64) {
+			total[k] += v
+		}
+	}
+	var rows [][]string
+	for _, k := range sortedKeys(total) {
+		rows = append(rows, []string{k, itoa(total[k])})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q5: local supplier volume (region ASIA, 1994).
+
+type q5 struct{}
+
+func (q5) Num() int    { return 5 }
+func (q5) Large() bool { return false }
+
+func (q5) Fragment(db *DB) (any, int) {
+	lo, hi := MkDate(1994, 1, 1), MkDate(1995, 1, 1)
+	orderNation := map[int32]int32{} // okey → customer nation (if in ASIA and in window)
+	for i := range db.Orders {
+		o := &db.Orders[i]
+		if o.Date < lo || o.Date >= hi {
+			continue
+		}
+		nat := db.CustIdx[o.CustKey].Nation
+		if db.NatIdx[nat].RegionKey != 2 { // ASIA
+			continue
+		}
+		orderNation[o.Key] = nat
+	}
+	out := map[string]float64{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		cn, ok := orderNation[l.OrderKey]
+		if !ok {
+			continue
+		}
+		if db.SuppIdx[l.SuppKey].Nation != cn {
+			continue
+		}
+		out[db.NatIdx[cn].Name] += l.ExtPrice * (1 - l.Discount)
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q5) Merge(coord *DB, partials []any) [][]string {
+	return mergeRevMapDesc(partials)
+}
+
+// mergeRevMapDesc merges map[string]float64 partials, sorted by value
+// descending.
+func mergeRevMapDesc(partials []any) [][]string {
+	total := map[string]float64{}
+	for _, p := range partials {
+		for k, v := range p.(map[string]float64) {
+			total[k] += v
+		}
+	}
+	keys := sortedKeys(total)
+	sort.SliceStable(keys, func(i, j int) bool { return total[keys[i]] > total[keys[j]] })
+	var rows [][]string
+	for _, k := range keys {
+		rows = append(rows, []string{k, f2(total[k])})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q6: forecasting revenue change.
+
+type q6 struct{}
+
+func (q6) Num() int    { return 6 }
+func (q6) Large() bool { return false }
+
+func (q6) Fragment(db *DB) (any, int) {
+	lo, hi := MkDate(1994, 1, 1), MkDate(1995, 1, 1)
+	sum := 0.0
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if l.ShipDate >= lo && l.ShipDate < hi &&
+			l.Discount >= 0.05-1e-9 && l.Discount <= 0.07+1e-9 && l.Qty < 24 {
+			sum += l.ExtPrice * l.Discount
+		}
+	}
+	return map[string]float64{"revenue": sum}, len(db.Lineitem)
+}
+
+func (q6) Merge(coord *DB, partials []any) [][]string {
+	return mergeRevMapDesc(partials)
+}
+
+// ---------------------------------------------------------------------------
+// Q7: volume shipping (FRANCE ↔ GERMANY, 1995–1996).
+
+type q7 struct{}
+
+func (q7) Num() int    { return 7 }
+func (q7) Large() bool { return false }
+
+func (q7) Fragment(db *DB) (any, int) {
+	const fr, de = 6, 7
+	custNat := map[int32]int32{}
+	for i := range db.Orders {
+		o := &db.Orders[i]
+		n := db.CustIdx[o.CustKey].Nation
+		if n == fr || n == de {
+			custNat[o.Key] = n
+		}
+	}
+	out := map[string]float64{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		cn, ok := custNat[l.OrderKey]
+		if !ok {
+			continue
+		}
+		sn := db.SuppIdx[l.SuppKey].Nation
+		if !((sn == fr && cn == de) || (sn == de && cn == fr)) {
+			continue
+		}
+		y := l.ShipDate.Year()
+		if y != 1995 && y != 1996 {
+			continue
+		}
+		k := db.NatIdx[sn].Name + "|" + db.NatIdx[cn].Name + "|" + itoa(int64(y))
+		out[k] += l.ExtPrice * (1 - l.Discount)
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q7) Merge(coord *DB, partials []any) [][]string {
+	total := map[string]float64{}
+	for _, p := range partials {
+		for k, v := range p.(map[string]float64) {
+			total[k] += v
+		}
+	}
+	var rows [][]string
+	for _, k := range sortedKeys(total) {
+		parts := strings.Split(k, "|")
+		rows = append(rows, []string{parts[0], parts[1], parts[2], f2(total[k])})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q8: national market share (BRAZIL, AMERICA, ECONOMY ANODIZED STEEL).
+
+// Q8Partial carries per-year total and BRAZIL volumes.
+type Q8Partial struct {
+	Total  map[int]float64
+	Brazil map[int]float64
+}
+
+type q8 struct{}
+
+func (q8) Num() int    { return 8 }
+func (q8) Large() bool { return false }
+
+func (q8) Fragment(db *DB) (any, int) {
+	const brazil = 2
+	inWindow := map[int32]int{} // okey → year, for AMERICA customers
+	for i := range db.Orders {
+		o := &db.Orders[i]
+		y := o.Date.Year()
+		if y != 1995 && y != 1996 {
+			continue
+		}
+		if db.NatIdx[db.CustIdx[o.CustKey].Nation].RegionKey != 1 { // AMERICA
+			continue
+		}
+		inWindow[o.Key] = y
+	}
+	out := Q8Partial{Total: map[int]float64{}, Brazil: map[int]float64{}}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		y, ok := inWindow[l.OrderKey]
+		if !ok {
+			continue
+		}
+		if db.PartIdx[l.PartKey].Type != "ECONOMY ANODIZED STEEL" {
+			continue
+		}
+		vol := l.ExtPrice * (1 - l.Discount)
+		out.Total[y] += vol
+		if db.SuppIdx[l.SuppKey].Nation == brazil {
+			out.Brazil[y] += vol
+		}
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q8) Merge(coord *DB, partials []any) [][]string {
+	tot := map[int]float64{}
+	br := map[int]float64{}
+	for _, p := range partials {
+		q := p.(Q8Partial)
+		for y, v := range q.Total {
+			tot[y] += v
+		}
+		for y, v := range q.Brazil {
+			br[y] += v
+		}
+	}
+	var rows [][]string
+	for _, y := range []int{1995, 1996} {
+		share := 0.0
+		if tot[y] > 0 {
+			share = br[y] / tot[y]
+		}
+		rows = append(rows, []string{itoa(int64(y)), f4(share)})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q9: product type profit measure (parts named *green*).
+
+// Q9Agg accumulates profit per (nation, year).
+type Q9Agg struct{ Profit float64 }
+
+type q9 struct{}
+
+func (q9) Num() int    { return 9 }
+func (q9) Large() bool { return false }
+
+func (q9) Fragment(db *DB) (any, int) {
+	orderYear := map[int32]int{}
+	for i := range db.Orders {
+		o := &db.Orders[i]
+		orderYear[o.Key] = o.Date.Year()
+	}
+	out := map[string]*Q9Agg{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if !strings.Contains(db.PartIdx[l.PartKey].Name, "green") {
+			continue
+		}
+		cost, ok := db.PSCost[PSKey(l.PartKey, l.SuppKey)]
+		if !ok {
+			continue
+		}
+		y := orderYear[l.OrderKey]
+		k := db.NatIdx[db.SuppIdx[l.SuppKey].Nation].Name + "|" + itoa(int64(y))
+		a := out[k]
+		if a == nil {
+			a = &Q9Agg{}
+			out[k] = a
+		}
+		a.Profit += l.ExtPrice*(1-l.Discount) - cost*l.Qty
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q9) Merge(coord *DB, partials []any) [][]string {
+	total := map[string]float64{}
+	for _, p := range partials {
+		for k, a := range p.(map[string]*Q9Agg) {
+			total[k] += a.Profit
+		}
+	}
+	keys := sortedKeys(total)
+	sort.SliceStable(keys, func(i, j int) bool {
+		ni, yi, _ := strings.Cut(keys[i], "|")
+		nj, yj, _ := strings.Cut(keys[j], "|")
+		if ni != nj {
+			return ni < nj
+		}
+		return yi > yj
+	})
+	var rows [][]string
+	for _, k := range keys {
+		n, y, _ := strings.Cut(k, "|")
+		rows = append(rows, []string{n, y, f2(total[k])})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q10: returned item reporting (1993-10 quarter, top 20 customers).
+
+type q10 struct{}
+
+func (q10) Num() int    { return 10 }
+func (q10) Large() bool { return true }
+
+func (q10) Fragment(db *DB) (any, int) {
+	lo, hi := MkDate(1993, 10, 1), MkDate(1994, 1, 1)
+	orderCust := map[int32]int32{}
+	for i := range db.Orders {
+		o := &db.Orders[i]
+		if o.Date >= lo && o.Date < hi {
+			orderCust[o.Key] = o.CustKey
+		}
+	}
+	out := map[int32]float64{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		ck, ok := orderCust[l.OrderKey]
+		if !ok || l.ReturnFlag != 'R' {
+			continue
+		}
+		out[ck] += l.ExtPrice * (1 - l.Discount)
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q10) Merge(coord *DB, partials []any) [][]string {
+	total := map[int32]float64{}
+	for _, p := range partials {
+		for ck, v := range p.(map[int32]float64) {
+			total[ck] += v
+		}
+	}
+	keys := sortedKeys(total)
+	sort.SliceStable(keys, func(i, j int) bool { return total[keys[i]] > total[keys[j]] })
+	if len(keys) > 20 {
+		keys = keys[:20]
+	}
+	var rows [][]string
+	for _, ck := range keys {
+		c := coord.CustIdx[ck]
+		rows = append(rows, []string{
+			i32toa(ck), c.Name, f2(total[ck]), f2(c.Acctbal),
+			coord.NatIdx[c.Nation].Name, c.Phone,
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q11: important stock identification (GERMANY).
+
+// Q11Partial carries per-part value and the partition's total.
+type Q11Partial struct {
+	Values map[int32]float64
+	Total  float64
+}
+
+type q11 struct{}
+
+func (q11) Num() int    { return 11 }
+func (q11) Large() bool { return true }
+
+func (q11) Fragment(db *DB) (any, int) {
+	const germany = 7
+	out := Q11Partial{Values: map[int32]float64{}}
+	for i := range db.PartSupp {
+		ps := &db.PartSupp[i]
+		if db.SuppIdx[ps.SuppKey].Nation != germany {
+			continue
+		}
+		v := ps.SupplyCost * float64(ps.AvailQty)
+		out.Values[ps.PartKey] += v
+		out.Total += v
+	}
+	return out, len(db.PartSupp)
+}
+
+func (q11) Merge(coord *DB, partials []any) [][]string {
+	total := 0.0
+	vals := map[int32]float64{}
+	for _, p := range partials {
+		q := p.(Q11Partial)
+		total += q.Total
+		for k, v := range q.Values {
+			vals[k] += v
+		}
+	}
+	// The 0.0001 fraction is specified against SF1; scale by table size.
+	threshold := total * 0.0001
+	keys := sortedKeys(vals)
+	sort.SliceStable(keys, func(i, j int) bool { return vals[keys[i]] > vals[keys[j]] })
+	var rows [][]string
+	for _, k := range keys {
+		if vals[k] <= threshold {
+			continue
+		}
+		rows = append(rows, []string{i32toa(k), f2(vals[k])})
+	}
+	return rows
+}

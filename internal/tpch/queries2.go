@@ -1,0 +1,645 @@
+package tpch
+
+import (
+	"encoding/gob"
+	"sort"
+	"strings"
+)
+
+func init() {
+	gob.Register(map[string]*Q12Agg{})
+	gob.Register(map[int32]int64{})
+	gob.Register(Q14Partial{})
+	gob.Register(map[int32]*Q17Agg{})
+	gob.Register([]Q18Row{})
+	gob.Register(Q20Partial{})
+	gob.Register([]int32{})
+	gob.Register(map[string][]int32{})
+}
+
+// ---------------------------------------------------------------------------
+// Q12: shipping modes and order priority (MAIL/SHIP, 1994).
+
+// Q12Agg counts high/low priority lines per ship mode.
+type Q12Agg struct{ High, Low int64 }
+
+type q12 struct{}
+
+func (q12) Num() int    { return 12 }
+func (q12) Large() bool { return false }
+
+func (q12) Fragment(db *DB) (any, int) {
+	lo, hi := MkDate(1994, 1, 1), MkDate(1995, 1, 1)
+	prio := map[int32]string{}
+	for i := range db.Orders {
+		prio[db.Orders[i].Key] = db.Orders[i].Priority
+	}
+	out := map[string]*Q12Agg{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if l.ShipMode != "MAIL" && l.ShipMode != "SHIP" {
+			continue
+		}
+		if !(l.CommitDate < l.ReceiptDate && l.ShipDate < l.CommitDate &&
+			l.ReceiptDate >= lo && l.ReceiptDate < hi) {
+			continue
+		}
+		a := out[l.ShipMode]
+		if a == nil {
+			a = &Q12Agg{}
+			out[l.ShipMode] = a
+		}
+		p := prio[l.OrderKey]
+		if p == "1-URGENT" || p == "2-HIGH" {
+			a.High++
+		} else {
+			a.Low++
+		}
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q12) Merge(coord *DB, partials []any) [][]string {
+	total := map[string]*Q12Agg{}
+	for _, p := range partials {
+		for k, a := range p.(map[string]*Q12Agg) {
+			t := total[k]
+			if t == nil {
+				t = &Q12Agg{}
+				total[k] = t
+			}
+			t.High += a.High
+			t.Low += a.Low
+		}
+	}
+	var rows [][]string
+	for _, k := range sortedKeys(total) {
+		rows = append(rows, []string{k, itoa(total[k].High), itoa(total[k].Low)})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q13: customer distribution (excluding "special requests" orders).
+
+type q13 struct{}
+
+func (q13) Num() int    { return 13 }
+func (q13) Large() bool { return true }
+
+func (q13) Fragment(db *DB) (any, int) {
+	out := map[int32]int64{}
+	for i := range db.Orders {
+		o := &db.Orders[i]
+		if strings.Contains(o.Comment, "special requests") {
+			continue
+		}
+		out[o.CustKey]++
+	}
+	return out, len(db.Orders)
+}
+
+func (q13) Merge(coord *DB, partials []any) [][]string {
+	perCust := map[int32]int64{}
+	for _, p := range partials {
+		for ck, n := range p.(map[int32]int64) {
+			perCust[ck] += n
+		}
+	}
+	dist := map[int64]int64{} // order count → customer count
+	for i := range coord.Customer {
+		dist[perCust[coord.Customer[i].Key]]++
+	}
+	counts := sortedKeys(dist)
+	sort.SliceStable(counts, func(i, j int) bool {
+		if dist[counts[i]] != dist[counts[j]] {
+			return dist[counts[i]] > dist[counts[j]]
+		}
+		return counts[i] > counts[j]
+	})
+	var rows [][]string
+	for _, c := range counts {
+		rows = append(rows, []string{itoa(c), itoa(dist[c])})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q14: promotion effect (1995-09).
+
+// Q14Partial carries promo and total revenue.
+type Q14Partial struct{ Promo, Total float64 }
+
+type q14 struct{}
+
+func (q14) Num() int    { return 14 }
+func (q14) Large() bool { return false }
+
+func (q14) Fragment(db *DB) (any, int) {
+	lo, hi := MkDate(1995, 9, 1), MkDate(1995, 10, 1)
+	out := Q14Partial{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if l.ShipDate < lo || l.ShipDate >= hi {
+			continue
+		}
+		rev := l.ExtPrice * (1 - l.Discount)
+		out.Total += rev
+		if strings.HasPrefix(db.PartIdx[l.PartKey].Type, "PROMO") {
+			out.Promo += rev
+		}
+	}
+	return out, len(db.Lineitem)
+}
+
+func (q14) Merge(coord *DB, partials []any) [][]string {
+	var promo, total float64
+	for _, p := range partials {
+		q := p.(Q14Partial)
+		promo += q.Promo
+		total += q.Total
+	}
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * promo / total
+	}
+	return [][]string{{f2(pct)}}
+}
+
+// ---------------------------------------------------------------------------
+// Q15: top supplier (quarter starting 1996-01-01).
+
+type q15 struct{}
+
+func (q15) Num() int    { return 15 }
+func (q15) Large() bool { return false }
+
+func (q15) Fragment(db *DB) (any, int) {
+	lo, hi := MkDate(1996, 1, 1), MkDate(1996, 4, 1)
+	out := map[int32]float64{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if l.ShipDate >= lo && l.ShipDate < hi {
+			out[l.SuppKey] += l.ExtPrice * (1 - l.Discount)
+		}
+	}
+	return out, len(db.Lineitem)
+}
+
+func (q15) Merge(coord *DB, partials []any) [][]string {
+	rev := map[int32]float64{}
+	for _, p := range partials {
+		for sk, v := range p.(map[int32]float64) {
+			rev[sk] += v
+		}
+	}
+	maxRev := 0.0
+	for _, v := range rev {
+		if v > maxRev {
+			maxRev = v
+		}
+	}
+	var rows [][]string
+	for _, sk := range sortedKeys(rev) {
+		if rev[sk] < maxRev-1e-6 {
+			continue
+		}
+		s := coord.SuppIdx[sk]
+		rows = append(rows, []string{i32toa(sk), s.Name, s.Addr, s.Phone, f2(rev[sk])})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q16: parts/supplier relationship.
+
+type q16 struct{}
+
+func (q16) Num() int    { return 16 }
+func (q16) Large() bool { return true }
+
+var q16Sizes = map[int32]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
+
+func (q16) Fragment(db *DB) (any, int) {
+	out := map[string][]int32{}
+	for i := range db.PartSupp {
+		ps := &db.PartSupp[i]
+		pt := db.PartIdx[ps.PartKey]
+		if pt.Brand == "Brand#45" || strings.HasPrefix(pt.Type, "MEDIUM POLISHED") || !q16Sizes[pt.Size] {
+			continue
+		}
+		if strings.HasPrefix(db.SuppIdx[ps.SuppKey].Comment, "Customer Complaints") {
+			continue
+		}
+		k := pt.Brand + "|" + pt.Type + "|" + i32toa(pt.Size)
+		out[k] = append(out[k], ps.SuppKey)
+	}
+	return out, len(db.PartSupp)
+}
+
+func (q16) Merge(coord *DB, partials []any) [][]string {
+	sets := map[string]map[int32]bool{}
+	for _, p := range partials {
+		for k, sks := range p.(map[string][]int32) {
+			s := sets[k]
+			if s == nil {
+				s = map[int32]bool{}
+				sets[k] = s
+			}
+			for _, sk := range sks {
+				s[sk] = true
+			}
+		}
+	}
+	keys := sortedKeys(sets)
+	sort.SliceStable(keys, func(i, j int) bool {
+		if len(sets[keys[i]]) != len(sets[keys[j]]) {
+			return len(sets[keys[i]]) > len(sets[keys[j]])
+		}
+		return keys[i] < keys[j]
+	})
+	var rows [][]string
+	for _, k := range keys {
+		parts := strings.Split(k, "|")
+		rows = append(rows, []string{parts[0], parts[1], parts[2], itoa(int64(len(sets[k])))})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q17: small-quantity-order revenue (Brand#23, MED BOX).
+
+// Q17Agg carries per-part quantity stats and qualifying line rows.
+type Q17Agg struct {
+	SumQty float64
+	Count  int64
+	Lines  []Q17Line
+}
+
+// Q17Line is one matching lineitem's (qty, price).
+type Q17Line struct{ Qty, ExtPrice float64 }
+
+type q17 struct{}
+
+func (q17) Num() int    { return 17 }
+func (q17) Large() bool { return true }
+
+func (q17) Fragment(db *DB) (any, int) {
+	out := map[int32]*Q17Agg{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		pt := db.PartIdx[l.PartKey]
+		if pt.Brand != "Brand#23" || pt.Container != "MED BOX" {
+			continue
+		}
+		a := out[l.PartKey]
+		if a == nil {
+			a = &Q17Agg{}
+			out[l.PartKey] = a
+		}
+		a.SumQty += l.Qty
+		a.Count++
+		a.Lines = append(a.Lines, Q17Line{Qty: l.Qty, ExtPrice: l.ExtPrice})
+	}
+	return out, len(db.Lineitem)
+}
+
+func (q17) Merge(coord *DB, partials []any) [][]string {
+	agg := map[int32]*Q17Agg{}
+	for _, p := range partials {
+		for pk, a := range p.(map[int32]*Q17Agg) {
+			t := agg[pk]
+			if t == nil {
+				t = &Q17Agg{}
+				agg[pk] = t
+			}
+			t.SumQty += a.SumQty
+			t.Count += a.Count
+			t.Lines = append(t.Lines, a.Lines...)
+		}
+	}
+	sum := 0.0
+	for _, pk := range sortedKeys(agg) {
+		a := agg[pk]
+		avg := a.SumQty / float64(a.Count)
+		for _, ln := range a.Lines {
+			if ln.Qty < 0.2*avg {
+				sum += ln.ExtPrice
+			}
+		}
+	}
+	return [][]string{{f2(sum / 7)}}
+}
+
+// ---------------------------------------------------------------------------
+// Q18: large volume customers (sum qty > 300).
+
+// Q18Row is one qualifying order.
+type Q18Row struct {
+	CustKey int32
+	OrdKey  int32
+	Date    Date
+	Total   float64
+	SumQty  float64
+}
+
+type q18 struct{}
+
+func (q18) Num() int    { return 18 }
+func (q18) Large() bool { return true }
+
+func (q18) Fragment(db *DB) (any, int) {
+	qty := map[int32]float64{}
+	for i := range db.Lineitem {
+		qty[db.Lineitem[i].OrderKey] += db.Lineitem[i].Qty
+	}
+	var out []Q18Row
+	for i := range db.Orders {
+		o := &db.Orders[i]
+		if qty[o.Key] > 300 {
+			out = append(out, Q18Row{
+				CustKey: o.CustKey, OrdKey: o.Key, Date: o.Date,
+				Total: o.Total, SumQty: qty[o.Key],
+			})
+		}
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q18) Merge(coord *DB, partials []any) [][]string {
+	var all []Q18Row
+	for _, p := range partials {
+		all = append(all, p.([]Q18Row)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Total != all[j].Total {
+			return all[i].Total > all[j].Total
+		}
+		return all[i].Date < all[j].Date
+	})
+	if len(all) > 100 {
+		all = all[:100]
+	}
+	var rows [][]string
+	for _, r := range all {
+		c := coord.CustIdx[r.CustKey]
+		rows = append(rows, []string{
+			c.Name, i32toa(r.CustKey), i32toa(r.OrdKey),
+			itoa(int64(r.Date)), f2(r.Total), f2(r.SumQty),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q19: discounted revenue (three OR branches).
+
+type q19 struct{}
+
+func (q19) Num() int    { return 19 }
+func (q19) Large() bool { return false }
+
+func (q19) Fragment(db *DB) (any, int) {
+	sum := 0.0
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if l.ShipInstr != "DELIVER IN PERSON" {
+			continue
+		}
+		if l.ShipMode != "AIR" && l.ShipMode != "REG AIR" {
+			continue
+		}
+		pt := db.PartIdx[l.PartKey]
+		match := false
+		switch {
+		case pt.Brand == "Brand#12" &&
+			strings.HasPrefix(pt.Container, "SM") &&
+			l.Qty >= 1 && l.Qty <= 11 && pt.Size >= 1 && pt.Size <= 5:
+			match = true
+		case pt.Brand == "Brand#23" &&
+			strings.HasPrefix(pt.Container, "MED") &&
+			l.Qty >= 10 && l.Qty <= 20 && pt.Size >= 1 && pt.Size <= 10:
+			match = true
+		case pt.Brand == "Brand#34" &&
+			strings.HasPrefix(pt.Container, "LG") &&
+			l.Qty >= 20 && l.Qty <= 30 && pt.Size >= 1 && pt.Size <= 15:
+			match = true
+		}
+		if match {
+			sum += l.ExtPrice * (1 - l.Discount)
+		}
+	}
+	return map[string]float64{"revenue": sum}, len(db.Lineitem)
+}
+
+func (q19) Merge(coord *DB, partials []any) [][]string {
+	return mergeRevMapDesc(partials)
+}
+
+// ---------------------------------------------------------------------------
+// Q20: potential part promotion (forest* parts, CANADA, 1994).
+
+// Q20Partial carries shipped quantity per (pkey,skey) and the local
+// availqty rows for forest parts.
+type Q20Partial struct {
+	Shipped map[int64]float64 // PSKey → qty shipped in 1994
+	Avail   map[int64]int32   // PSKey → availqty (partsupp partition)
+}
+
+type q20 struct{}
+
+func (q20) Num() int    { return 20 }
+func (q20) Large() bool { return true }
+
+func (q20) Fragment(db *DB) (any, int) {
+	lo, hi := MkDate(1994, 1, 1), MkDate(1995, 1, 1)
+	out := Q20Partial{Shipped: map[int64]float64{}, Avail: map[int64]int32{}}
+	forest := func(pk int32) bool {
+		return strings.HasPrefix(db.PartIdx[pk].Name, "forest")
+	}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if l.ShipDate < lo || l.ShipDate >= hi || !forest(l.PartKey) {
+			continue
+		}
+		out.Shipped[PSKey(l.PartKey, l.SuppKey)] += l.Qty
+	}
+	for i := range db.PartSupp {
+		ps := &db.PartSupp[i]
+		if forest(ps.PartKey) {
+			out.Avail[PSKey(ps.PartKey, ps.SuppKey)] = ps.AvailQty
+		}
+	}
+	return out, len(db.Lineitem) + len(db.PartSupp)
+}
+
+func (q20) Merge(coord *DB, partials []any) [][]string {
+	const canada = 3
+	shipped := map[int64]float64{}
+	avail := map[int64]int32{}
+	for _, p := range partials {
+		q := p.(Q20Partial)
+		for k, v := range q.Shipped {
+			shipped[k] += v
+		}
+		for k, v := range q.Avail {
+			avail[k] = v
+		}
+	}
+	suppliers := map[int32]bool{}
+	for _, k := range sortedKeys(avail) {
+		if float64(avail[k]) > 0.5*shipped[k] && shipped[k] > 0 {
+			suppliers[int32(uint32(k))] = true
+		}
+	}
+	var rows [][]string
+	for _, sk := range sortedKeys(suppliers) {
+		s := coord.SuppIdx[sk]
+		if s.Nation != canada {
+			continue
+		}
+		rows = append(rows, []string{s.Name, s.Addr})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q21: suppliers who kept orders waiting (SAUDI ARABIA).
+
+type q21 struct{}
+
+func (q21) Num() int    { return 21 }
+func (q21) Large() bool { return false }
+
+func (q21) Fragment(db *DB) (any, int) {
+	const saudi = 20
+	status := map[int32]byte{}
+	for i := range db.Orders {
+		status[db.Orders[i].Key] = db.Orders[i].Status
+	}
+	// Per order: the set of suppliers, and the set of late suppliers.
+	supps := map[int32]map[int32]bool{}
+	late := map[int32]map[int32]bool{}
+	for i := range db.Lineitem {
+		l := &db.Lineitem[i]
+		if status[l.OrderKey] != 'F' {
+			continue
+		}
+		if supps[l.OrderKey] == nil {
+			supps[l.OrderKey] = map[int32]bool{}
+			late[l.OrderKey] = map[int32]bool{}
+		}
+		supps[l.OrderKey][l.SuppKey] = true
+		if l.ReceiptDate > l.CommitDate {
+			late[l.OrderKey][l.SuppKey] = true
+		}
+	}
+	out := map[string]int64{}
+	for ok, ls := range late {
+		if len(ls) != 1 || len(supps[ok]) < 2 {
+			continue
+		}
+		for sk := range ls {
+			if db.SuppIdx[sk].Nation == saudi {
+				out[db.SuppIdx[sk].Name]++
+			}
+		}
+	}
+	return out, len(db.Orders) + len(db.Lineitem)
+}
+
+func (q21) Merge(coord *DB, partials []any) [][]string {
+	total := map[string]int64{}
+	for _, p := range partials {
+		for k, v := range p.(map[string]int64) {
+			total[k] += v
+		}
+	}
+	keys := sortedKeys(total)
+	sort.SliceStable(keys, func(i, j int) bool {
+		if total[keys[i]] != total[keys[j]] {
+			return total[keys[i]] > total[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > 100 {
+		keys = keys[:100]
+	}
+	var rows [][]string
+	for _, k := range keys {
+		rows = append(rows, []string{k, itoa(total[k])})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Q22: global sales opportunity.
+
+type q22 struct{}
+
+func (q22) Num() int    { return 22 }
+func (q22) Large() bool { return true }
+
+var q22Codes = map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
+
+func (q22) Fragment(db *DB) (any, int) {
+	// Ship the distinct customer keys that have orders on this partition.
+	seen := map[int32]bool{}
+	for i := range db.Orders {
+		seen[db.Orders[i].CustKey] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for ck := range seen {
+		out = append(out, ck)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, len(db.Orders)
+}
+
+func (q22) Merge(coord *DB, partials []any) [][]string {
+	hasOrders := map[int32]bool{}
+	for _, p := range partials {
+		for _, ck := range p.([]int32) {
+			hasOrders[ck] = true
+		}
+	}
+	// Average positive acctbal over qualifying country codes (customer is
+	// replicated; the coordinator computes this locally).
+	var sum float64
+	var n int
+	code := func(c *Customer) string { return c.Phone[:2] }
+	for i := range coord.Customer {
+		c := &coord.Customer[i]
+		if c.Acctbal > 0 && q22Codes[code(c)] {
+			sum += c.Acctbal
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	avg := sum / float64(n)
+	type agg struct {
+		n   int64
+		bal float64
+	}
+	out := map[string]*agg{}
+	for i := range coord.Customer {
+		c := &coord.Customer[i]
+		if !q22Codes[code(c)] || c.Acctbal <= avg || hasOrders[c.Key] {
+			continue
+		}
+		a := out[code(c)]
+		if a == nil {
+			a = &agg{}
+			out[code(c)] = a
+		}
+		a.n++
+		a.bal += c.Acctbal
+	}
+	var rows [][]string
+	for _, k := range sortedKeys(out) {
+		rows = append(rows, []string{k, itoa(out[k].n), f2(out[k].bal)})
+	}
+	return rows
+}

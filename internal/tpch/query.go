@@ -1,0 +1,67 @@
+package tpch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// Query is one of the 22 TPC-H queries as a two-phase distributed plan:
+// Fragment runs on each worker's partition and returns a partial result;
+// Merge combines the partials at the coordinator into the final rows.
+type Query interface {
+	// Num is the TPC-H query number (1-22).
+	Num() int
+	// Fragment evaluates the worker-local phase. It returns the partial
+	// result and the number of rows scanned (charged as worker CPU).
+	Fragment(db *DB) (any, int)
+	// Merge combines partials (one per worker, in worker order) into the
+	// final result rows, using coord for replicated dimension lookups.
+	Merge(coord *DB, partials []any) [][]string
+	// Large reports whether partials are bulky (row sets / wide maps);
+	// the HatRPC-Function coordinator routes these through the
+	// throughput-hinted RPC.
+	Large() bool
+}
+
+// Queries lists all 22 queries in order.
+var Queries = []Query{
+	q1{}, q2{}, q3{}, q4{}, q5{}, q6{}, q7{}, q8{}, q9{}, q10{}, q11{},
+	q12{}, q13{}, q14{}, q15{}, q16{}, q17{}, q18{}, q19{}, q20{}, q21{}, q22{},
+}
+
+// EncodePartial gob-encodes a fragment result for shipping.
+func EncodePartial(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		panic(fmt.Sprintf("tpch: encode partial: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// DecodePartial reverses EncodePartial.
+func DecodePartial(b []byte) any {
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		panic(fmt.Sprintf("tpch: decode partial: %v", err))
+	}
+	return v
+}
+
+// sortedKeys returns map keys in sorted order for deterministic merges.
+func sortedKeys[K interface {
+	~int | ~int32 | ~int64 | ~string
+}, V any](m map[K]V) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string   { return fmt.Sprintf("%.4f", v) }
+func itoa(v int64) string   { return fmt.Sprintf("%d", v) }
+func i32toa(v int32) string { return fmt.Sprintf("%d", v) }

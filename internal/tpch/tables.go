@@ -1,0 +1,442 @@
+// Package tpch implements the TPC-H decision-support benchmark (§5.5):
+// a scaled-down dbgen for the eight tables, hand-written distributed
+// plans for all 22 queries, and a runner that executes them over three
+// RPC stacks — vanilla Thrift over IPoIB, HatRPC-Service, and
+// HatRPC-Function — on the simulated 10-node cluster.
+//
+// Layout follows the usual shared-nothing pattern: the fact tables
+// (orders, lineitem, partsupp) are hash-partitioned across workers
+// (orders/lineitem co-located on orderkey), dimension tables are
+// replicated. Workers evaluate query fragments locally and ship partial
+// results to the coordinator over the benchmarked RPC stack.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Date is days since 1992-01-01 in a leap-free synthetic calendar (used
+// consistently by the generator and the queries).
+type Date int32
+
+var monthDays = [12]int32{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// MkDate builds a Date from y-m-d (y in 1992..1998).
+func MkDate(y, m, d int) Date {
+	days := int32(y-1992) * 365
+	for i := 0; i < m-1; i++ {
+		days += monthDays[i]
+	}
+	return Date(days + int32(d) - 1)
+}
+
+// Year returns the calendar year of d.
+func (d Date) Year() int { return 1992 + int(d)/365 }
+
+// Month returns the calendar month (1-12) of d.
+func (d Date) Month() int {
+	rem := int32(d) % 365
+	for i, md := range monthDays {
+		if rem < md {
+			return i + 1
+		}
+		rem -= md
+	}
+	return 12
+}
+
+// Table row types (only the columns the 22 queries touch).
+
+// Region is one TPC-H region row.
+type Region struct {
+	Key  int32
+	Name string
+}
+
+// Nation is one nation row.
+type Nation struct {
+	Key       int32
+	Name      string
+	RegionKey int32
+}
+
+// Supplier is one supplier row.
+type Supplier struct {
+	Key     int32
+	Name    string
+	Nation  int32
+	Acctbal float64
+	Addr    string
+	Phone   string
+	Comment string
+}
+
+// Customer is one customer row.
+type Customer struct {
+	Key     int32
+	Name    string
+	Nation  int32
+	Acctbal float64
+	Segment string
+	Phone   string
+	Addr    string
+	Comment string
+}
+
+// Part is one part row.
+type Part struct {
+	Key       int32
+	Name      string
+	Mfgr      string
+	Brand     string
+	Type      string
+	Size      int32
+	Container string
+	Retail    float64
+}
+
+// PartSupp is one partsupp row.
+type PartSupp struct {
+	PartKey    int32
+	SuppKey    int32
+	AvailQty   int32
+	SupplyCost float64
+	Comment    string
+}
+
+// Order is one orders row.
+type Order struct {
+	Key       int32
+	CustKey   int32
+	Status    byte
+	Total     float64
+	Date      Date
+	Priority  string
+	Clerk     string
+	ShipPrio  int32
+	Comment   string
+	LineCount int8 // generator bookkeeping
+}
+
+// Lineitem is one lineitem row.
+type Lineitem struct {
+	OrderKey    int32
+	PartKey     int32
+	SuppKey     int32
+	LineNum     int8
+	Qty         float64
+	ExtPrice    float64
+	Discount    float64
+	Tax         float64
+	ReturnFlag  byte
+	LineStatus  byte
+	ShipDate    Date
+	CommitDate  Date
+	ReceiptDate Date
+	ShipInstr   string
+	ShipMode    string
+	Comment     string
+}
+
+// DB holds one partition's table slices. Dimension tables are fully
+// populated on every partition (replication); fact tables hold only the
+// partition's share.
+type DB struct {
+	Region   []Region
+	Nation   []Nation
+	Supplier []Supplier
+	Customer []Customer
+	Part     []Part
+	PartSupp []PartSupp
+	Orders   []Order
+	Lineitem []Lineitem
+
+	// PSCost is a replicated (pkey,skey) → supplycost index; the cost
+	// column is tiny compared to the fact tables, and replicating it
+	// keeps the Q9 profit join worker-local (the usual engineering
+	// choice for shared-nothing TPC-H).
+	PSCost map[int64]float64
+
+	// PartIdx indexes Part by key (replicated tables only).
+	PartIdx map[int32]*Part
+	SuppIdx map[int32]*Supplier
+	CustIdx map[int32]*Customer
+	NatIdx  map[int32]*Nation
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationDefs = []struct {
+	name string
+	reg  int32
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3}, {"UNITED KINGDOM", 3},
+	{"UNITED STATES", 1},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+var containers = []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "MED PKG", "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG", "JUMBO BOX", "JUMBO PKG", "WRAP CASE"}
+var typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+var partNameWords = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue", "blush", "brown", "burlywood", "chartreuse", "forest", "green", "ivory", "khaki", "lace", "lemon", "maroon"}
+
+// Scale describes dbgen sizing at a scale factor.
+type Scale struct {
+	Suppliers int
+	Customers int
+	Parts     int
+	Orders    int
+}
+
+// ScaleFor returns the table cardinalities at scale factor sf
+// (TPC-H ratios: 10k/150k/200k/1.5M per SF).
+func ScaleFor(sf float64) Scale {
+	max1 := func(v float64) int {
+		if v < 1 {
+			return 1
+		}
+		return int(v)
+	}
+	return Scale{
+		Suppliers: max1(10_000 * sf),
+		Customers: max1(150_000 * sf),
+		Parts:     max1(200_000 * sf),
+		Orders:    max1(1_500_000 * sf),
+	}
+}
+
+// Generate builds `parts` partition DBs at the given scale factor.
+// Orders (with their lineitems) are assigned to partition okey%parts;
+// partsupp rows to pkey%parts; dimension tables are replicated.
+func Generate(sf float64, parts int, seed int64) []*DB {
+	if parts < 1 {
+		parts = 1
+	}
+	sc := ScaleFor(sf)
+	rng := rand.New(rand.NewSource(seed))
+	dbs := make([]*DB, parts)
+	for i := range dbs {
+		dbs[i] = &DB{}
+	}
+
+	// Replicated dimensions.
+	var regions []Region
+	for i, n := range regionNames {
+		regions = append(regions, Region{Key: int32(i), Name: n})
+	}
+	var nations []Nation
+	for i, nd := range nationDefs {
+		nations = append(nations, Nation{Key: int32(i), Name: nd.name, RegionKey: nd.reg})
+	}
+	suppliers := make([]Supplier, sc.Suppliers)
+	for i := range suppliers {
+		comment := randComment(rng)
+		if rng.Intn(25) == 0 { // scaled-up rate so tiny SFs keep Q16 populated
+			comment = "Customer Complaints " + comment
+		}
+		suppliers[i] = Supplier{
+			Key:     int32(i + 1),
+			Name:    fmt.Sprintf("Supplier#%09d", i+1),
+			Nation:  int32(rng.Intn(25)),
+			Acctbal: -999.99 + rng.Float64()*10998.98,
+			Addr:    randText(rng, 15),
+			Phone:   randPhone(rng),
+			Comment: comment,
+		}
+	}
+	customers := make([]Customer, sc.Customers)
+	for i := range customers {
+		nat := int32(rng.Intn(25))
+		customers[i] = Customer{
+			Key:     int32(i + 1),
+			Name:    fmt.Sprintf("Customer#%09d", i+1),
+			Nation:  nat,
+			Acctbal: -999.99 + rng.Float64()*10998.98,
+			Segment: segments[rng.Intn(len(segments))],
+			Phone:   fmt.Sprintf("%d%s", 10+nat, randPhone(rng)[2:]),
+			Addr:    randText(rng, 15),
+			Comment: randComment(rng),
+		}
+	}
+	partsTbl := make([]Part, sc.Parts)
+	for i := range partsTbl {
+		w1 := partNameWords[rng.Intn(len(partNameWords))]
+		w2 := partNameWords[rng.Intn(len(partNameWords))]
+		m := rng.Intn(5) + 1
+		b := rng.Intn(5) + 1
+		partsTbl[i] = Part{
+			Key:       int32(i + 1),
+			Name:      w1 + " " + w2,
+			Mfgr:      fmt.Sprintf("Manufacturer#%d", m),
+			Brand:     fmt.Sprintf("Brand#%d%d", m, b),
+			Type:      typeSyl1[rng.Intn(6)] + " " + typeSyl2[rng.Intn(5)] + " " + typeSyl3[rng.Intn(5)],
+			Size:      int32(rng.Intn(50) + 1),
+			Container: containers[rng.Intn(len(containers))],
+			Retail:    900 + float64(i%1000)/10,
+		}
+	}
+	for _, db := range dbs {
+		db.Region = regions
+		db.Nation = nations
+		db.Supplier = suppliers
+		db.Customer = customers
+		db.Part = partsTbl
+		db.buildIndexes()
+	}
+
+	// Partitioned partsupp: 4 suppliers per part. The cost index is
+	// replicated everywhere.
+	psCost := make(map[int64]float64, sc.Parts*4)
+	for _, pt := range partsTbl {
+		for j := 0; j < 4; j++ {
+			ps := PartSupp{
+				PartKey:    pt.Key,
+				SuppKey:    int32((int(pt.Key)+j*(sc.Suppliers/4+1))%sc.Suppliers) + 1,
+				AvailQty:   int32(rng.Intn(9999) + 1),
+				SupplyCost: 1 + rng.Float64()*999,
+				Comment:    randComment(rng),
+			}
+			psCost[PSKey(ps.PartKey, ps.SuppKey)] = ps.SupplyCost
+			dbs[int(pt.Key)%parts].PartSupp = append(dbs[int(pt.Key)%parts].PartSupp, ps)
+		}
+	}
+	for _, db := range dbs {
+		db.PSCost = psCost
+	}
+
+	// Partitioned orders + co-located lineitems.
+	endDate := MkDate(1998, 8, 2)
+	for i := 0; i < sc.Orders; i++ {
+		okey := int32(i + 1)
+		oDate := Date(rng.Intn(int(MkDate(1998, 8, 2)) - 120))
+		nLines := rng.Intn(7) + 1
+		comment := randComment(rng)
+		if rng.Intn(100) == 0 {
+			comment = "special requests " + comment
+		}
+		o := Order{
+			Key:       okey,
+			CustKey:   int32(rng.Intn(sc.Customers) + 1),
+			Total:     0,
+			Date:      oDate,
+			Priority:  priorities[rng.Intn(5)],
+			Clerk:     fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1),
+			ShipPrio:  0,
+			Comment:   comment,
+			LineCount: int8(nLines),
+		}
+		part := int(okey) % parts
+		allShipped := true
+		anyShipped := false
+		for l := 0; l < nLines; l++ {
+			pkey := int32(rng.Intn(sc.Parts) + 1)
+			qty := float64(rng.Intn(50) + 1)
+			price := partsTbl[pkey-1].Retail * qty / 10
+			ship := oDate + Date(rng.Intn(120)+1)
+			commit := oDate + Date(rng.Intn(90)+30)
+			receipt := ship + Date(rng.Intn(30)+1)
+			li := Lineitem{
+				OrderKey:    okey,
+				PartKey:     pkey,
+				SuppKey:     int32((int(pkey)+(l%4)*(sc.Suppliers/4+1))%sc.Suppliers) + 1,
+				LineNum:     int8(l + 1),
+				Qty:         qty,
+				ExtPrice:    price,
+				Discount:    float64(rng.Intn(11)) / 100,
+				Tax:         float64(rng.Intn(9)) / 100,
+				ShipDate:    ship,
+				CommitDate:  commit,
+				ReceiptDate: receipt,
+				ShipInstr:   shipInstructs[rng.Intn(4)],
+				ShipMode:    shipModes[rng.Intn(7)],
+				Comment:     randText(rng, 12),
+			}
+			if ship > endDate {
+				li.ReturnFlag = 'N'
+				li.LineStatus = 'O'
+				allShipped = false
+			} else {
+				anyShipped = true
+				li.LineStatus = 'F'
+				if rng.Intn(4) == 0 {
+					li.ReturnFlag = 'R'
+				} else if rng.Intn(2) == 0 {
+					li.ReturnFlag = 'A'
+				} else {
+					li.ReturnFlag = 'N'
+				}
+			}
+			o.Total += price * (1 + li.Tax) * (1 - li.Discount)
+			dbs[part].Lineitem = append(dbs[part].Lineitem, li)
+		}
+		switch {
+		case allShipped:
+			o.Status = 'F'
+		case anyShipped:
+			o.Status = 'P'
+		default:
+			o.Status = 'O'
+		}
+		dbs[part].Orders = append(dbs[part].Orders, o)
+	}
+	return dbs
+}
+
+func (db *DB) buildIndexes() {
+	db.PartIdx = make(map[int32]*Part, len(db.Part))
+	for i := range db.Part {
+		db.PartIdx[db.Part[i].Key] = &db.Part[i]
+	}
+	db.SuppIdx = make(map[int32]*Supplier, len(db.Supplier))
+	for i := range db.Supplier {
+		db.SuppIdx[db.Supplier[i].Key] = &db.Supplier[i]
+	}
+	db.CustIdx = make(map[int32]*Customer, len(db.Customer))
+	for i := range db.Customer {
+		db.CustIdx[db.Customer[i].Key] = &db.Customer[i]
+	}
+	db.NatIdx = make(map[int32]*Nation, len(db.Nation))
+	for i := range db.Nation {
+		db.NatIdx[db.Nation[i].Key] = &db.Nation[i]
+	}
+}
+
+var commentWords = []string{"carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "packages", "accounts", "requests", "instructions", "theodolites", "pinto beans", "foxes", "ideas", "dependencies", "platelets"}
+
+func randComment(rng *rand.Rand) string {
+	n := rng.Intn(4) + 3
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += commentWords[rng.Intn(len(commentWords))]
+	}
+	return out
+}
+
+func randText(rng *rand.Rand, n int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789 "
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+func randPhone(rng *rand.Rand) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+rng.Intn(25), rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))
+}
+
+// PSKey packs a (pkey, skey) pair into the PSCost index key.
+func PSKey(pkey, skey int32) int64 { return int64(pkey)<<32 | int64(uint32(skey)) }

@@ -1,0 +1,263 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDateArithmetic(t *testing.T) {
+	if MkDate(1992, 1, 1) != 0 {
+		t.Fatal("epoch")
+	}
+	if MkDate(1992, 2, 1) != 31 {
+		t.Fatal("feb")
+	}
+	if MkDate(1993, 1, 1) != 365 {
+		t.Fatal("year")
+	}
+	d := MkDate(1995, 9, 15)
+	if d.Year() != 1995 || d.Month() != 9 {
+		t.Fatalf("Year/Month = %d/%d", d.Year(), d.Month())
+	}
+	if MkDate(1998, 12, 1)-90 <= MkDate(1998, 8, 1) {
+		t.Fatal("cutoff ordering")
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	dbs := Generate(0.01, 3, 1)
+	if len(dbs) != 3 {
+		t.Fatalf("partitions = %d", len(dbs))
+	}
+	sc := ScaleFor(0.01)
+	var orders, lineitems, partsupp int
+	for _, db := range dbs {
+		orders += len(db.Orders)
+		lineitems += len(db.Lineitem)
+		partsupp += len(db.PartSupp)
+		// Dimensions replicated everywhere.
+		if len(db.Customer) != sc.Customers || len(db.Part) != sc.Parts ||
+			len(db.Supplier) != sc.Suppliers || len(db.Nation) != 25 || len(db.Region) != 5 {
+			t.Fatal("dimension tables not replicated")
+		}
+	}
+	if orders != sc.Orders {
+		t.Fatalf("orders = %d, want %d", orders, sc.Orders)
+	}
+	if partsupp != sc.Parts*4 {
+		t.Fatalf("partsupp = %d, want %d", partsupp, sc.Parts*4)
+	}
+	if lineitems < orders || lineitems > orders*7 {
+		t.Fatalf("lineitems = %d for %d orders", lineitems, orders)
+	}
+}
+
+func TestOrdersColocatedWithLineitems(t *testing.T) {
+	dbs := Generate(0.005, 4, 2)
+	for i, db := range dbs {
+		okeys := map[int32]bool{}
+		for _, o := range db.Orders {
+			okeys[o.Key] = true
+			if int(o.Key)%4 != i {
+				t.Fatalf("order %d on partition %d", o.Key, i)
+			}
+		}
+		for _, l := range db.Lineitem {
+			if !okeys[l.OrderKey] {
+				t.Fatalf("lineitem for order %d not co-located", l.OrderKey)
+			}
+		}
+	}
+}
+
+func TestPartialEncodingRoundTrip(t *testing.T) {
+	dbs := Generate(0.004, 2, 3)
+	for _, q := range Queries {
+		partial, rows := q.Fragment(dbs[0])
+		if rows <= 0 {
+			t.Errorf("Q%d scanned %d rows", q.Num(), rows)
+		}
+		got := DecodePartial(EncodePartial(partial))
+		if fmt.Sprintf("%T", got) != fmt.Sprintf("%T", partial) {
+			t.Errorf("Q%d partial type changed: %T → %T", q.Num(), partial, got)
+		}
+	}
+}
+
+// numsClose compares two rendered result tables with float tolerance
+// (distributed float accumulation order differs from single-node).
+func numsClose(t *testing.T, qn int, a, b [][]string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("Q%d: %d rows vs %d rows", qn, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("Q%d row %d: width mismatch", qn, i)
+		}
+		for j := range a[i] {
+			x, errX := strconv.ParseFloat(a[i][j], 64)
+			y, errY := strconv.ParseFloat(b[i][j], 64)
+			if errX == nil && errY == nil {
+				if math.Abs(x-y) > 1e-6*(1+math.Abs(x)) {
+					t.Fatalf("Q%d row %d col %d: %v vs %v", qn, i, j, x, y)
+				}
+				continue
+			}
+			if a[i][j] != b[i][j] {
+				t.Fatalf("Q%d row %d col %d: %q vs %q", qn, i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// TestDistributedMatchesSingleNode executes every query both on one
+// partition holding all data and on 5 partitions, comparing results.
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	single := Generate(0.01, 1, 7)
+	multi := Generate(0.01, 5, 7)
+	for _, q := range Queries {
+		q := q
+		t.Run(fmt.Sprintf("Q%d", q.Num()), func(t *testing.T) {
+			sp, _ := q.Fragment(single[0])
+			want := q.Merge(single[0], []any{sp})
+			var partials []any
+			for _, db := range multi {
+				p, _ := q.Fragment(db)
+				// Round-trip through the wire encoding, as the runner does.
+				partials = append(partials, DecodePartial(EncodePartial(p)))
+			}
+			got := q.Merge(multi[0], partials)
+			numsClose(t, q.Num(), got, want)
+		})
+	}
+}
+
+func TestQueriesProduceResults(t *testing.T) {
+	dbs := Generate(0.01, 2, 11)
+	nonEmpty := 0
+	for _, q := range Queries {
+		var partials []any
+		for _, db := range dbs {
+			p, _ := q.Fragment(db)
+			partials = append(partials, p)
+		}
+		rows := q.Merge(dbs[0], partials)
+		if len(rows) > 0 {
+			nonEmpty++
+		}
+	}
+	// At this scale nearly every query should return rows; allow a couple
+	// of selective ones to come up empty.
+	if nonEmpty < 19 {
+		t.Fatalf("only %d/22 queries returned rows", nonEmpty)
+	}
+}
+
+func TestQ1AggregatesConsistent(t *testing.T) {
+	dbs := Generate(0.005, 1, 13)
+	p, _ := q1{}.Fragment(dbs[0])
+	rows := q1{}.Merge(dbs[0], []any{p})
+	if len(rows) == 0 {
+		t.Fatal("no Q1 groups")
+	}
+	for _, r := range rows {
+		count, _ := strconv.ParseInt(r[9], 10, 64)
+		sumQty, _ := strconv.ParseFloat(r[2], 64)
+		avgQty, _ := strconv.ParseFloat(r[6], 64)
+		if count <= 0 {
+			t.Fatalf("group %v has no rows", r[:2])
+		}
+		if math.Abs(sumQty/float64(count)-avgQty) > 0.01 {
+			t.Fatalf("avg inconsistent: %v", r)
+		}
+	}
+}
+
+func TestRunBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run")
+	}
+	cfg := BenchConfig{
+		SF: 0.004, Workers: 4,
+		Stacks:  AllStacks,
+		Queries: []int{1, 6, 13, 19},
+		Seed:    17,
+	}
+	res := RunBench(cfg)
+	if len(res) != 12 {
+		t.Fatalf("%d results", len(res))
+	}
+	times := map[Stack]map[int]int64{}
+	for _, r := range res {
+		if times[r.Stack] == nil {
+			times[r.Stack] = map[int]int64{}
+		}
+		if r.TimeNs <= 0 {
+			t.Fatalf("Q%d on %v took %d", r.Query, r.Stack, r.TimeNs)
+		}
+		times[r.Stack][r.Query] = r.TimeNs
+	}
+	var totIP, totSvc, totFn int64
+	for _, qn := range []int{1, 6, 13, 19} {
+		totIP += times[StackIPoIB][qn]
+		totSvc += times[StackHatService][qn]
+		totFn += times[StackHatFunction][qn]
+	}
+	if totSvc >= totIP {
+		t.Errorf("HatRPC-Service total (%d) not below IPoIB (%d)", totSvc, totIP)
+	}
+	if totFn >= totSvc {
+		t.Errorf("HatRPC-Function total (%d) not below Service (%d)", totFn, totSvc)
+	}
+}
+
+func TestStacksAgreeOnResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run")
+	}
+	cfg := BenchConfig{SF: 0.004, Workers: 3, Seed: 19}
+	dbs := Generate(cfg.SF, cfg.Workers, cfg.Seed)
+	qs := []int{3, 10, 18}
+	_, rowsIP := ExecuteQueries(cfg, StackIPoIB, qs, dbs)
+	_, rowsFn := ExecuteQueries(cfg, StackHatFunction, qs, dbs)
+	for _, qn := range qs {
+		numsClose(t, qn, rowsFn[qn], rowsIP[qn])
+	}
+}
+
+func TestScaleFor(t *testing.T) {
+	s := ScaleFor(1)
+	if s.Orders != 1_500_000 || s.Parts != 200_000 {
+		t.Fatalf("SF1 = %+v", s)
+	}
+	tiny := ScaleFor(0.0000001)
+	if tiny.Orders < 1 || tiny.Suppliers < 1 {
+		t.Fatal("tiny SF must keep at least one row per table")
+	}
+}
+
+func TestCommentKeywordsPresent(t *testing.T) {
+	dbs := Generate(0.01, 1, 23)
+	special := 0
+	for _, o := range dbs[0].Orders {
+		if strings.Contains(o.Comment, "special requests") {
+			special++
+		}
+	}
+	if special == 0 {
+		t.Fatal("no 'special requests' orders generated (Q13 needs them)")
+	}
+	complaints := 0
+	for _, s := range dbs[0].Supplier {
+		if strings.HasPrefix(s.Comment, "Customer Complaints") {
+			complaints++
+		}
+	}
+	if complaints == 0 {
+		t.Fatal("no complaint suppliers generated (Q16 needs them)")
+	}
+}

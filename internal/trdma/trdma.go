@@ -1,0 +1,325 @@
+// Package trdma is the bridge layer between the Thrift runtime and the
+// RDMA communication engine (§4.3, Figure 9): TRdma and TServerRdma are
+// the counterparts of TSocket and TServerSocket. The programming model is
+// intentionally TSocket-compatible — generated code writes a Thrift
+// message and flushes; TRdma maps the flush to a hint-planned engine call
+// and surfaces the response bytes for reading.
+//
+// Static (service-level) hints are applied when the connection is
+// established; dynamic (function-level) hints are resolved once per
+// function and cached, so the per-call overhead is a map lookup of a
+// pre-computed plan (§4.3: "we minimize the overhead of the dynamic hints
+// by only passing the pointer and caching the RPC function type").
+package trdma
+
+import (
+	"fmt"
+
+	"hatrpc/internal/engine"
+	"hatrpc/internal/hints"
+	"hatrpc/internal/ipoib"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// ServiceHints is the generated hint table for one service: the
+// service-level set plus per-function sets (Figure 1's hierarchy).
+type ServiceHints struct {
+	ServiceName string
+	Service     *hints.Set
+	Functions   map[string]*hints.Set
+	// FnIDs maps function names to wire ids (stable, 1-based in
+	// declaration order).
+	FnIDs map[string]uint32
+	// Oneway marks fire-and-forget functions.
+	Oneway map[string]bool
+}
+
+// FnNames returns a name lookup by id.
+func (sh *ServiceHints) FnNames() map[uint32]string {
+	out := make(map[uint32]string, len(sh.FnIDs))
+	for n, id := range sh.FnIDs {
+		out[id] = n
+	}
+	return out
+}
+
+// Resolve flattens the hierarchy for one function and side.
+func (sh *ServiceHints) Resolve(fn string, side hints.Side) hints.Resolved {
+	return hints.TypeCheck(hints.Resolve(sh.Service, sh.Functions[fn], side))
+}
+
+// plan is the cached per-function execution plan.
+type plan struct {
+	opts   engine.CallOpts
+	useTCP bool
+}
+
+// Transport is the message-level RPC channel generated clients call.
+type Transport interface {
+	// Invoke performs one RPC for the named function.
+	Invoke(p *sim.Proc, fn string, request []byte, oneway bool) ([]byte, error)
+	// Close releases the channel.
+	Close() error
+}
+
+// TRdma is the client-side hint-accelerated transport over the RDMA
+// engine, with optional per-function TCP (IPoIB) fallback for hybrid
+// transport hints (§3.3, §5.5).
+type TRdma struct {
+	conn   *engine.Conn
+	tcp    *ipoib.Conn
+	hintsT *ServiceHints
+	cores  int
+	thresh int
+	plans  map[string]plan
+	closed bool
+}
+
+var _ Transport = (*TRdma)(nil)
+
+// DialOptions configures connection establishment.
+type DialOptions struct {
+	// ForceProto pins every function to one protocol (used by the ATB
+	// baseline runs); nil means hint-driven selection.
+	ForceProto *engine.Protocol
+	// ForceBusy pins the polling mode when ForceProto is set.
+	ForceBusy bool
+}
+
+// Dial establishes a hint-accelerated connection to the service listening
+// on the target node. Static hints drive the connection-time setup;
+// per-function plans are derived lazily and cached.
+func Dial(p *sim.Proc, eng *engine.Engine, target *simnet.Node, sh *ServiceHints, opt *DialOptions) *TRdma {
+	t := &TRdma{
+		hintsT: sh,
+		cores:  eng.Cores(),
+		thresh: eng.Config().RndvThreshold,
+		plans:  make(map[string]plan),
+	}
+	needTCP := false
+	for fn := range sh.FnIDs {
+		if sh.Resolve(fn, hints.SideClient).UseTCP {
+			needTCP = true
+		}
+	}
+	svcClient := hints.TypeCheck(sh.Service.ForSide(hints.SideClient))
+	allTCP := svcClient.UseTCP && !anyRdmaFunction(sh)
+	if !allTCP {
+		t.conn = eng.Dial(p, target, "hat:"+sh.ServiceName)
+		t.conn.SetNUMABound(svcClient.NUMABind)
+	}
+	if needTCP || allTCP {
+		t.tcp = ipoib.Dial(p, eng.Node(), target, "hat:"+sh.ServiceName, nil)
+	}
+	if opt != nil && opt.ForceProto != nil {
+		for fn := range sh.FnIDs {
+			t.plans[fn] = plan{opts: engine.CallOpts{
+				Proto: *opt.ForceProto, Busy: opt.ForceBusy,
+			}}
+		}
+	}
+	return t
+}
+
+func anyRdmaFunction(sh *ServiceHints) bool {
+	for fn := range sh.FnIDs {
+		r := sh.Resolve(fn, hints.SideClient)
+		if !r.UseTCP {
+			return true
+		}
+	}
+	return false
+}
+
+// planFor resolves (once) the client-side plan for a function.
+func (t *TRdma) planFor(fn string) plan {
+	if pl, ok := t.plans[fn]; ok {
+		return pl
+	}
+	r := t.hintsT.Resolve(fn, hints.SideClient)
+	var pl plan
+	if r.UseTCP {
+		pl.useTCP = true
+	} else {
+		ep := engine.SelectPlan(r, t.cores, r.PayloadSize, t.thresh)
+		pl.opts = engine.CallOpts{Proto: ep.Proto, Busy: ep.Busy}
+		// An asymmetric response regime (server payload hint differing
+		// from the client's) re-plans the response protocol.
+		rs := t.hintsT.Resolve(fn, hints.SideServer)
+		if rs.PayloadSize != 0 && rs.PayloadSize != r.PayloadSize {
+			rp := engine.SelectPlan(r, t.cores, rs.PayloadSize, t.thresh)
+			pl.opts.RespProto = rp.Proto
+		}
+	}
+	t.plans[fn] = pl
+	return pl
+}
+
+// Invoke performs one RPC using the function's cached plan.
+func (t *TRdma) Invoke(p *sim.Proc, fn string, request []byte, oneway bool) ([]byte, error) {
+	if t.closed {
+		return nil, fmt.Errorf("trdma: transport closed")
+	}
+	id, ok := t.hintsT.FnIDs[fn]
+	if !ok {
+		return nil, fmt.Errorf("trdma: unknown function %q", fn)
+	}
+	pl := t.planFor(fn)
+	if pl.useTCP {
+		if oneway {
+			t.tcp.Send(p, request)
+			return nil, nil
+		}
+		return t.tcp.Call(p, request), nil
+	}
+	opts := pl.opts
+	opts.Oneway = oneway
+	return t.conn.Call(p, id, request, opts)
+}
+
+// Plan exposes the resolved client plan for a function (for tests and
+// introspection).
+func (t *TRdma) Plan(fn string) engine.CallOpts { return t.planFor(fn).opts }
+
+// Close marks the transport closed.
+func (t *TRdma) Close() error {
+	t.closed = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Server side
+
+// Processor is the generated server-side dispatcher: it consumes a framed
+// Thrift request and produces the framed response bytes (empty for
+// oneway).
+type Processor interface {
+	ProcessBytes(p *sim.Proc, fnID uint32, request []byte) []byte
+}
+
+// TServerRdma serves a processor over the RDMA engine, with an IPoIB
+// listener alongside when any function hints transport=tcp.
+type TServerRdma struct {
+	eng  *engine.Engine
+	sh   *ServiceHints
+	proc Processor
+	srv  *engine.Server
+}
+
+// NewServer builds and starts the hint-configured server: the dispatcher
+// polling mode derives from the server-side resolved hints (busy if any
+// function's server plan wants busy polling), NUMA binding from the
+// service-level hint.
+func NewServer(eng *engine.Engine, sh *ServiceHints, proc Processor) *TServerRdma {
+	s := &TServerRdma{eng: eng, sh: sh, proc: proc}
+	busy := false
+	tcpToo := false
+	maxConc := 0
+	for fn := range sh.FnIDs {
+		r := sh.Resolve(fn, hints.SideServer)
+		if r.UseTCP {
+			tcpToo = true
+			continue
+		}
+		if r.Concurrency > maxConc {
+			maxConc = r.Concurrency
+		}
+		pl := engine.SelectPlan(r, eng.Cores(), r.PayloadSize, eng.Config().RndvThreshold)
+		if pl.Busy {
+			busy = true
+		}
+	}
+	// One dispatcher process serves each connection; spinning with more
+	// connections than cores would starve the handlers (the Fig. 5
+	// busy-polling collapse), so busy dispatch is only kept while the
+	// expected concurrency fits the machine.
+	if maxConc > eng.Cores() {
+		busy = false
+	}
+	svcServer := hints.TypeCheck(sh.Service.ForSide(hints.SideServer))
+	s.srv = eng.Serve("hat:"+sh.ServiceName, func(p *sim.Proc, fnID uint32, req []byte) []byte {
+		return proc.ProcessBytes(p, fnID, req)
+	})
+	s.srv.Busy = busy
+	s.srv.NUMABind = svcServer.NUMABind
+	if tcpToo || svcServer.UseTCP {
+		s.serveTCP()
+	}
+	return s
+}
+
+// serveTCP starts the IPoIB side for hybrid-transport services. The fn id
+// rides inside the Thrift message name, so the processor receives id 0
+// and dispatches by name.
+func (s *TServerRdma) serveTCP() {
+	node := s.eng.Node()
+	ln := ipoib.Listen(node, "hat:"+s.sh.ServiceName, nil)
+	env := node.Cluster().Env()
+	env.Spawn(fmt.Sprintf("hat-tcp-%s", s.sh.ServiceName), func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			conn := ln.Accept(p)
+			env.Spawn(fmt.Sprintf("hat-tcp-%s-%d", s.sh.ServiceName, i), func(cp *sim.Proc) {
+				for {
+					req := conn.Recv(cp)
+					resp := s.proc.ProcessBytes(cp, 0, req)
+					if len(resp) > 0 {
+						conn.Send(cp, resp)
+					}
+				}
+			})
+		}
+	})
+}
+
+// EngineServer exposes the underlying engine server (for stats).
+func (s *TServerRdma) EngineServer() *engine.Server { return s.srv }
+
+// ---------------------------------------------------------------------------
+// Vanilla Thrift-over-IPoIB channel (the paper's baseline)
+
+// TCPTransport runs the same generated code over plain framed IPoIB —
+// vanilla Thrift. It satisfies Transport.
+type TCPTransport struct {
+	conn *ipoib.Conn
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// DialTCP connects the vanilla Thrift baseline.
+func DialTCP(p *sim.Proc, from, to *simnet.Node, serviceName string) *TCPTransport {
+	return &TCPTransport{conn: ipoib.Dial(p, from, to, "thrift:"+serviceName, nil)}
+}
+
+// Invoke ships the framed request over the kernel socket path.
+func (t *TCPTransport) Invoke(p *sim.Proc, fn string, request []byte, oneway bool) ([]byte, error) {
+	if oneway {
+		t.conn.Send(p, request)
+		return nil, nil
+	}
+	return t.conn.Call(p, request), nil
+}
+
+// Close is a no-op.
+func (t *TCPTransport) Close() error { return nil }
+
+// ServeTCP runs a processor as a vanilla Thrift-over-IPoIB server
+// (goroutine-per-connection threaded server).
+func ServeTCP(node *simnet.Node, serviceName string, proc Processor) {
+	ln := ipoib.Listen(node, "thrift:"+serviceName, nil)
+	env := node.Cluster().Env()
+	env.Spawn(fmt.Sprintf("thrift-tcp-%s", serviceName), func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			conn := ln.Accept(p)
+			env.Spawn(fmt.Sprintf("thrift-tcp-%s-%d", serviceName, i), func(cp *sim.Proc) {
+				for {
+					req := conn.Recv(cp)
+					resp := proc.ProcessBytes(cp, 0, req)
+					if len(resp) > 0 {
+						conn.Send(cp, resp)
+					}
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package trdma_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	hybridgen "hatrpc/examples/hybrid/gen"
+	echogen "hatrpc/examples/quickstart/gen"
+	"hatrpc/internal/engine"
+	"hatrpc/internal/hints"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+	"hatrpc/internal/trdma"
+)
+
+// echoImpl implements the generated Echo handler.
+type echoImpl struct{ pings, notifies int }
+
+func (e *echoImpl) Ping(p *sim.Proc, msg string) (string, error) {
+	e.pings++
+	return "pong:" + msg, nil
+}
+
+func (e *echoImpl) Reverse(p *sim.Proc, msg string) (string, error) {
+	b := []byte(msg)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b), nil
+}
+
+func (e *echoImpl) Notify(p *sim.Proc, event string) error {
+	e.notifies++
+	return nil
+}
+
+func newCluster(seed int64) (*sim.Env, *simnet.Cluster) {
+	env := sim.NewEnv(seed)
+	cl := simnet.NewCluster(env, simnet.DefaultConfig())
+	return env, cl
+}
+
+func TestGeneratedEchoOverRdma(t *testing.T) {
+	env, cl := newCluster(1)
+	srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
+	cliEng := engine.New(cl.Node(1), engine.DefaultConfig())
+	impl := &echoImpl{}
+	trdma.NewServer(srvEng, echogen.EchoHints, echogen.NewEchoProcessor(impl))
+
+	var pong, rev string
+	env.Spawn("client", func(p *sim.Proc) {
+		tr := trdma.Dial(p, cliEng, cl.Node(0), echogen.EchoHints, nil)
+		c := echogen.NewEchoClient(tr)
+		var err error
+		pong, err = c.Ping(p, "hello")
+		if err != nil {
+			t.Error(err)
+		}
+		rev, err = c.Reverse(p, "drawkcab")
+		if err != nil {
+			t.Error(err)
+		}
+		if err := c.Notify(p, "fire-and-forget"); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(1_000_000) // let the oneway land
+		env.Stop()
+	})
+	env.Run()
+	if pong != "pong:hello" {
+		t.Errorf("Ping = %q", pong)
+	}
+	if rev != "backward" {
+		t.Errorf("Reverse = %q", rev)
+	}
+	if impl.pings != 1 || impl.notifies != 1 {
+		t.Errorf("handler counts: pings=%d notifies=%d", impl.pings, impl.notifies)
+	}
+}
+
+func TestGeneratedEchoOverVanillaTCP(t *testing.T) {
+	env, cl := newCluster(2)
+	impl := &echoImpl{}
+	trdma.ServeTCP(cl.Node(0), "Echo", echogen.NewEchoProcessor(impl))
+	var pong string
+	env.Spawn("client", func(p *sim.Proc) {
+		tr := trdma.DialTCP(p, cl.Node(1), cl.Node(0), "Echo")
+		c := echogen.NewEchoClient(tr)
+		var err error
+		pong, err = c.Ping(p, "ipoib")
+		if err != nil {
+			t.Error(err)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if pong != "pong:ipoib" {
+		t.Errorf("Ping over TCP = %q", pong)
+	}
+}
+
+func TestRdmaFasterThanIPoIBBaseline(t *testing.T) {
+	// The headline claim: HatRPC (hint-planned RDMA) must beat vanilla
+	// Thrift over IPoIB for the same generated service.
+	run := func(rdma bool) sim.Time {
+		env, cl := newCluster(3)
+		impl := &echoImpl{}
+		var useEng *engine.Engine
+		if rdma {
+			srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
+			useEng = engine.New(cl.Node(1), engine.DefaultConfig())
+			trdma.NewServer(srvEng, echogen.EchoHints, echogen.NewEchoProcessor(impl))
+		} else {
+			trdma.ServeTCP(cl.Node(0), "Echo", echogen.NewEchoProcessor(impl))
+		}
+		var elapsed sim.Time
+		env.Spawn("client", func(p *sim.Proc) {
+			var tr trdma.Transport
+			if rdma {
+				tr = trdma.Dial(p, useEng, cl.Node(0), echogen.EchoHints, nil)
+			} else {
+				tr = trdma.DialTCP(p, cl.Node(1), cl.Node(0), "Echo")
+			}
+			c := echogen.NewEchoClient(tr)
+			c.Ping(p, "warm")
+			start := p.Now()
+			for i := 0; i < 50; i++ {
+				c.Ping(p, "x")
+			}
+			elapsed = p.Now() - start
+			env.Stop()
+		})
+		env.Run()
+		return elapsed
+	}
+	rdma, tcp := run(true), run(false)
+	if rdma >= tcp {
+		t.Fatalf("HatRPC (%d) not faster than Thrift/IPoIB (%d)", rdma, tcp)
+	}
+	speedup := float64(tcp) / float64(rdma)
+	if speedup < 2 {
+		t.Errorf("speedup only %.2fx; expected well above 2x for small echo", speedup)
+	}
+	t.Logf("echo latency speedup over IPoIB: %.2fx", speedup)
+}
+
+func TestHybridTransportRouting(t *testing.T) {
+	env, cl := newCluster(4)
+	srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
+	cliEng := engine.New(cl.Node(1), engine.DefaultConfig())
+	impl := &telemetryImpl{}
+	trdma.NewServer(srvEng, hybridgen.TelemetryHints, hybridgen.NewTelemetryProcessor(impl))
+
+	env.Spawn("client", func(p *sim.Proc) {
+		tr := trdma.Dial(p, cliEng, cl.Node(0), hybridgen.TelemetryHints, nil)
+		c := hybridgen.NewTelemetryClient(tr)
+		cfg, err := c.GetConfig(p, "interval") // rides TCP
+		if err != nil || cfg != "interval=10s" {
+			t.Errorf("GetConfig = %q, %v", cfg, err)
+		}
+		if err := c.PushSamples(p, make([]byte, 32768)); err != nil { // rides RDMA
+			t.Error(err)
+		}
+		w, err := c.PullWindow(p, 0, 100)
+		if err != nil || len(w) != 65536 {
+			t.Errorf("PullWindow = %d bytes, %v", len(w), err)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if impl.pushes != 1 {
+		t.Errorf("pushes = %d", impl.pushes)
+	}
+}
+
+type telemetryImpl struct{ pushes int }
+
+func (x *telemetryImpl) GetConfig(p *sim.Proc, key string) (string, error) {
+	return key + "=10s", nil
+}
+func (x *telemetryImpl) ReportStatus(p *sim.Proc, status string) error { return nil }
+func (x *telemetryImpl) PushSamples(p *sim.Proc, samples []byte) error {
+	x.pushes++
+	return nil
+}
+func (x *telemetryImpl) PullWindow(p *sim.Proc, fromTs, toTs int64) ([]byte, error) {
+	return make([]byte, 65536), nil
+}
+
+func TestUnknownMethodReturnsApplicationException(t *testing.T) {
+	env, cl := newCluster(5)
+	srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
+	cliEng := engine.New(cl.Node(1), engine.DefaultConfig())
+	trdma.NewServer(srvEng, echogen.EchoHints, echogen.NewEchoProcessor(&echoImpl{}))
+	env.Spawn("client", func(p *sim.Proc) {
+		tr := trdma.Dial(p, cliEng, cl.Node(0), echogen.EchoHints, nil)
+		if _, err := tr.Invoke(p, "NoSuchFn", []byte("junk"), false); err == nil {
+			t.Error("unknown function accepted by transport")
+		}
+		env.Stop()
+	})
+	env.Run()
+}
+
+func TestHintPlansMatchFig6(t *testing.T) {
+	env, cl := newCluster(6)
+	srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
+	cliEng := engine.New(cl.Node(1), engine.DefaultConfig())
+	trdma.NewServer(srvEng, echogen.EchoHints, echogen.NewEchoProcessor(&echoImpl{}))
+	env.Spawn("client", func(p *sim.Proc) {
+		tr := trdma.Dial(p, cliEng, cl.Node(0), echogen.EchoHints, nil)
+		// Echo service hints: perf_goal=latency, concurrency=1 →
+		// Direct-WriteIMM with busy polling.
+		pl := tr.Plan("Ping")
+		if pl.Proto != engine.DirectWriteIMM || !pl.Busy {
+			t.Errorf("Ping plan = %+v, want Direct-WriteIMM busy", pl)
+		}
+		env.Stop()
+	})
+	env.Run()
+}
+
+func TestForceProtoOverride(t *testing.T) {
+	env, cl := newCluster(7)
+	srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
+	cliEng := engine.New(cl.Node(1), engine.DefaultConfig())
+	trdma.NewServer(srvEng, echogen.EchoHints, echogen.NewEchoProcessor(&echoImpl{}))
+	forced := engine.RFP
+	env.Spawn("client", func(p *sim.Proc) {
+		tr := trdma.Dial(p, cliEng, cl.Node(0), echogen.EchoHints, &trdma.DialOptions{ForceProto: &forced, ForceBusy: true})
+		if pl := tr.Plan("Ping"); pl.Proto != engine.RFP {
+			t.Errorf("forced plan = %+v", pl)
+		}
+		c := echogen.NewEchoClient(tr)
+		if pong, err := c.Ping(p, "via-rfp"); err != nil || pong != "pong:via-rfp" {
+			t.Errorf("forced-RFP ping = %q %v", pong, err)
+		}
+		env.Stop()
+	})
+	env.Run()
+}
+
+func TestManyClientsGeneratedService(t *testing.T) {
+	env, cl := newCluster(8)
+	srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
+	impl := &echoImpl{}
+	trdma.NewServer(srvEng, echogen.EchoHints, echogen.NewEchoProcessor(impl))
+	engs := make([]*engine.Engine, 4)
+	for i := range engs {
+		engs[i] = engine.New(cl.Node(1+i%4), engine.DefaultConfig())
+	}
+	const N = 12
+	done := 0
+	for i := 0; i < N; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+			tr := trdma.Dial(p, engs[i%4], cl.Node(0), echogen.EchoHints, nil)
+			c := echogen.NewEchoClient(tr)
+			for j := 0; j < 8; j++ {
+				msg := fmt.Sprintf("c%d-%d", i, j)
+				got, err := c.Ping(p, msg)
+				if err != nil || !strings.HasSuffix(got, msg) {
+					t.Errorf("client %d: %q %v", i, got, err)
+					return
+				}
+			}
+			done++
+		})
+	}
+	env.Run()
+	if done != N {
+		t.Fatalf("only %d/%d clients finished", done, N)
+	}
+	if impl.pings != N*8 {
+		t.Fatalf("server saw %d pings, want %d", impl.pings, N*8)
+	}
+}
+
+func TestHintsResolutionInGeneratedTable(t *testing.T) {
+	sh := echogen.EchoHints
+	r := sh.Resolve("Ping", hints.SideClient)
+	if r.Goal != hints.GoalLatency || r.Concurrency != 1 {
+		t.Errorf("resolved = %+v", r)
+	}
+	if len(sh.FnIDs) != 3 {
+		t.Errorf("FnIDs = %v", sh.FnIDs)
+	}
+	if !sh.Oneway["Notify"] {
+		t.Error("Notify should be oneway")
+	}
+}

@@ -1,0 +1,118 @@
+package verbs
+
+// CostModel collects the calibrated hardware constants that drive the
+// simulation. The values approximate the paper's testbed (§5.1):
+// ConnectX-5 IB-EDR (100 Gbps) NICs on PCIe gen3 x16, 28-core Skylake.
+// Absolute values matter less than their ratios — the ratios put the
+// protocol crossovers (eager vs rendezvous, busy vs event polling,
+// one-sided inbound vs outbound) where the paper observed them.
+type CostModel struct {
+	// DoorbellNs is the CPU cost of one MMIO doorbell write (ringing the
+	// NIC). Chained work requests amortize this: one doorbell posts the
+	// whole chain — the Chained-Write-Send advantage (§3.1).
+	DoorbellNs int64
+
+	// WQEProcessNs is NIC occupancy to fetch and decode one WQE.
+	WQEProcessNs int64
+
+	// OutboundOneSidedExtraNs is the additional initiator-side NIC
+	// occupancy for *issuing* a one-sided READ versus serving one.
+	// RFP's key observation (§3.2): out-bound RDMA is much more expensive
+	// than in-bound RDMA. (WRITEs pipeline like sends and do not pay it.)
+	OutboundOneSidedExtraNs int64
+
+	// EagerSlotMgmtNs is per-slot CPU work of the eager protocol beyond
+	// the copy itself: ring bookkeeping, receive re-posting, and credit
+	// flow control. Charged once per slot at each end.
+	EagerSlotMgmtNs int64
+
+	// InboundServeNs is target-NIC occupancy to serve an inbound READ or
+	// land an inbound WRITE without CPU involvement.
+	InboundServeNs int64
+
+	// PCIeBytesPerNs is host-memory DMA bandwidth over PCIe.
+	PCIeBytesPerNs float64
+
+	// MemcpyBytesPerNs is single-core CPU copy bandwidth; eager protocols
+	// pay it twice (user buffer → slot, slot → user buffer).
+	MemcpyBytesPerNs float64
+
+	// PollGranularityNs is the spin-loop iteration period: the expected
+	// delay between a CQE landing and a busy poller noticing it, before
+	// load scaling.
+	PollGranularityNs int64
+
+	// TimesliceNs is the OS scheduler quantum. When more busy pollers
+	// than cores exist, a descheduled spinner cannot observe its CQE
+	// until it is scheduled again — this is what collapses busy polling
+	// under over-subscription (Fig. 5), far beyond the pure PS slowdown.
+	TimesliceNs int64
+
+	// InterruptWakeNs is the event-polling wakeup path: NIC interrupt,
+	// kernel, futex wake. [51] measured ~4% CPU at the price of latency.
+	InterruptWakeNs int64
+
+	// MRRegisterBaseNs and MRRegisterPerPageNs are memory-registration
+	// costs (pinning + NIC page-table update).
+	MRRegisterBaseNs    int64
+	MRRegisterPerPageNs int64
+
+	// WireHeaderBytes is per-message wire overhead (LRH/GRH/BTH/ICRC).
+	WireHeaderBytes int
+
+	// CQEDmaNs is the NIC cost to DMA a completion entry to the host.
+	CQEDmaNs int64
+}
+
+// DefaultCostModel returns constants calibrated for the paper's testbed.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		DoorbellNs:              250,
+		WQEProcessNs:            80,
+		OutboundOneSidedExtraNs: 350,
+		EagerSlotMgmtNs:         450,
+		InboundServeNs:          60,
+		PCIeBytesPerNs:          14.0, // ~14 GB/s effective DMA
+		MemcpyBytesPerNs:        10.0, // ~10 GB/s single-core copy
+		PollGranularityNs:       40,
+		TimesliceNs:             8000,
+		InterruptWakeNs:         4000,
+		MRRegisterBaseNs:        5000,
+		MRRegisterPerPageNs:     400,
+		WireHeaderBytes:         40,
+		CQEDmaNs:                60,
+	}
+}
+
+// DMATime returns the host-DMA time for size bytes.
+func (cm *CostModel) DMATime(size int) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return int64(float64(size) / cm.PCIeBytesPerNs)
+}
+
+// MemcpyTime returns the CPU time to copy size bytes.
+func (cm *CostModel) MemcpyTime(size int) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return int64(float64(size) / cm.MemcpyBytesPerNs)
+}
+
+// BusyDetectNs returns the busy-poll completion-detection delay at the
+// given CPU load factor: spin granularity scaled by load, plus scheduler
+// rotation once spinners outnumber cores.
+func (cm *CostModel) BusyDetectNs(loadFactor float64) float64 {
+	d := float64(cm.PollGranularityNs) * loadFactor
+	if loadFactor > 1 {
+		d += (loadFactor - 1) * float64(cm.TimesliceNs)
+	}
+	return d
+}
+
+// RegisterTime returns the cost of registering an MR of size bytes.
+func (cm *CostModel) RegisterTime(size int) int64 {
+	pages := int64((size + 4095) / 4096)
+	return cm.MRRegisterBaseNs + pages*cm.MRRegisterPerPageNs
+}

@@ -1,0 +1,506 @@
+// Package verbs is a functional, virtual-time simulation of the RDMA
+// verbs user-space API: protection domains, registered memory regions,
+// reliable-connected queue pairs, completion queues with busy and event
+// polling, two-sided SEND/RECV and one-sided WRITE / READ /
+// WRITE_WITH_IMM, inline sends, and chained work requests.
+//
+// Data really moves: a WRITE copies bytes into the remote memory region,
+// a SEND lands in the buffer named by the consumed RECV WQE. Time is
+// virtual: every doorbell, WQE fetch, DMA, wire serialization, completion
+// and interrupt is charged per the CostModel, so protocol comparisons
+// reproduce the relative behaviour measured on real hardware while
+// remaining deterministic.
+package verbs
+
+import (
+	"fmt"
+
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// Opcode identifies a work-request or completion type.
+type Opcode int
+
+// Work request opcodes.
+const (
+	OpSend Opcode = iota
+	OpSendImm
+	OpWrite
+	OpWriteImm
+	OpRead
+	OpRecv // completion-side only
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpSendImm:
+		return "SEND_WITH_IMM"
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_WITH_IMM"
+	case OpRead:
+		return "READ"
+	case OpRecv:
+		return "RECV"
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// Device is the simulated RNIC of one node. All QPs, CQs and MRs hang off
+// a device; a single FIFO send engine per device models the NIC's WQE
+// processing pipeline.
+type Device struct {
+	node *simnet.Node
+	cm   *CostModel
+	env  *sim.Env
+
+	txq    *sim.Queue[*txWork]
+	nextMR uint32
+	nextQP uint32
+}
+
+// OpenDevice attaches a simulated RNIC to the node and starts its
+// processing engines.
+func OpenDevice(node *simnet.Node, cm *CostModel) *Device {
+	if cm == nil {
+		cm = DefaultCostModel()
+	}
+	d := &Device{node: node, cm: cm, env: node.Cluster().Env()}
+	d.txq = sim.NewQueue[*txWork](d.env)
+	d.env.Spawn(fmt.Sprintf("nic%d-tx", node.ID()), d.txEngine)
+	return d
+}
+
+// Node returns the node this device is attached to.
+func (d *Device) Node() *simnet.Node { return d.node }
+
+// CostModel returns the device's hardware constants.
+func (d *Device) CostModel() *CostModel { return d.cm }
+
+// AllocPD allocates a protection domain.
+func (d *Device) AllocPD() *PD { return &PD{dev: d} }
+
+// PD is a protection domain.
+type PD struct {
+	dev *Device
+}
+
+// Device returns the owning device.
+func (pd *PD) Device() *Device { return pd.dev }
+
+// MR is a registered memory region. Buf is the actual backing store:
+// one-sided operations read and write it directly.
+type MR struct {
+	pd      *PD
+	Buf     []byte
+	lkey    uint32
+	onWrite func()
+}
+
+// SetWriteNotify registers a callback invoked whenever an inbound
+// one-sided WRITE lands in this region. Memory-polling protocols (HERD,
+// RFP) use it as the simulation equivalent of a CPU spin loop observing
+// the write: the *detection cost* is still charged by the poller.
+func (mr *MR) SetWriteNotify(fn func()) { mr.onWrite = fn }
+
+// RegisterMR pins and registers a fresh buffer of the given size,
+// charging the registration cost to the calling process.
+func (pd *PD) RegisterMR(p *sim.Proc, size int) *MR {
+	pd.dev.nextMR++
+	mr := &MR{pd: pd, Buf: make([]byte, size), lkey: pd.dev.nextMR}
+	p.Sleep(sim.Duration(pd.dev.cm.RegisterTime(size)))
+	return mr
+}
+
+// RegisterMRNoCost registers without charging time; for test fixtures.
+func (pd *PD) RegisterMRNoCost(size int) *MR {
+	pd.dev.nextMR++
+	return &MR{pd: pd, Buf: make([]byte, size), lkey: pd.dev.nextMR}
+}
+
+// RKey is the remote-access handle an application exchanges out-of-band
+// so peers can target this MR with one-sided operations.
+type RKey struct {
+	mr *MR
+}
+
+// RKey returns the remote-access handle for the region.
+func (mr *MR) RKey() RKey { return RKey{mr: mr} }
+
+// Len returns the region size.
+func (mr *MR) Len() int { return len(mr.Buf) }
+
+// WC is a work completion.
+type WC struct {
+	WRID    uint64
+	Op      Opcode
+	ByteLen int
+	Imm     uint32
+	HasImm  bool
+	QP      *QP
+}
+
+// CQ is a completion queue supporting both polling disciplines.
+type CQ struct {
+	dev    *Device
+	done   []WC
+	sig    *sim.Signal
+	notify func()
+}
+
+// SetNotify registers a callback invoked on every completion push, in
+// addition to waking blocked pollers. Engines multiplexing several event
+// sources (CQ + memory polling) use it to drive a combined wait signal.
+func (cq *CQ) SetNotify(fn func()) { cq.notify = fn }
+
+// CreateCQ allocates a completion queue.
+func (d *Device) CreateCQ() *CQ {
+	return &CQ{dev: d, sig: sim.NewSignal(d.env)}
+}
+
+func (cq *CQ) push(wc WC) {
+	cq.done = append(cq.done, wc)
+	cq.sig.Fire()
+	if cq.notify != nil {
+		cq.notify()
+	}
+}
+
+// TryPoll returns one completion if immediately available.
+func (cq *CQ) TryPoll() (WC, bool) {
+	if len(cq.done) == 0 {
+		return WC{}, false
+	}
+	wc := cq.done[0]
+	cq.done = cq.done[1:]
+	return wc, true
+}
+
+// PollBusy spin-polls for the next completion. While waiting the caller
+// occupies a core (registered as persistent CPU load), and the detection
+// delay after a CQE lands scales with the node's load factor — this is
+// what makes busy polling collapse under over-subscription (Fig. 5).
+func (cq *CQ) PollBusy(p *sim.Proc) WC {
+	cpu := cq.dev.node.CPU
+	cpu.AddLoad(1)
+	for len(cq.done) == 0 {
+		cq.sig.Wait(p)
+	}
+	p.Sleep(sim.Duration(cq.dev.cm.BusyDetectNs(cpu.LoadFactor())))
+	cpu.RemoveLoad(1)
+	wc := cq.done[0]
+	cq.done = cq.done[1:]
+	return wc
+}
+
+// WaitEvent blocks for the next completion using the interrupt-driven
+// path: no CPU is burned while waiting, but the wakeup pays the interrupt
+// cost (scaled by load when the node is saturated).
+func (cq *CQ) WaitEvent(p *sim.Proc) WC {
+	for len(cq.done) == 0 {
+		cq.sig.Wait(p)
+	}
+	cpu := cq.dev.node.CPU
+	p.Sleep(sim.Duration(float64(cq.dev.cm.InterruptWakeNs) * cpu.LoadFactor()))
+	wc := cq.done[0]
+	cq.done = cq.done[1:]
+	return wc
+}
+
+// Poll retrieves one completion with the given discipline.
+func (cq *CQ) Poll(p *sim.Proc, busy bool) WC {
+	if busy {
+		return cq.PollBusy(p)
+	}
+	return cq.WaitEvent(p)
+}
+
+// Depth returns the number of undelivered completions.
+func (cq *CQ) Depth() int { return len(cq.done) }
+
+// SGE is a scatter/gather element naming a slice of a registered region.
+type SGE struct {
+	MR  *MR
+	Off int
+	Len int
+}
+
+func (s SGE) bytes() []byte { return s.MR.Buf[s.Off : s.Off+s.Len] }
+
+// SendWR is a send-queue work request. Chained requests (Next) are posted
+// with a single doorbell.
+type SendWR struct {
+	WRID       uint64
+	Op         Opcode
+	SGE        SGE
+	Remote     RKey // WRITE/READ/WRITE_IMM target
+	RemoteOff  int
+	Imm        uint32
+	Inline     bool // payload copied at post time; skips DMA read
+	Unsignaled bool
+	Next       *SendWR
+}
+
+// RecvWR is a receive-queue work request.
+type RecvWR struct {
+	WRID uint64
+	SGE  SGE
+}
+
+// QP is a reliable-connected queue pair.
+type QP struct {
+	dev     *Device
+	id      uint32
+	sendCQ  *CQ
+	recvCQ  *CQ
+	peer    *QP
+	recvq   []RecvWR
+	pending []*packet // arrived SEND/WRITE_IMM packets awaiting a RECV WQE
+}
+
+// CreateQP allocates a queue pair bound to the given completion queues.
+func (d *Device) CreateQP(sendCQ, recvCQ *CQ) *QP {
+	d.nextQP++
+	return &QP{dev: d, id: d.nextQP, sendCQ: sendCQ, recvCQ: recvCQ}
+}
+
+// Connect pairs two QPs (the RC connection). Applications exchange QP
+// handles out-of-band (simnet endpoints) just as real code exchanges QPNs
+// and LIDs, then both sides call Connect.
+func (qp *QP) Connect(peer *QP) { qp.peer = peer }
+
+// Peer returns the connected remote QP.
+func (qp *QP) Peer() *QP { return qp.peer }
+
+// Device returns the owning device.
+func (qp *QP) Device() *Device { return qp.dev }
+
+// SendCQ returns the send completion queue.
+func (qp *QP) SendCQ() *CQ { return qp.sendCQ }
+
+// RecvCQ returns the receive completion queue.
+func (qp *QP) RecvCQ() *CQ { return qp.recvCQ }
+
+// PostRecv posts a receive WQE. If a two-sided packet is already pending
+// (arrived before the buffer), it is matched immediately.
+func (qp *QP) PostRecv(wr RecvWR) {
+	if len(qp.pending) > 0 {
+		pkt := qp.pending[0]
+		qp.pending = qp.pending[1:]
+		qp.completeRecv(pkt, wr)
+		return
+	}
+	qp.recvq = append(qp.recvq, wr)
+}
+
+// PostSend posts a work-request chain with one doorbell, charging the
+// caller's CPU for the MMIO write. Inline payloads are captured at post
+// time.
+func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) {
+	if qp.peer == nil {
+		panic("verbs: PostSend on unconnected QP")
+	}
+	// One doorbell posts the entire chain (the Chained-Write-Send saving).
+	qp.dev.node.CPU.Compute(p, sim.Duration(qp.dev.cm.DoorbellNs))
+	for w := wr; w != nil; w = w.Next {
+		work := &txWork{qp: qp, wr: *w}
+		work.wr.Next = nil
+		if w.Inline || w.Op == OpSend || w.Op == OpSendImm || w.Op == OpWrite || w.Op == OpWriteImm {
+			// Capture payload now; the simulated DMA cost is still charged
+			// in the engine, but the bytes must be stable.
+			if w.SGE.Len > 0 {
+				work.payload = append([]byte(nil), w.SGE.bytes()...)
+			}
+		}
+		qp.dev.txq.Push(work)
+	}
+}
+
+// txWork is one WQE handed to the NIC send engine.
+type txWork struct {
+	qp      *QP
+	wr      SendWR
+	payload []byte
+}
+
+// packet is a message in flight between two NICs.
+type packet struct {
+	kind       Opcode
+	srcQP      *QP
+	dstQP      *QP
+	payload    []byte
+	remote     RKey
+	remoteOff  int
+	imm        uint32
+	wrid       uint64 // initiator's WRID (for READ responses)
+	readLen    int    // READ request length
+	signaled   bool
+	isReadResp bool
+	readDst    SGE
+}
+
+// txEngine is the device's send-side NIC pipeline: fetch WQE, DMA the
+// payload from host memory, serialize onto the wire, and hand off to the
+// fabric. One-sided issue overhead is charged here.
+func (d *Device) txEngine(p *sim.Proc) {
+	cm := d.cm
+	for {
+		w := d.txq.Pop(p)
+		wr := &w.wr
+		p.Sleep(sim.Duration(cm.WQEProcessNs))
+		switch wr.Op {
+		case OpSend, OpSendImm, OpWrite, OpWriteImm:
+			if !wr.Inline {
+				p.Sleep(sim.Duration(cm.DMATime(len(w.payload))))
+			}
+			pkt := &packet{
+				kind:      wr.Op,
+				srcQP:     w.qp,
+				dstQP:     w.qp.peer,
+				payload:   w.payload,
+				remote:    wr.Remote,
+				remoteOff: wr.RemoteOff,
+				imm:       wr.Imm,
+				wrid:      wr.WRID,
+				signaled:  !wr.Unsignaled,
+			}
+			txDone := d.transmit(pkt, len(w.payload))
+			if !wr.Unsignaled {
+				// Local send completion once the message is on the wire.
+				qp, id, op, n := w.qp, wr.WRID, wr.Op, len(w.payload)
+				d.env.At(txDone+sim.Time(cm.CQEDmaNs), func() {
+					qp.sendCQ.push(WC{WRID: id, Op: op, ByteLen: n, QP: qp})
+				})
+			}
+		case OpRead:
+			p.Sleep(sim.Duration(cm.OutboundOneSidedExtraNs))
+			pkt := &packet{
+				kind:      OpRead,
+				srcQP:     w.qp,
+				dstQP:     w.qp.peer,
+				remote:    wr.Remote,
+				remoteOff: wr.RemoteOff,
+				wrid:      wr.WRID,
+				readLen:   wr.SGE.Len,
+				signaled:  !wr.Unsignaled,
+				readDst:   wr.SGE,
+			}
+			d.transmit(pkt, 0) // request packet is header-only
+		default:
+			panic("verbs: bad opcode on send queue")
+		}
+	}
+}
+
+// transmit reserves wire time on the local TX gate (the NIC pipelines
+// serialization with subsequent WQE processing), propagates the packet,
+// and schedules receive-side handling through the remote RX gate. It
+// returns the virtual time the last byte leaves the local NIC.
+func (d *Device) transmit(pkt *packet, size int) sim.Time {
+	wire := size + d.cm.WireHeaderBytes
+	txDone := d.node.TX.Reserve(d.env.Now(), wire)
+	remote := pkt.dstQP.dev
+	prop := d.node.Cluster().PropDelay()
+	env := d.env
+	env.At(txDone+sim.Time(prop), func() {
+		rxDone := remote.node.RX.Reserve(env.Now(), wire)
+		env.At(rxDone, func() { remote.receive(pkt) })
+	})
+	return txDone
+}
+
+// receive is the remote NIC's handling of an arrived packet. It runs as a
+// scheduler callback (the NIC RX pipeline does not occupy host CPU).
+func (d *Device) receive(pkt *packet) {
+	cm := d.cm
+	env := d.env
+	if pkt.isReadResp {
+		// READ response at the initiator: DMA into the destination SGE
+		// and complete.
+		copy(pkt.readDst.MR.Buf[pkt.readDst.Off:], pkt.payload)
+		qp := pkt.dstQP
+		if pkt.signaled {
+			env.After(sim.Duration(cm.DMATime(len(pkt.payload))+cm.CQEDmaNs), func() {
+				qp.sendCQ.push(WC{WRID: pkt.wrid, Op: OpRead, ByteLen: len(pkt.payload), QP: qp})
+			})
+		}
+		return
+	}
+	switch pkt.kind {
+	case OpSend, OpSendImm:
+		qp := pkt.dstQP
+		if len(qp.recvq) == 0 {
+			qp.pending = append(qp.pending, pkt)
+			return
+		}
+		wr := qp.recvq[0]
+		qp.recvq = qp.recvq[1:]
+		qp.completeRecv(pkt, wr)
+	case OpWrite:
+		dst := pkt.remote.mr
+		copy(dst.Buf[pkt.remoteOff:], pkt.payload)
+		// Inbound WRITE: NIC DMA only, no CPU, no target completion.
+		if dst.onWrite != nil {
+			dst.onWrite()
+		}
+	case OpWriteImm:
+		dst := pkt.remote.mr
+		copy(dst.Buf[pkt.remoteOff:], pkt.payload)
+		qp := pkt.dstQP
+		if len(qp.recvq) == 0 {
+			qp.pending = append(qp.pending, pkt)
+			return
+		}
+		wr := qp.recvq[0]
+		qp.recvq = qp.recvq[1:]
+		// WRITE_WITH_IMM consumes a RECV WQE but the data went to the
+		// WRITE target, not the receive buffer.
+		env.After(sim.Duration(cm.InboundServeNs+cm.CQEDmaNs), func() {
+			qp.recvCQ.push(WC{WRID: wr.WRID, Op: OpRecv, ByteLen: len(pkt.payload), Imm: pkt.imm, HasImm: true, QP: qp})
+		})
+	case OpRead:
+		// Serve the READ entirely in the NIC: fetch from host memory and
+		// stream the response back.
+		src := pkt.remote.mr
+		data := append([]byte(nil), src.Buf[pkt.remoteOff:pkt.remoteOff+pkt.readLen]...)
+		resp := &packet{
+			kind:       OpRead,
+			isReadResp: true,
+			srcQP:      pkt.dstQP,
+			dstQP:      pkt.srcQP,
+			payload:    data,
+			wrid:       pkt.wrid,
+			signaled:   pkt.signaled,
+			readDst:    pkt.readDst,
+		}
+		serve := sim.Duration(cm.InboundServeNs + cm.DMATime(pkt.readLen))
+		env.After(serve, func() {
+			wire := len(data) + cm.WireHeaderBytes
+			txDone := d.node.TX.Reserve(env.Now(), wire)
+			prop := d.node.Cluster().PropDelay()
+			env.At(txDone+sim.Time(prop), func() {
+				rdev := resp.dstQP.dev
+				rxDone := rdev.node.RX.Reserve(env.Now(), wire)
+				env.At(rxDone, func() { rdev.receive(resp) })
+			})
+		})
+	}
+}
+
+// completeRecv lands a two-sided payload in the RECV buffer and raises
+// the receive completion.
+func (qp *QP) completeRecv(pkt *packet, wr RecvWR) {
+	cm := qp.dev.cm
+	n := copy(wr.SGE.MR.Buf[wr.SGE.Off:wr.SGE.Off+wr.SGE.Len], pkt.payload)
+	wc := WC{WRID: wr.WRID, Op: OpRecv, ByteLen: n, QP: qp}
+	if pkt.kind == OpSendImm {
+		wc.Imm, wc.HasImm = pkt.imm, true
+	}
+	qp.dev.env.After(sim.Duration(cm.DMATime(n)+cm.CQEDmaNs), func() {
+		qp.recvCQ.push(wc)
+	})
+}
