@@ -16,6 +16,7 @@ import (
 	"hatrpc/internal/engine"
 	"hatrpc/internal/hints"
 	"hatrpc/internal/lmdb"
+	"hatrpc/internal/obs"
 	"hatrpc/internal/sim"
 	"hatrpc/internal/simnet"
 	"hatrpc/internal/tpch"
@@ -298,10 +299,27 @@ func BenchmarkAblationBackendHints(b *testing.B) {
 // BenchmarkEngineCallRealTime measures the host-CPU cost of simulating
 // one RPC (simulator efficiency, not a paper figure).
 func BenchmarkEngineCallRealTime(b *testing.B) {
+	benchEngineCall(b, nil)
+}
+
+// BenchmarkObsOverheadRealTime measures the same simulated RPC with the
+// observability layer fully on (counters + histograms + tracer), to
+// bound the cost of instrumentation versus the nil fast path above.
+func BenchmarkObsOverheadRealTime(b *testing.B) {
+	r := obs.NewRegistry()
+	r.SetTracer(obs.NewTracer())
+	benchEngineCall(b, r)
+}
+
+func benchEngineCall(b *testing.B, r *obs.Registry) {
 	env := sim.NewEnv(1)
 	cl := simnet.NewCluster(env, simnet.DefaultConfig())
 	srvEng := engine.New(cl.Node(0), engine.DefaultConfig())
 	cliEng := engine.New(cl.Node(1), engine.DefaultConfig())
+	if r != nil {
+		srvEng.SetObs(r)
+		cliEng.SetObs(r)
+	}
 	srv := srvEng.Serve("svc", func(p *sim.Proc, fn uint32, req []byte) []byte { return req })
 	srv.Busy = true
 	payload := make([]byte, 512)

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	atb -bench latency-protocols|throughput-protocols|latency-hints|throughput-hints|mix [-size N]
+//	    [-metrics] [-trace FILE]
+//
+// -metrics prints the obs counter/histogram/gauge tables accumulated
+// across every simulation of the sweep; -trace writes a deterministic
+// chrome://tracing JSON file (open in chrome://tracing or
+// ui.perfetto.dev). Both observe the same virtual-time run: two
+// invocations with identical arguments emit byte-identical output.
 package main
 
 import (
@@ -13,13 +20,35 @@ import (
 	"os"
 
 	"hatrpc/internal/atb"
+	"hatrpc/internal/obs"
 	"hatrpc/internal/stats"
 )
 
 func main() {
 	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix")
 	size := flag.Int("size", 512, "payload size for the mix benchmark")
+	metrics := flag.Bool("metrics", false, "print obs counter/histogram/gauge tables after the run")
+	traceFile := flag.String("trace", "", "write a chrome://tracing JSON event trace to FILE")
 	flag.Parse()
+
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics || *traceFile != "" {
+		reg = obs.NewRegistry()
+		if *traceFile != "" {
+			tracer = obs.NewTracer()
+			reg.SetTracer(tracer)
+		}
+		runIdx := 0
+		atb.FabricHook = func(f *atb.Fabric) {
+			// Separate each simulation's node timelines in the trace.
+			tracer.SetPIDOffset(runIdx * 16)
+			runIdx++
+			for _, e := range f.Engines() {
+				e.SetObs(reg)
+			}
+		}
+	}
 
 	switch *bench {
 	case "latency-protocols":
@@ -67,6 +96,27 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "atb: unknown benchmark %q\n", *bench)
 		os.Exit(2)
+	}
+
+	if *metrics {
+		fmt.Println()
+		fmt.Print(reg.Render())
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atb: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "atb: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "atb: close trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "atb: wrote %d trace events to %s\n", tracer.Len(), *traceFile)
 	}
 }
 

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	figures [-out results] [-only fig04,fig15,...]
+//	figures [-out results] [-only fig04,fig15,...] [-metrics] [-trace FILE]
+//
+// -metrics writes the obs counter/histogram/gauge tables accumulated
+// across the ATB sweeps to results/metrics.txt; -trace writes a
+// deterministic chrome://tracing JSON event trace to FILE.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	"hatrpc/internal/atb"
 	"hatrpc/internal/engine"
+	"hatrpc/internal/obs"
 	"hatrpc/internal/stats"
 	"hatrpc/internal/tpch"
 	"hatrpc/internal/ycsb"
@@ -27,10 +32,52 @@ var outDir string
 func main() {
 	flag.StringVar(&outDir, "out", "results", "output directory")
 	only := flag.String("only", "", "comma-separated subset (fig04..fig17,derived)")
+	metrics := flag.Bool("metrics", false, "write obs tables to results/metrics.txt")
+	traceFile := flag.String("trace", "", "write a chrome://tracing JSON event trace to FILE")
 	flag.Parse()
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		fatal(err)
 	}
+
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics || *traceFile != "" {
+		reg = obs.NewRegistry()
+		if *traceFile != "" {
+			tracer = obs.NewTracer()
+			reg.SetTracer(tracer)
+		}
+		runIdx := 0
+		atb.FabricHook = func(f *atb.Fabric) {
+			tracer.SetPIDOffset(runIdx * 16)
+			runIdx++
+			for _, e := range f.Engines() {
+				e.SetObs(reg)
+			}
+		}
+	}
+	defer func() {
+		if *metrics {
+			path := filepath.Join(outDir, "metrics.txt")
+			if err := os.WriteFile(path, []byte(reg.Render()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tracer.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote %d trace events to %s\n", tracer.Len(), *traceFile)
+		}
+	}()
 	want := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {

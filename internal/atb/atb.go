@@ -28,6 +28,11 @@ func NewFabric(seed int64, nodes int) *Fabric {
 	return NewFabricWith(seed, nodes, engine.DefaultConfig())
 }
 
+// FabricHook, when non-nil, runs on every freshly built Fabric before
+// any benchmark traffic. cmd/atb uses it to attach an obs.Registry (and
+// tracer) to all engines of every run in a sweep.
+var FabricHook func(*Fabric)
+
 // NewFabricWith builds the testbed with an explicit engine sizing —
 // benchmarks shrink MaxMsgSize to the run's payload regime so hundreds
 // of connections fit in host memory.
@@ -43,7 +48,15 @@ func NewFabricWith(seed int64, nodes int, ecfg engine.Config) *Fabric {
 	for i := 1; i < cl.Nodes(); i++ {
 		f.Clients = append(f.Clients, engine.New(cl.Node(i), ecfg))
 	}
+	if FabricHook != nil {
+		FabricHook(f)
+	}
 	return f
+}
+
+// Engines returns every engine of the fabric (server first).
+func (f *Fabric) Engines() []*engine.Engine {
+	return append([]*engine.Engine{f.Server}, f.Clients...)
 }
 
 // engineConfigFor sizes per-connection buffers to the benchmark's

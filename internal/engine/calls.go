@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hatrpc/internal/obs"
 	"hatrpc/internal/sim"
 	"hatrpc/internal/verbs"
 )
@@ -57,17 +58,30 @@ func (c *Conn) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, 
 	if len(req) > c.eng.cfg.MaxMsgSize {
 		return nil, fmt.Errorf("engine: request of %d bytes exceeds MaxMsgSize %d", len(req), c.eng.cfg.MaxMsgSize)
 	}
-	c.eng.Stats.Calls++
-	c.eng.Stats.BytesSent += int64(len(req))
+	eng := c.eng
+	c.stats.Calls++
+	c.stats.BytesSent += int64(len(req))
 	c.seq++
-	reqProto, respProto := opts.resolve(len(req), c.eng.cfg.RndvThreshold)
+	reqProto, respProto := opts.resolve(len(req), eng.cfg.RndvThreshold)
+	if m := eng.em; m != nil {
+		m.calls[reqProto].Inc()
+		m.bytesSent[reqProto].Add(int64(len(req)))
+	}
+	start := int64(p.Now())
 	h := hdr{
 		kind: kReq, proto: reqProto, respProto: respProto,
 		fn: fn, length: uint32(len(req)), seq: c.seq,
 	}
 	if opts.Oneway {
+		c.stats.Oneways++
+		if m := eng.em; m != nil {
+			m.oneways.Inc()
+		}
 		h.respProto = ProtoAuto // marks "no response expected"
 		c.sendMessage(p, h, req, opts.Busy)
+		eng.trc.Complete("rpc", "oneway."+reqProto.String(), eng.node.ID(), c.id,
+			start, int64(p.Now()),
+			obs.Arg{K: "fn", V: fn}, obs.Arg{K: "size", V: len(req)})
 		return nil, nil
 	}
 	c.sendMessage(p, h, req, opts.Busy)
@@ -76,19 +90,29 @@ func (c *Conn) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, 
 	// their READ completions regardless of the call's polling mode —
 	// short client-side spins are these designs' defining trait (RFP,
 	// Pilaf and FaRM all poll one-sided results).
+	var out []byte
 	switch respProto {
 	case RFP:
-		return c.fetchRFP(p, true), nil
+		out = c.fetchRFP(p, true)
 	case Pilaf:
-		return c.fetchKV(p, 2, true), nil
+		out = c.fetchKV(p, 2, true)
 	case FaRM:
-		return c.fetchKV(p, 1, true), nil
+		out = c.fetchKV(p, 1, true)
+	default:
+		a := c.NextArrival(p, opts.Busy)
+		if a.Kind != kResp {
+			return nil, fmt.Errorf("engine: expected response, got kind %d", a.Kind)
+		}
+		out = a.Payload
 	}
-	a := c.NextArrival(p, opts.Busy)
-	if a.Kind != kResp {
-		return nil, fmt.Errorf("engine: expected response, got kind %d", a.Kind)
+	if m := eng.em; m != nil {
+		m.callLat[reqProto].Observe(float64(int64(p.Now()) - start))
 	}
-	return a.Payload, nil
+	eng.trc.Complete("rpc", "call."+reqProto.String(), eng.node.ID(), c.id,
+		start, int64(p.Now()),
+		obs.Arg{K: "fn", V: fn}, obs.Arg{K: "size", V: len(req)},
+		obs.Arg{K: "resp", V: respProto.String()})
+	return out, nil
 }
 
 // sendMessage ships [hdr|payload] using the wire protocol in h.proto.
@@ -124,6 +148,7 @@ func (c *Conn) sendMessage(p *sim.Proc, h hdr, payload []byte, busy bool) {
 func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte) {
 	cm := c.eng.dev.CostModel()
 	slotCap := c.slotSize - hdrSize
+	segmented := len(payload) > slotCap
 	off := 0
 	for {
 		n := len(payload) - off
@@ -142,6 +167,13 @@ func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte) {
 			Inline:     hdrSize+n <= 256,
 			Unsignaled: true,
 		})
+		if segmented {
+			if m := c.eng.em; m != nil {
+				m.eagerFrags.Inc()
+			}
+			c.eng.trc.Instant("eager", "frag", c.eng.node.ID(), c.id, int64(p.Now()),
+				obs.Arg{K: "seq", V: fh.seq}, obs.Arg{K: "off", V: fh.off})
+		}
 		off += n
 		if off >= len(payload) {
 			return
@@ -202,7 +234,13 @@ func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte) {
 func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool) {
 	rts := hdr{kind: kRTS, proto: WriteRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
 	c.postSmall(p, rts)
+	ctsStart := int64(p.Now())
 	c.waitCTS(p, h.seq, busy)
+	if m := c.eng.em; m != nil {
+		m.ctsWait.Observe(float64(int64(p.Now()) - ctsStart))
+	}
+	c.eng.trc.Complete("rndv", "cts_wait", c.eng.node.ID(), c.id,
+		ctsStart, int64(p.Now()), obs.Arg{K: "seq", V: h.seq})
 	rk, ok := c.shared.rndv[rndvKey(h.seq, c.server)]
 	if !ok {
 		panic("engine: CTS without exposed buffer")
@@ -270,11 +308,12 @@ func (c *Conn) fetchRFP(p *sim.Proc, busy bool) []byte {
 		b := c.readRemote(p, c.peerRfpOut, 0, chunk, busy)
 		h := getHdr(b)
 		if h.seq != c.seq || h.kind != kResp {
-			c.eng.Stats.ReadRetries++
+			c.noteReadRetry(p)
 			p.Sleep(retryDelay)
 			continue
 		}
 		n := int(h.length)
+		c.stats.BytesRecvd += int64(n)
 		got := chunk - hdrSize
 		if n <= got {
 			return append([]byte(nil), b[hdrSize:hdrSize+n]...)
@@ -288,6 +327,19 @@ func (c *Conn) fetchRFP(p *sim.Proc, busy bool) []byte {
 	}
 }
 
+// noteReadRetry records one stale one-sided poll on every accounting
+// surface: the per-conn counter, the engine total, and (when attached)
+// the obs counter and trace timeline.
+func (c *Conn) noteReadRetry(p *sim.Proc) {
+	c.stats.ReadRetries++
+	c.eng.readRetries++
+	if m := c.eng.em; m != nil {
+		m.readRetries.Inc()
+	}
+	c.eng.trc.Instant("fetch", "retry", c.eng.node.ID(), c.id, int64(p.Now()),
+		obs.Arg{K: "seq", V: c.seq})
+}
+
 // fetchKV is the Pilaf/FaRM client fetch: metaReads metadata READs (two
 // for Pilaf, one for FaRM) followed by one payload READ of the published
 // length.
@@ -297,7 +349,7 @@ func (c *Conn) fetchKV(p *sim.Proc, metaReads int, busy bool) []byte {
 		seq := binary.LittleEndian.Uint32(meta[0:])
 		n := int(binary.LittleEndian.Uint32(meta[4:]))
 		if seq != c.seq {
-			c.eng.Stats.ReadRetries++
+			c.noteReadRetry(p)
 			p.Sleep(retryDelay)
 			continue
 		}
@@ -305,6 +357,7 @@ func (c *Conn) fetchKV(p *sim.Proc, metaReads int, busy bool) []byte {
 			c.readRemote(p, c.peerKvMeta, 0, 16, busy)
 		}
 		b := c.readRemote(p, c.peerKvPay, 0, n, busy)
+		c.stats.BytesRecvd += int64(n)
 		return append([]byte(nil), b[:n]...)
 	}
 }
@@ -318,6 +371,7 @@ func (c *Conn) SendResponse(p *sim.Proc, a Arrival, resp []byte, busy bool) {
 	if !c.server {
 		panic("engine: SendResponse on client connection")
 	}
+	c.stats.BytesSent += int64(len(resp))
 	respProto := a.RespProto
 	if respProto == HybridEagerRNDV {
 		if len(resp) > c.eng.cfg.RndvThreshold {

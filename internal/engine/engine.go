@@ -3,7 +3,9 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
+	"hatrpc/internal/obs"
 	"hatrpc/internal/sim"
 	"hatrpc/internal/simnet"
 	"hatrpc/internal/verbs"
@@ -27,7 +29,17 @@ type Config struct {
 	// request slot, Pilaf/FaRM meta+payload). Benchmarks that pin a
 	// two-sided protocol set this to keep per-connection memory small.
 	NoFetchBufs bool
+	// RndvPoolCap bounds the free list of each rendezvous size class.
+	// Buffers released beyond the cap are deregistered (unpinned) so a
+	// mixed-size workload's pinned memory plateaus instead of growing
+	// with every size class it ever touched. Zero means
+	// DefaultRndvPoolCap.
+	RndvPoolCap int
 }
+
+// DefaultRndvPoolCap is the per-size-class free-list bound applied when
+// Config.RndvPoolCap is zero.
+const DefaultRndvPoolCap = 8
 
 // DefaultConfig returns the sizing used throughout the evaluation.
 func DefaultConfig() Config {
@@ -40,14 +52,16 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts engine activity; benchmarks read these for resource
-// accounting.
-type Stats struct {
-	Calls       int64
-	BytesSent   int64
-	ReadRetries int64
-	RndvAllocs  int64
-	PinnedBytes int64
+// ConnStats is the always-on per-connection accounting (cheap scalar
+// adds on the hot path). Engine-wide per-protocol counters, phase
+// histograms and trace spans live in the optional obs layer; attach a
+// registry with Engine.SetObs to enable them.
+type ConnStats struct {
+	Calls       int64 // RPCs issued on this connection (client side)
+	Oneways     int64 // of which fire-and-forget
+	BytesSent   int64 // request/response payload bytes shipped
+	BytesRecvd  int64 // payload bytes delivered to the application
+	ReadRetries int64 // one-sided fetch polls that found stale data
 }
 
 // Engine is the per-node RDMA communication engine.
@@ -59,13 +73,28 @@ type Engine struct {
 	env  *sim.Env
 
 	rndvFree map[int][]*verbs.MR // size-class → free registered buffers
-	Stats    Stats
+
+	// Always-on resource accounting.
+	pinnedBytes int64
+	rndvAllocs  int64
+	readRetries int64
+
+	conns      []*Conn
+	nextConnID int
+	closed     bool
+
+	obs *obs.Registry  // nil unless SetObs attached one
+	trc *obs.Tracer    // cached from obs; nil = tracing off
+	em  *engineMetrics // cached instruments; nil when obs is nil
 }
 
 // New creates an engine on the node (opening a simulated RNIC).
 func New(node *simnet.Node, cfg Config) *Engine {
 	if cfg.MaxMsgSize <= 0 {
 		cfg = DefaultConfig()
+	}
+	if cfg.RndvPoolCap <= 0 {
+		cfg.RndvPoolCap = DefaultRndvPoolCap
 	}
 	dev := verbs.OpenDevice(node, nil)
 	return &Engine{
@@ -76,6 +105,85 @@ func New(node *simnet.Node, cfg Config) *Engine {
 		env:      node.Cluster().Env(),
 		rndvFree: make(map[int][]*verbs.MR),
 	}
+}
+
+// PinnedBytes returns the bytes of registered (pinned) memory the engine
+// currently holds across connections and the rendezvous pool.
+func (e *Engine) PinnedBytes() int64 { return e.pinnedBytes }
+
+// RndvAllocs returns how many rendezvous buffers were registered because
+// the pool was dry (pool misses).
+func (e *Engine) RndvAllocs() int64 { return e.rndvAllocs }
+
+// ReadRetries returns the total one-sided fetch retries across all
+// connections.
+func (e *Engine) ReadRetries() int64 { return e.readRetries }
+
+// nProtocols sizes per-protocol instrument arrays (ProtoAuto included so
+// Protocol values index directly).
+const nProtocols = int(HybridEagerRead) + 1
+
+// engineMetrics caches the engine's obs instruments so the hot path is a
+// single nil check plus an array index, never a map lookup.
+type engineMetrics struct {
+	calls     [nProtocols]*obs.Counter
+	served    [nProtocols]*obs.Counter
+	bytesSent [nProtocols]*obs.Counter
+	callLat   [nProtocols]*obs.Histogram
+
+	oneways     *obs.Counter
+	readRetries *obs.Counter
+	eagerFrags  *obs.Counter
+	poolHit     *obs.Counter
+	poolMiss    *obs.Counter
+	poolDrop    *obs.Counter
+	ctsWait     *obs.Histogram
+	rndvReg     *obs.Histogram
+}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	m := &engineMetrics{
+		oneways:     r.Counter("engine.oneways"),
+		readRetries: r.Counter("engine.read_retries"),
+		eagerFrags:  r.Counter("engine.eager_frags"),
+		poolHit:     r.Counter("engine.rndv_pool.hit"),
+		poolMiss:    r.Counter("engine.rndv_pool.miss"),
+		poolDrop:    r.Counter("engine.rndv_pool.drop"),
+		ctsWait:     r.Histogram("engine.cts_wait_ns"),
+		rndvReg:     r.Histogram("engine.rndv_register_ns"),
+	}
+	for i := 0; i < nProtocols; i++ {
+		name := Protocol(i).String()
+		m.calls[i] = r.Counter("engine.calls." + name)
+		m.served[i] = r.Counter("engine.served." + name)
+		m.bytesSent[i] = r.Counter("engine.bytes_sent." + name)
+		m.callLat[i] = r.Histogram("engine.call_lat_ns." + name)
+	}
+	return m
+}
+
+// SetObs attaches an observability registry to the engine and its NIC:
+// per-protocol call/serve counters and latency histograms, rendezvous
+// pool and control-phase instruments, plus gauges sampling CPU load and
+// NIC gate utilization. When the registry carries a tracer, the engine
+// also emits deterministic sim-time event spans. Pass nil to detach.
+// With no registry attached the hot-path instrumentation reduces to a
+// nil test.
+func (e *Engine) SetObs(r *obs.Registry) {
+	e.obs = r
+	e.trc = r.Tracer()
+	e.dev.SetObs(r)
+	if r == nil {
+		e.em = nil
+		return
+	}
+	e.em = newEngineMetrics(r)
+	node, env := e.node, e.env
+	pfx := fmt.Sprintf("node%d.", node.ID())
+	r.Gauge(pfx+"cpu.load_factor", func() float64 { return node.CPU.LoadFactor() })
+	r.Gauge(pfx+"nic.tx.util", func() float64 { return node.TX.Utilization(env.Now()) })
+	r.Gauge(pfx+"nic.rx.util", func() float64 { return node.RX.Utilization(env.Now()) })
+	r.Gauge(pfx+"engine.pinned_bytes", func() float64 { return float64(e.pinnedBytes) })
 }
 
 // Node returns the node this engine runs on.
@@ -105,18 +213,46 @@ func (e *Engine) acquireRndv(p *sim.Proc, size int) *verbs.MR {
 	free := e.rndvFree[cls]
 	if n := len(free); n > 0 {
 		mr := free[n-1]
+		free[n-1] = nil
 		e.rndvFree[cls] = free[:n-1]
+		e.em.poolHitInc()
 		p.Sleep(200) // pool pop + bookkeeping
 		return mr
 	}
-	e.Stats.RndvAllocs++
-	e.Stats.PinnedBytes += int64(cls)
-	return e.pd.RegisterMR(p, cls)
+	e.rndvAllocs++
+	e.pinnedBytes += int64(cls)
+	start := int64(p.Now())
+	mr := e.pd.RegisterMR(p, cls)
+	if m := e.em; m != nil {
+		m.poolMiss.Inc()
+		m.rndvReg.Observe(float64(int64(p.Now()) - start))
+	}
+	e.trc.Complete("rndv", "register", e.node.ID(), 0, start, int64(p.Now()),
+		obs.Arg{K: "bytes", V: cls})
+	return mr
 }
 
+// poolHitInc is split out so acquireRndv's fast path stays branch-cheap.
+func (m *engineMetrics) poolHitInc() {
+	if m != nil {
+		m.poolHit.Inc()
+	}
+}
+
+// releaseRndv returns a pool buffer. Each size class keeps at most
+// Config.RndvPoolCap free buffers; overflow is dropped and its pinned
+// bytes returned, bounding pool growth under mixed-size workloads.
 func (e *Engine) releaseRndv(mr *verbs.MR) {
 	cls := sizeClass(mr.Len())
-	e.rndvFree[cls] = append(e.rndvFree[cls], mr)
+	free := e.rndvFree[cls]
+	if len(free) >= e.cfg.RndvPoolCap {
+		e.pinnedBytes -= int64(cls)
+		if m := e.em; m != nil {
+			m.poolDrop.Inc()
+		}
+		return
+	}
+	e.rndvFree[cls] = append(free, mr)
 }
 
 // ---------------------------------------------------------------------------
@@ -218,6 +354,7 @@ type hello struct {
 type Conn struct {
 	eng    *Engine
 	server bool
+	id     int // engine-local index; trace tid
 
 	qp  *verbs.QP
 	cq  *verbs.CQ
@@ -244,27 +381,47 @@ type Conn struct {
 
 	shared *connShared
 
+	// seq numbers this connection's calls. It is uint32 and wraps after
+	// 2^32 calls; that is safe because a Conn carries one outstanding
+	// call at a time, so at most one seq's control state (rndv maps,
+	// shared-table keys, CTS flags, frag reassembly) is live when a new
+	// seq is issued — an old entry can never alias a wrapped value.
 	seq      uint32
 	nextWRID uint64
 
+	// Per-seq control state. Every normal completion path deletes its
+	// entry (handleWriteImm, handleRecvSlot kFin, handleWC OpRead,
+	// waitCTS); abnormal paths — a peer that vanished mid-rendezvous, a
+	// Read-RNDV oneway whose FIN is never pumped — leave residue that
+	// Close drains.
 	rfpPending   bool                 // server: un-consumed RFP/HERD request in rfpInMR
-	rndvIn       map[uint32]*verbs.MR // receiver: buffers awaiting WRITE_IMM, by seq
+	rndvIn       map[uint32]*verbs.MR // receiver: buffers awaiting WRITE_IMM or READ, by seq
 	rndvOut      map[uint32]*verbs.MR // sender: exposed buffers awaiting FIN, by seq
 	pendingReads map[uint64]hdr       // READ wrid → header context (Read-RNDV pull)
 
-	ctsReady  map[uint32]bool // CTS seen for seq
-	finSeen   map[uint32]bool
+	ctsReady  map[uint32]bool       // CTS seen for seq
 	frags     map[uint32]*fragState // eager reassembly by seq
 	respQueue []Arrival             // completed arrivals not yet consumed
+
+	stats  ConnStats
+	pinned int64 // registered bytes attributed to this conn
+	closed bool
 
 	busyLoaded bool
 	numaBound  bool
 }
 
+// Stats returns the connection's always-on counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// ID returns the engine-local connection index (used as the trace tid).
+func (c *Conn) ID() int { return c.id }
+
 func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 	c := &Conn{
 		eng:          e,
 		server:       server,
+		id:           e.nextConnID,
 		cq:           e.dev.CreateCQ(),
 		sig:          sim.NewSignal(e.env),
 		slotSize:     e.cfg.EagerSlotSize + hdrSize,
@@ -274,9 +431,9 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 		rndvOut:      make(map[uint32]*verbs.MR),
 		pendingReads: make(map[uint64]hdr),
 		ctsReady:     make(map[uint32]bool),
-		finSeen:      make(map[uint32]bool),
 		frags:        make(map[uint32]*fragState),
 	}
+	e.nextConnID++
 	c.qp = e.dev.CreateQP(c.cq, c.cq)
 	c.cq.SetNotify(c.sig.Fire)
 	c.eagerMR = e.pd.RegisterMRNoCost(c.slots * c.slotSize)
@@ -284,18 +441,25 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 	// headers so Direct-Write-Send chains never overlap the payload.
 	c.stageMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + 2*hdrSize)
 	c.directMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
-	e.Stats.PinnedBytes += int64(c.slots*c.slotSize + 2*(e.cfg.MaxMsgSize+hdrSize))
 	if server && !e.cfg.NoFetchBufs {
 		c.rfpInMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
 		c.rfpOutMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
 		c.kvMetaMR = e.pd.RegisterMRNoCost(32)
 		c.kvPayMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
-		e.Stats.PinnedBytes += int64(3*(e.cfg.MaxMsgSize+hdrSize) + 32)
 		c.rfpInMR.SetWriteNotify(func() {
 			c.rfpPending = true
 			c.sig.Fire()
 		})
 	}
+	// Pin accounting from the actual MR lengths so Close can return the
+	// exact amount.
+	for _, mr := range []*verbs.MR{c.eagerMR, c.stageMR, c.directMR, c.rfpInMR, c.rfpOutMR, c.kvMetaMR, c.kvPayMR} {
+		if mr != nil {
+			c.pinned += int64(mr.Len())
+		}
+	}
+	e.pinnedBytes += c.pinned
+	e.conns = append(e.conns, c)
 	for i := 0; i < c.slots; i++ {
 		c.qp.PostRecv(verbs.RecvWR{
 			WRID: uint64(i),
@@ -303,6 +467,71 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 		})
 	}
 	return c
+}
+
+// sortedSeqs returns m's keys ascending, so map drains never depend on
+// Go's randomized iteration order (the simulation must stay
+// deterministic even during teardown).
+func sortedSeqs(m map[uint32]*verbs.MR) []uint32 {
+	ks := make([]uint32, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Close releases the connection's pinned resources: the eager ring,
+// staging and direct buffers, the server-side published regions, and any
+// rendezvous pool buffers still held by in-flight transfers (returned to
+// the engine pool, which unpins overflow beyond the cap). Shared-table
+// entries for those transfers are dropped. Close is idempotent; the
+// pool's own free buffers are unpinned by Engine.Close.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, seq := range sortedSeqs(c.rndvIn) {
+		c.eng.releaseRndv(c.rndvIn[seq])
+		delete(c.shared.rndv, rndvKey(seq, !c.server))
+	}
+	for _, seq := range sortedSeqs(c.rndvOut) {
+		c.eng.releaseRndv(c.rndvOut[seq])
+		delete(c.shared.rndv, rndvKey(seq, c.server))
+	}
+	c.rndvIn, c.rndvOut = nil, nil
+	c.pendingReads, c.ctsReady, c.frags = nil, nil, nil
+	c.respQueue = nil
+	c.exitWait()
+	c.eng.pinnedBytes -= c.pinned
+	c.pinned = 0
+	c.eagerMR, c.stageMR, c.directMR = nil, nil, nil
+	c.rfpInMR, c.rfpOutMR, c.kvMetaMR, c.kvPayMR = nil, nil, nil, nil
+}
+
+// Close tears down the engine: every connection it created is closed and
+// the rendezvous pool is drained, unpinning all registered buffers.
+// After Close, PinnedBytes reports zero — the pre-connection baseline —
+// which the obs pinned-bytes gauge makes visible to teardown tests.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.conns = nil
+	classes := make([]int, 0, len(e.rndvFree))
+	for cls := range e.rndvFree {
+		classes = append(classes, cls)
+	}
+	sort.Ints(classes)
+	for _, cls := range classes {
+		e.pinnedBytes -= int64(cls) * int64(len(e.rndvFree[cls]))
+	}
+	e.rndvFree = make(map[int][]*verbs.MR)
 }
 
 func (c *Conn) helloFor() *hello {
@@ -422,11 +651,13 @@ func (c *Conn) NextArrival(p *sim.Proc, busy bool) Arrival {
 		if n := len(c.respQueue); n > 0 {
 			a := c.respQueue[0]
 			c.respQueue = c.respQueue[1:]
+			c.stats.BytesRecvd += int64(len(a.Payload))
 			return a
 		}
 		if wc, ok := c.cq.TryPoll(); ok {
 			if a, done := c.handleWC(p, wc); done {
 				c.chargeDetect(p, busy)
+				c.stats.BytesRecvd += int64(len(a.Payload))
 				return a
 			}
 			continue
@@ -436,6 +667,7 @@ func (c *Conn) NextArrival(p *sim.Proc, busy bool) Arrival {
 			h := getHdr(c.rfpInMR.Buf)
 			payload := append([]byte(nil), c.rfpInMR.Buf[hdrSize:hdrSize+int(h.length)]...)
 			c.chargeDetect(p, busy)
+			c.stats.BytesRecvd += int64(len(payload))
 			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}
 		}
 		c.sig.Wait(p)

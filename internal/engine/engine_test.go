@@ -246,8 +246,8 @@ func TestRndvPoolReuse(t *testing.T) {
 	env.Run()
 	// All ten transfers are the same size class: the pool must allocate
 	// once and reuse afterwards.
-	if srvEng.Stats.RndvAllocs > 2 {
-		t.Fatalf("rendezvous pool allocated %d buffers for 10 same-size calls", srvEng.Stats.RndvAllocs)
+	if srvEng.RndvAllocs() > 2 {
+		t.Fatalf("rendezvous pool allocated %d buffers for 10 same-size calls", srvEng.RndvAllocs())
 	}
 }
 
@@ -266,7 +266,7 @@ func TestRFPRetriesWhenServerSlow(t *testing.T) {
 		env.Stop()
 	})
 	env.Run()
-	if cliEng.Stats.ReadRetries == 0 {
+	if cliEng.ReadRetries() == 0 {
 		t.Fatal("RFP fetch never retried despite slow server")
 	}
 }

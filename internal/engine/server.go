@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"hatrpc/internal/obs"
 	"hatrpc/internal/sim"
 )
 
@@ -53,16 +54,24 @@ func (s *Server) acceptLoop(p *sim.Proc) {
 }
 
 func (s *Server) dispatch(p *sim.Proc, c *Conn) {
+	eng := s.eng
 	for {
 		a := c.NextArrival(p, s.Busy)
 		if a.Kind != kReq {
 			continue
 		}
+		start := int64(p.Now())
 		resp := s.handler(p, a.Fn, a.Payload)
 		if a.RespProto != ProtoAuto { // ProtoAuto marks a oneway request
 			c.SendResponse(p, a, resp, s.Busy)
 		}
 		s.Served++
+		if m := eng.em; m != nil && int(a.Proto) < nProtocols {
+			m.served[a.Proto].Inc()
+		}
+		eng.trc.Complete("rpc", "serve."+a.Proto.String(), eng.node.ID(), c.id,
+			start, int64(p.Now()),
+			obs.Arg{K: "fn", V: a.Fn}, obs.Arg{K: "size", V: len(a.Payload)})
 	}
 }
 

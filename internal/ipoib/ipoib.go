@@ -9,6 +9,7 @@ package ipoib
 import (
 	"fmt"
 
+	"hatrpc/internal/obs"
 	"hatrpc/internal/sim"
 	"hatrpc/internal/simnet"
 )
@@ -54,10 +55,32 @@ type Conn struct {
 	in    *sim.Queue[message]
 	cm    *CostModel
 	numaB bool
+
+	// Optional observability (nil = off; instruments are nil-safe).
+	msgsSent   *obs.Counter
+	bytesSent  *obs.Counter
+	msgsRecvd  *obs.Counter
+	bytesRecvd *obs.Counter
+	trc        *obs.Tracer
 }
 
 // SetNUMABound marks this endpoint's copies as NUMA-local.
 func (c *Conn) SetNUMABound(b bool) { c.numaB = b }
+
+// SetObs attaches observability counters (ipoib.msgs_sent and friends)
+// and, when the registry carries a tracer, kernel-path send/recv spans.
+// Pass nil to detach.
+func (c *Conn) SetObs(r *obs.Registry) {
+	if r == nil {
+		c.msgsSent, c.bytesSent, c.msgsRecvd, c.bytesRecvd, c.trc = nil, nil, nil, nil, nil
+		return
+	}
+	c.msgsSent = r.Counter("ipoib.msgs_sent")
+	c.bytesSent = r.Counter("ipoib.bytes_sent")
+	c.msgsRecvd = r.Counter("ipoib.msgs_recvd")
+	c.bytesRecvd = r.Counter("ipoib.bytes_recvd")
+	c.trc = r.Tracer()
+}
 
 // Node returns the local node.
 func (c *Conn) Node() *simnet.Node { return c.node }
@@ -68,6 +91,9 @@ func (cm *CostModel) bwBytesPerNs() float64 { return cm.EffectiveGbps / 8.0 }
 // Send ships one framed message, charging the sender-side kernel path and
 // wire serialization. Delivery is asynchronous.
 func (c *Conn) Send(p *sim.Proc, data []byte) {
+	start := int64(p.Now())
+	c.msgsSent.Inc()
+	c.bytesSent.Add(int64(len(data)))
 	cpu := c.node.CPU
 	cm := c.cm
 	// Syscall + user→kernel copy.
@@ -88,18 +114,25 @@ func (c *Conn) Send(p *sim.Proc, data []byte) {
 		rxDone := peer.node.RX.Reserve(env.Now(), inflated)
 		env.At(rxDone, func() { peer.in.Push(msg) })
 	})
+	c.trc.Complete("ipoib", "send", c.node.ID(), 0, start, int64(p.Now()),
+		obs.Arg{K: "bytes", V: len(data)})
 }
 
 // Recv blocks until a framed message arrives, charging the receive-side
 // interrupt wakeup and kernel→user copy.
 func (c *Conn) Recv(p *sim.Proc) []byte {
 	m := c.in.Pop(p)
+	start := int64(p.Now())
 	cpu := c.node.CPU
 	cm := c.cm
 	wake := sim.Duration(float64(cm.InterruptNs) * cpu.LoadFactor())
 	p.Sleep(wake)
 	work := sim.Duration(cm.SyscallNs + int64(float64(len(m.data))/cm.CopyBytesPerNs))
 	cpu.Compute(p, c.node.NUMAWork(work, c.numaB))
+	c.msgsRecvd.Inc()
+	c.bytesRecvd.Add(int64(len(m.data)))
+	c.trc.Complete("ipoib", "recv", c.node.ID(), 0, start, int64(p.Now()),
+		obs.Arg{K: "bytes", V: len(m.data)})
 	return m.data
 }
 

@@ -182,6 +182,17 @@ func (g *BandwidthGate) Reserve(now sim.Time, size int) sim.Time {
 // BusyNs returns total accumulated occupancy in nanoseconds.
 func (g *BandwidthGate) BusyNs() int64 { return g.busyNs }
 
+// Utilization returns accumulated occupancy as a fraction of elapsed
+// virtual time. Reservations extend into the future, so early in a run
+// the value can exceed 1 while the gate's queue drains; observability
+// gauges sample it as-is.
+func (g *BandwidthGate) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(g.busyNs) / float64(now)
+}
+
 // ---------------------------------------------------------------------------
 // Out-of-band control channel (ethernet/TCP analog).
 

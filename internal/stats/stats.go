@@ -110,9 +110,11 @@ func (s *Sample) Stddev() float64 {
 
 // ---------------------------------------------------------------------------
 
-// FormatBytes renders a size label (512B, 4KB, 128KB ...).
+// FormatBytes renders a size label (512B, 4KB, 128KB, 1GB ...).
 func FormatBytes(n int) string {
 	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
 	case n >= 1<<20 && n%(1<<20) == 0:
 		return fmt.Sprintf("%dMB", n>>20)
 	case n >= 1<<10 && n%(1<<10) == 0:

@@ -83,26 +83,87 @@ func TestAddAfterPercentileResorts(t *testing.T) {
 }
 
 func TestFormatBytes(t *testing.T) {
-	cases := map[int]string{
-		4: "4B", 512: "512B", 4096: "4KB", 131072: "128KB", 1 << 20: "1MB", 5000: "5000B",
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{0, "0B"},
+		{4, "4B"},
+		{512, "512B"},
+		{1023, "1023B"},
+		{1 << 10, "1KB"},
+		{4096, "4KB"},
+		{5000, "5000B"}, // not a whole KB multiple
+		{131072, "128KB"},
+		{1 << 20, "1MB"},
+		{3 << 20, "3MB"},
+		{(1 << 20) + 1024, "1025KB"}, // whole KB but not whole MB
+		{1 << 30, "1GB"},             // GB tier (used to render as 1024MB)
+		{2 << 30, "2GB"},
+		{(1 << 30) + (1 << 20), "1025MB"}, // whole MB but not whole GB
 	}
-	for n, want := range cases {
-		if got := FormatBytes(n); got != want {
-			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
 		}
 	}
 }
 
 func TestFormatNs(t *testing.T) {
-	cases := map[float64]string{
-		500:     "500ns",
-		1500:    "1.50µs",
-		2500000: "2.50ms",
-		3e9:     "3.00s",
+	cases := []struct {
+		ns   float64
+		want string
+	}{
+		{0, "0ns"},
+		{500, "500ns"},
+		{999, "999ns"},
+		{1000, "1.00µs"},
+		{1500, "1.50µs"},
+		{999999, "1000.00µs"},
+		{1e6, "1.00ms"},
+		{2500000, "2.50ms"},
+		{1e9, "1.00s"},
+		{3e9, "3.00s"},
 	}
-	for ns, want := range cases {
-		if got := FormatNs(ns); got != want {
-			t.Errorf("FormatNs(%v) = %q, want %q", ns, got, want)
+	for _, c := range cases {
+		if got := FormatNs(c.ns); got != c.want {
+			t.Errorf("FormatNs(%v) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	mk := func(vs ...float64) *Sample {
+		var s Sample
+		for _, v := range vs {
+			s.Add(v)
+		}
+		return &s
+	}
+	cases := []struct {
+		name string
+		s    *Sample
+		p    float64
+		want float64
+	}{
+		{"empty", mk(), 50, 0},
+		{"empty-p0", mk(), 0, 0},
+		{"empty-p100", mk(), 100, 0},
+		{"single-p0", mk(42), 0, 42},
+		{"single-p50", mk(42), 50, 42},
+		{"single-p100", mk(42), 100, 42},
+		{"pair-p0", mk(10, 20), 0, 10},
+		{"pair-p50-interpolates", mk(10, 20), 50, 15},
+		{"pair-p100", mk(10, 20), 100, 20},
+		{"p-below-zero-clamps", mk(10, 20), -5, 10},
+		{"p-above-hundred-clamps", mk(10, 20), 150, 20},
+		{"quartile-interpolation", mk(5, 1, 3, 2, 4), 25, 2},
+		{"p75-interpolation", mk(1, 2, 3, 4), 75, 3.25},
+		{"p99-near-max", mk(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 99, 9.91},
+	}
+	for _, c := range cases {
+		if got := c.s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", c.name, c.p, got, c.want)
 		}
 	}
 }

@@ -15,6 +15,7 @@ package verbs
 import (
 	"fmt"
 
+	"hatrpc/internal/obs"
 	"hatrpc/internal/sim"
 	"hatrpc/internal/simnet"
 )
@@ -61,6 +62,42 @@ type Device struct {
 	txq    *sim.Queue[*txWork]
 	nextMR uint32
 	nextQP uint32
+
+	vm  *verbsMetrics // nil until SetObs
+	trc *obs.Tracer   // nil unless the registry carries a tracer
+}
+
+// verbsMetrics caches the device's instrument pointers so hot paths pay
+// an array index instead of a registry lookup.
+type verbsMetrics struct {
+	tx     [opRecvBound]*obs.Counter // WQEs processed, by opcode
+	cqe    [opRecvBound]*obs.Counter // completions delivered, by opcode
+	inline *obs.Counter              // inline sends (payload captured at post)
+	dma    *obs.Counter              // sends paying the host-DMA fetch
+}
+
+const opRecvBound = int(OpRecv) + 1
+
+// SetObs attaches an observability registry to the device: per-opcode
+// WQE and completion counters, inline-vs-DMA accounting, and — when the
+// registry carries a tracer — doorbell→completion spans for signaled
+// work requests. Counters are shared by name across devices attached to
+// the same registry.
+func (d *Device) SetObs(r *obs.Registry) {
+	if r == nil {
+		d.vm, d.trc = nil, nil
+		return
+	}
+	m := &verbsMetrics{
+		inline: r.Counter("verbs.tx.inline"),
+		dma:    r.Counter("verbs.tx.dma"),
+	}
+	for op := 0; op < opRecvBound; op++ {
+		m.tx[op] = r.Counter("verbs.tx." + Opcode(op).String())
+		m.cqe[op] = r.Counter("verbs.cqe." + Opcode(op).String())
+	}
+	d.vm = m
+	d.trc = r.Tracer()
 }
 
 // OpenDevice attaches a simulated RNIC to the node and starts its
@@ -163,6 +200,9 @@ func (d *Device) CreateCQ() *CQ {
 }
 
 func (cq *CQ) push(wc WC) {
+	if m := cq.dev.vm; m != nil && int(wc.Op) < opRecvBound {
+		m.cqe[wc.Op].Inc()
+	}
 	cq.done = append(cq.done, wc)
 	cq.sig.Fire()
 	if cq.notify != nil {
@@ -306,8 +346,9 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) {
 	}
 	// One doorbell posts the entire chain (the Chained-Write-Send saving).
 	qp.dev.node.CPU.Compute(p, sim.Duration(qp.dev.cm.DoorbellNs))
+	doorbell := int64(qp.dev.env.Now())
 	for w := wr; w != nil; w = w.Next {
-		work := &txWork{qp: qp, wr: *w}
+		work := &txWork{qp: qp, wr: *w, postTs: doorbell}
 		work.wr.Next = nil
 		if w.Inline || w.Op == OpSend || w.Op == OpSendImm || w.Op == OpWrite || w.Op == OpWriteImm {
 			// Capture payload now; the simulated DMA cost is still charged
@@ -325,6 +366,7 @@ type txWork struct {
 	qp      *QP
 	wr      SendWR
 	payload []byte
+	postTs  int64 // doorbell time, for doorbell→completion tracing
 }
 
 // packet is a message in flight between two NICs.
@@ -341,6 +383,7 @@ type packet struct {
 	signaled   bool
 	isReadResp bool
 	readDst    SGE
+	postTs     int64 // initiator doorbell time (READ tracing)
 }
 
 // txEngine is the device's send-side NIC pipeline: fetch WQE, DMA the
@@ -352,8 +395,18 @@ func (d *Device) txEngine(p *sim.Proc) {
 		w := d.txq.Pop(p)
 		wr := &w.wr
 		p.Sleep(sim.Duration(cm.WQEProcessNs))
+		if m := d.vm; m != nil && int(wr.Op) < opRecvBound {
+			m.tx[wr.Op].Inc()
+		}
 		switch wr.Op {
 		case OpSend, OpSendImm, OpWrite, OpWriteImm:
+			if m := d.vm; m != nil {
+				if wr.Inline {
+					m.inline.Inc()
+				} else {
+					m.dma.Inc()
+				}
+			}
 			if !wr.Inline {
 				p.Sleep(sim.Duration(cm.DMATime(len(w.payload))))
 			}
@@ -372,7 +425,10 @@ func (d *Device) txEngine(p *sim.Proc) {
 			if !wr.Unsignaled {
 				// Local send completion once the message is on the wire.
 				qp, id, op, n := w.qp, wr.WRID, wr.Op, len(w.payload)
-				d.env.At(txDone+sim.Time(cm.CQEDmaNs), func() {
+				cqeAt := txDone + sim.Time(cm.CQEDmaNs)
+				d.trc.Complete("verbs", "wr."+op.String(), d.node.ID(), int(qp.id),
+					w.postTs, int64(cqeAt), obs.Arg{K: "wrid", V: id}, obs.Arg{K: "bytes", V: n})
+				d.env.At(cqeAt, func() {
 					qp.sendCQ.push(WC{WRID: id, Op: op, ByteLen: n, QP: qp})
 				})
 			}
@@ -388,6 +444,7 @@ func (d *Device) txEngine(p *sim.Proc) {
 				readLen:   wr.SGE.Len,
 				signaled:  !wr.Unsignaled,
 				readDst:   wr.SGE,
+				postTs:    w.postTs,
 			}
 			d.transmit(pkt, 0) // request packet is header-only
 		default:
@@ -424,7 +481,11 @@ func (d *Device) receive(pkt *packet) {
 		copy(pkt.readDst.MR.Buf[pkt.readDst.Off:], pkt.payload)
 		qp := pkt.dstQP
 		if pkt.signaled {
-			env.After(sim.Duration(cm.DMATime(len(pkt.payload))+cm.CQEDmaNs), func() {
+			dly := sim.Duration(cm.DMATime(len(pkt.payload)) + cm.CQEDmaNs)
+			d.trc.Complete("verbs", "wr.READ", d.node.ID(), int(qp.id),
+				pkt.postTs, int64(env.Now())+int64(dly),
+				obs.Arg{K: "wrid", V: pkt.wrid}, obs.Arg{K: "bytes", V: len(pkt.payload)})
+			env.After(dly, func() {
 				qp.sendCQ.push(WC{WRID: pkt.wrid, Op: OpRead, ByteLen: len(pkt.payload), QP: qp})
 			})
 		}
@@ -476,6 +537,7 @@ func (d *Device) receive(pkt *packet) {
 			wrid:       pkt.wrid,
 			signaled:   pkt.signaled,
 			readDst:    pkt.readDst,
+			postTs:     pkt.postTs,
 		}
 		serve := sim.Duration(cm.InboundServeNs + cm.DMATime(pkt.readLen))
 		env.After(serve, func() {
