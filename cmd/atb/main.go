@@ -5,13 +5,20 @@
 // Usage:
 //
 //	atb -bench latency-protocols|throughput-protocols|latency-hints|throughput-hints|mix [-size N]
-//	    [-metrics] [-trace FILE]
+//	    [-metrics] [-trace FILE] [-faults] [-loss P] [-jitter NS] [-deadline NS]
 //
 // -metrics prints the obs counter/histogram/gauge tables accumulated
 // across every simulation of the sweep; -trace writes a deterministic
 // chrome://tracing JSON file (open in chrome://tracing or
 // ui.perfetto.dev). Both observe the same virtual-time run: two
 // invocations with identical arguments emit byte-identical output.
+//
+// -faults enables fault injection with 1% per-hop packet loss; -loss
+// and -jitter set an explicit drop probability / latency jitter bound
+// (either implies -faults). Fault runs automatically arm the engine's
+// deadline/retry layer (-deadline, default 2 ms) so every call
+// completes via retransmission. Identical arguments still emit
+// byte-identical output — faults draw from the same seeded RNG.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"hatrpc/internal/atb"
 	"hatrpc/internal/obs"
+	"hatrpc/internal/simnet"
 	"hatrpc/internal/stats"
 )
 
@@ -29,7 +37,20 @@ func main() {
 	size := flag.Int("size", 512, "payload size for the mix benchmark")
 	metrics := flag.Bool("metrics", false, "print obs counter/histogram/gauge tables after the run")
 	traceFile := flag.String("trace", "", "write a chrome://tracing JSON event trace to FILE")
+	faults := flag.Bool("faults", false, "inject faults: 1% per-hop packet loss unless -loss/-jitter override")
+	loss := flag.Float64("loss", 0, "per-hop drop probability, e.g. 0.05 (implies -faults)")
+	jitter := flag.Int64("jitter", 0, "max per-hop latency jitter in ns (implies -faults)")
+	deadline := flag.Int64("deadline", 2_000_000, "per-call deadline in ns for fault runs (0 disables retries)")
 	flag.Parse()
+
+	if *faults || *loss > 0 || *jitter > 0 {
+		p := *loss
+		if p == 0 && *jitter == 0 {
+			p = 0.01
+		}
+		atb.FaultSpec = &simnet.FaultConfig{DropProb: p, JitterNs: *jitter}
+		atb.CallDeadlineNs = *deadline
+	}
 
 	var reg *obs.Registry
 	var tracer *obs.Tracer
@@ -46,6 +67,9 @@ func main() {
 			runIdx++
 			for _, e := range f.Engines() {
 				e.SetObs(reg)
+			}
+			if fp := f.Cluster.Faults(); fp != nil {
+				fp.SetObs(reg)
 			}
 		}
 	}

@@ -6,10 +6,16 @@
 // Usage:
 //
 //	figures [-out results] [-only fig04,fig15,...] [-metrics] [-trace FILE]
+//	        [-faults] [-loss P] [-jitter NS] [-deadline NS]
 //
 // -metrics writes the obs counter/histogram/gauge tables accumulated
 // across the ATB sweeps to results/metrics.txt; -trace writes a
 // deterministic chrome://tracing JSON event trace to FILE.
+//
+// -faults enables fault injection on the ATB fabrics (1% per-hop loss
+// unless -loss/-jitter override; either implies -faults) and arms the
+// engine deadline/retry layer (-deadline, default 2 ms) so sweeps
+// complete under loss via retransmission.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"hatrpc/internal/atb"
 	"hatrpc/internal/engine"
 	"hatrpc/internal/obs"
+	"hatrpc/internal/simnet"
 	"hatrpc/internal/stats"
 	"hatrpc/internal/tpch"
 	"hatrpc/internal/ycsb"
@@ -34,7 +41,20 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset (fig04..fig17,derived)")
 	metrics := flag.Bool("metrics", false, "write obs tables to results/metrics.txt")
 	traceFile := flag.String("trace", "", "write a chrome://tracing JSON event trace to FILE")
+	faults := flag.Bool("faults", false, "inject faults: 1% per-hop packet loss unless -loss/-jitter override")
+	loss := flag.Float64("loss", 0, "per-hop drop probability, e.g. 0.05 (implies -faults)")
+	jitter := flag.Int64("jitter", 0, "max per-hop latency jitter in ns (implies -faults)")
+	deadline := flag.Int64("deadline", 2_000_000, "per-call deadline in ns for fault runs (0 disables retries)")
 	flag.Parse()
+
+	if *faults || *loss > 0 || *jitter > 0 {
+		p := *loss
+		if p == 0 && *jitter == 0 {
+			p = 0.01
+		}
+		atb.FaultSpec = &simnet.FaultConfig{DropProb: p, JitterNs: *jitter}
+		atb.CallDeadlineNs = *deadline
+	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		fatal(err)
 	}
@@ -53,6 +73,9 @@ func main() {
 			runIdx++
 			for _, e := range f.Engines() {
 				e.SetObs(reg)
+			}
+			if fp := f.Cluster.Faults(); fp != nil {
+				fp.SetObs(reg)
 			}
 		}
 	}

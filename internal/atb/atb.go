@@ -33,6 +33,16 @@ func NewFabric(seed int64, nodes int) *Fabric {
 // tracer) to all engines of every run in a sweep.
 var FabricHook func(*Fabric)
 
+// FaultSpec, when non-nil, is installed on every freshly built Cluster
+// (cmd/atb and cmd/figures set it from the -faults/-loss/-jitter flags).
+// Nil keeps the fabric fault-free and byte-identical to earlier builds.
+var FaultSpec *simnet.FaultConfig
+
+// CallDeadlineNs, when >0, becomes engine.Config.CallDeadline on every
+// fabric — enabling the retry/backoff layer so benchmarks complete under
+// injected loss instead of hanging on a dropped packet.
+var CallDeadlineNs int64
+
 // NewFabricWith builds the testbed with an explicit engine sizing —
 // benchmarks shrink MaxMsgSize to the run's payload regime so hundreds
 // of connections fit in host memory.
@@ -43,6 +53,12 @@ func NewFabricWith(seed int64, nodes int, ecfg engine.Config) *Fabric {
 	}
 	env := sim.NewEnv(seed)
 	cl := simnet.NewCluster(env, cfg)
+	if FaultSpec != nil {
+		cl.InstallFaults(*FaultSpec)
+	}
+	if CallDeadlineNs > 0 {
+		ecfg.CallDeadline = sim.Duration(CallDeadlineNs)
+	}
 	f := &Fabric{Env: env, Cluster: cl}
 	f.Server = engine.New(cl.Node(0), ecfg)
 	for i := 1; i < cl.Nodes(); i++ {

@@ -21,31 +21,44 @@ type CallOpts struct {
 	Busy bool
 	// Oneway sends the request without waiting for any response.
 	Oneway bool
+	// Deadline bounds the whole call — including retransmissions — in
+	// virtual time from its start. Zero falls back to
+	// Config.CallDeadline; if both are zero the call may block forever
+	// on a lossy fabric (the lossless-fabric fast path, byte-identical
+	// to builds without the reliability layer).
+	Deadline sim.Duration
 }
 
-// resolve applies Hybrid-EagerRNDV's size switch and the RespProto
-// default (ProtoAuto → same as request).
+// hybridSwitch resolves a hybrid protocol against the rendezvous
+// threshold. The boundary follows DESIGN.md's hint table ("small/large
+// regime vs the 4 KB rendezvous threshold"): payloads up to AND
+// INCLUDING the threshold travel eagerly; strictly larger ones go
+// rendezvous. Both hybrids and both directions (request resolution and
+// SendResponse) share this single definition so they can never diverge.
+func hybridSwitch(proto Protocol, size, threshold int) Protocol {
+	switch proto {
+	case HybridEagerRNDV:
+		if size > threshold {
+			return WriteRNDV
+		}
+		return EagerSendRecv
+	case HybridEagerRead:
+		if size > threshold {
+			return ReadRNDV
+		}
+		return EagerSendRecv
+	}
+	return proto
+}
+
+// resolve applies the hybrid size switch and the RespProto default
+// (ProtoAuto → same as request).
 func (o CallOpts) resolve(size, threshold int) (req, resp Protocol) {
-	req = o.Proto
 	resp = o.RespProto
 	if resp == ProtoAuto {
 		resp = o.Proto
 	}
-	if req == HybridEagerRNDV {
-		if size > threshold {
-			req = WriteRNDV
-		} else {
-			req = EagerSendRecv
-		}
-	}
-	if req == HybridEagerRead {
-		if size > threshold {
-			req = ReadRNDV
-		} else {
-			req = EagerSendRecv
-		}
-	}
-	return req, resp
+	return hybridSwitch(o.Proto, size, threshold), resp
 }
 
 // Call performs one RPC: ships req to the server with the requested
@@ -72,38 +85,60 @@ func (c *Conn) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, 
 		kind: kReq, proto: reqProto, respProto: respProto,
 		fn: fn, length: uint32(len(req)), seq: c.seq,
 	}
+	dl := opts.Deadline
+	if dl == 0 {
+		dl = eng.cfg.CallDeadline
+	}
 	if opts.Oneway {
 		c.stats.Oneways++
 		if m := eng.em; m != nil {
 			m.oneways.Inc()
 		}
 		h.respProto = ProtoAuto // marks "no response expected"
-		c.sendMessage(p, h, req, opts.Busy)
+		if dl > 0 {
+			if err := c.sendOnewayReliable(p, h, req, opts.Busy, p.Now()+sim.Time(dl)); err != nil {
+				return nil, err
+			}
+		} else {
+			c.sendMessage(p, h, req, opts.Busy)
+		}
 		eng.trc.Complete("rpc", "oneway."+reqProto.String(), eng.node.ID(), c.id,
 			start, int64(p.Now()),
 			obs.Arg{K: "fn", V: fn}, obs.Arg{K: "size", V: len(req)})
 		return nil, nil
 	}
-	c.sendMessage(p, h, req, opts.Busy)
-
-	// Fetch-style responses are client-driven; the fetch loops spin on
-	// their READ completions regardless of the call's polling mode —
-	// short client-side spins are these designs' defining trait (RFP,
-	// Pilaf and FaRM all poll one-sided results).
 	var out []byte
-	switch respProto {
-	case RFP:
-		out = c.fetchRFP(p, true)
-	case Pilaf:
-		out = c.fetchKV(p, 2, true)
-	case FaRM:
-		out = c.fetchKV(p, 1, true)
-	default:
-		a := c.NextArrival(p, opts.Busy)
-		if a.Kind != kResp {
-			return nil, fmt.Errorf("engine: expected response, got kind %d", a.Kind)
+	if dl > 0 {
+		// Deadline-bounded path: seq-tagged retransmission with capped
+		// exponential backoff; see reliability.go.
+		var err error
+		out, err = c.callReliable(p, h, req, respProto, opts.Busy, p.Now()+sim.Time(dl))
+		if err != nil {
+			eng.trc.Instant("rpc", "call_failed."+reqProto.String(), eng.node.ID(), c.id,
+				int64(p.Now()), obs.Arg{K: "fn", V: fn}, obs.Arg{K: "seq", V: h.seq})
+			return nil, err
 		}
-		out = a.Payload
+	} else {
+		c.sendMessage(p, h, req, opts.Busy)
+
+		// Fetch-style responses are client-driven; the fetch loops spin on
+		// their READ completions regardless of the call's polling mode —
+		// short client-side spins are these designs' defining trait (RFP,
+		// Pilaf and FaRM all poll one-sided results).
+		switch respProto {
+		case RFP:
+			out = c.fetchRFP(p, true)
+		case Pilaf:
+			out = c.fetchKV(p, 2, true)
+		case FaRM:
+			out = c.fetchKV(p, 1, true)
+		default:
+			a := c.NextArrival(p, opts.Busy)
+			if a.Kind != kResp {
+				return nil, fmt.Errorf("engine: expected response, got kind %d", a.Kind)
+			}
+			out = a.Payload
+		}
 	}
 	if m := eng.em; m != nil {
 		m.callLat[reqProto].Observe(float64(int64(p.Now()) - start))
@@ -118,6 +153,15 @@ func (c *Conn) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, 
 // sendMessage ships [hdr|payload] using the wire protocol in h.proto.
 // It is used for requests (client) and two-sided responses (server).
 func (c *Conn) sendMessage(p *sim.Proc, h hdr, payload []byte, busy bool) {
+	c.sendMessageUntil(p, h, payload, busy, 0)
+}
+
+// sendMessageUntil is sendMessage with a bound on protocol-internal
+// handshake waits (Write-RNDV's CTS). It reports whether the payload was
+// handed to the fabric; false means the handshake timed out or the grant
+// was withdrawn, and the caller's retry loop should try again. until
+// zero waits forever (the lossless fast path).
+func (c *Conn) sendMessageUntil(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
 	switch h.proto {
 	case EagerSendRecv:
 		c.sendEager(p, h, payload)
@@ -128,7 +172,7 @@ func (c *Conn) sendMessage(p *sim.Proc, h hdr, payload []byte, busy bool) {
 	case DirectWriteIMM:
 		c.sendWriteImm(p, h, payload)
 	case WriteRNDV:
-		c.sendWriteRNDV(p, h, payload, busy)
+		return c.sendWriteRNDV(p, h, payload, busy, until)
 	case ReadRNDV:
 		c.sendReadRNDV(p, h, payload)
 	case RFP, HERD:
@@ -140,6 +184,7 @@ func (c *Conn) sendMessage(p *sim.Proc, h hdr, payload []byte, busy bool) {
 	default:
 		panic("engine: sendMessage: unresolved protocol " + h.proto.String())
 	}
+	return true
 }
 
 // sendEager copies the payload into staging slots and SENDs it,
@@ -230,12 +275,18 @@ func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte) {
 }
 
 // sendWriteRNDV runs the WRITE-based rendezvous: RTS, wait for the CTS
-// grant, then WRITE_WITH_IMM into the granted pool buffer.
-func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool) {
+// grant, then WRITE_WITH_IMM into the granted pool buffer. It reports
+// whether the payload was written; false means the CTS wait timed out
+// (bounded by until) or the peer withdrew the grant mid-handshake — the
+// caller's retry (or the client's retransmission + server dedup)
+// recovers.
+func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
 	rts := hdr{kind: kRTS, proto: WriteRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
 	c.postSmall(p, rts)
 	ctsStart := int64(p.Now())
-	c.waitCTS(p, h.seq, busy)
+	if !c.waitCTSUntil(p, h.seq, busy, until) {
+		return false
+	}
 	if m := c.eng.em; m != nil {
 		m.ctsWait.Observe(float64(int64(p.Now()) - ctsStart))
 	}
@@ -243,7 +294,8 @@ func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool) {
 		ctsStart, int64(p.Now()), obs.Arg{K: "seq", V: h.seq})
 	rk, ok := c.shared.rndv[rndvKey(h.seq, c.server)]
 	if !ok {
-		panic("engine: CTS without exposed buffer")
+		// The granter aborted after sending CTS and withdrew the buffer.
+		return false
 	}
 	// Zero-copy: the payload was serialized straight into registered
 	// staging (rendezvous avoids the eager copy; that is its point).
@@ -256,18 +308,25 @@ func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool) {
 		Imm:        h.seq,
 		Unsignaled: true,
 	})
+	return true
 }
 
 // sendReadRNDV exposes the payload in a pool buffer and sends an RTS; the
-// peer READs it and FINs (Fig. 3e).
+// peer READs it and FINs (Fig. 3e). A retransmission (same seq, buffer
+// still exposed because no FIN arrived) reuses the existing exposure and
+// just resends the RTS.
 func (c *Conn) sendReadRNDV(p *sim.Proc, h hdr, payload []byte) {
+	rts := hdr{kind: kRTS, proto: ReadRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
+	if _, ok := c.rndvOut[h.seq]; ok {
+		c.postSmall(p, rts)
+		return
+	}
 	// Zero-copy exposure: serialized straight into the pool buffer.
 	buf := c.eng.acquireRndv(p, len(payload)+hdrSize)
 	putHdr(buf.Buf, h)
 	copy(buf.Buf[hdrSize:], payload)
 	c.rndvOut[h.seq] = buf
 	c.shared.rndv[rndvKey(h.seq, c.server)] = buf.RKey()
-	rts := hdr{kind: kRTS, proto: ReadRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
 	c.postSmall(p, rts)
 }
 
@@ -284,16 +343,20 @@ func (c *Conn) sendRfpWrite(p *sim.Proc, h hdr, payload []byte) {
 	})
 }
 
-// readRemote issues one READ and blocks until it completes.
-func (c *Conn) readRemote(p *sim.Proc, rk verbs.RKey, off, n int, busy bool) []byte {
+// readRemote issues one READ and blocks until it completes. ok=false
+// means the READ failed (lost in the fabric or flushed on an errored
+// QP); the returned bytes are then meaningless.
+func (c *Conn) readRemote(p *sim.Proc, rk verbs.RKey, off, n int, busy bool) ([]byte, bool) {
 	id := c.wrid()
 	c.qp.PostSend(p, &verbs.SendWR{
 		WRID: id, Op: verbs.OpRead,
 		SGE:    verbs.SGE{MR: c.directMR, Off: 0, Len: n},
 		Remote: rk, RemoteOff: off,
 	})
-	c.waitRead(p, id, busy)
-	return c.directMR.Buf[:n]
+	if !c.waitRead(p, id, busy) {
+		return nil, false
+	}
+	return c.directMR.Buf[:n], true
 }
 
 // retryDelay paces ready-flag polling loops.
@@ -303,9 +366,24 @@ const retryDelay = 600 // ns between one-sided polls of a not-yet-ready result
 // response region until the sequence stamp matches, fetching the tail
 // with a second READ when the response exceeds the first chunk.
 func (c *Conn) fetchRFP(p *sim.Proc, busy bool) []byte {
+	out, _ := c.fetchRFPUntil(p, busy, 0)
+	return out
+}
+
+// fetchRFPUntil is fetchRFP bounded by virtual time (zero = forever). A
+// failed READ (loss) recovers the QP and keeps polling until the bound.
+func (c *Conn) fetchRFPUntil(p *sim.Proc, busy bool, until sim.Time) ([]byte, bool) {
 	chunk := c.eng.cfg.RFPChunk
 	for {
-		b := c.readRemote(p, c.peerRfpOut, 0, chunk, busy)
+		if until > 0 && p.Now() >= until {
+			return nil, false
+		}
+		b, ok := c.readRemote(p, c.peerRfpOut, 0, chunk, busy)
+		if !ok {
+			c.recoverQP(p)
+			p.Sleep(retryDelay)
+			continue
+		}
 		h := getHdr(b)
 		if h.seq != c.seq || h.kind != kResp {
 			c.noteReadRetry(p)
@@ -313,17 +391,23 @@ func (c *Conn) fetchRFP(p *sim.Proc, busy bool) []byte {
 			continue
 		}
 		n := int(h.length)
-		c.stats.BytesRecvd += int64(n)
 		got := chunk - hdrSize
 		if n <= got {
-			return append([]byte(nil), b[hdrSize:hdrSize+n]...)
+			c.stats.BytesRecvd += int64(n)
+			return append([]byte(nil), b[hdrSize:hdrSize+n]...), true
 		}
 		// Tail fetch for large responses.
 		out := make([]byte, n)
 		copy(out, b[hdrSize:])
-		rest := c.readRemote(p, c.peerRfpOut, chunk, n-got, busy)
+		rest, ok := c.readRemote(p, c.peerRfpOut, chunk, n-got, busy)
+		if !ok {
+			c.recoverQP(p)
+			p.Sleep(retryDelay)
+			continue
+		}
 		copy(out[got:], rest)
-		return out
+		c.stats.BytesRecvd += int64(n)
+		return out, true
 	}
 }
 
@@ -344,8 +428,23 @@ func (c *Conn) noteReadRetry(p *sim.Proc) {
 // for Pilaf, one for FaRM) followed by one payload READ of the published
 // length.
 func (c *Conn) fetchKV(p *sim.Proc, metaReads int, busy bool) []byte {
+	out, _ := c.fetchKVUntil(p, metaReads, busy, 0)
+	return out
+}
+
+// fetchKVUntil is fetchKV bounded by virtual time (zero = forever). A
+// failed READ (loss) recovers the QP and keeps polling until the bound.
+func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, busy bool, until sim.Time) ([]byte, bool) {
 	for {
-		meta := c.readRemote(p, c.peerKvMeta, 0, 16, busy)
+		if until > 0 && p.Now() >= until {
+			return nil, false
+		}
+		meta, ok := c.readRemote(p, c.peerKvMeta, 0, 16, busy)
+		if !ok {
+			c.recoverQP(p)
+			p.Sleep(retryDelay)
+			continue
+		}
 		seq := binary.LittleEndian.Uint32(meta[0:])
 		n := int(binary.LittleEndian.Uint32(meta[4:]))
 		if seq != c.seq {
@@ -356,9 +455,14 @@ func (c *Conn) fetchKV(p *sim.Proc, metaReads int, busy bool) []byte {
 		for i := 1; i < metaReads; i++ {
 			c.readRemote(p, c.peerKvMeta, 0, 16, busy)
 		}
-		b := c.readRemote(p, c.peerKvPay, 0, n, busy)
+		b, ok := c.readRemote(p, c.peerKvPay, 0, n, busy)
+		if !ok {
+			c.recoverQP(p)
+			p.Sleep(retryDelay)
+			continue
+		}
 		c.stats.BytesRecvd += int64(n)
-		return append([]byte(nil), b[:n]...)
+		return append([]byte(nil), b[:n]...), true
 	}
 }
 
@@ -371,22 +475,13 @@ func (c *Conn) SendResponse(p *sim.Proc, a Arrival, resp []byte, busy bool) {
 	if !c.server {
 		panic("engine: SendResponse on client connection")
 	}
+	// A prior loss may have erred the QP; cycle it back before posting
+	// (no-op on a healthy QP, so free on a lossless fabric).
+	c.recoverQP(p)
 	c.stats.BytesSent += int64(len(resp))
-	respProto := a.RespProto
-	if respProto == HybridEagerRNDV {
-		if len(resp) > c.eng.cfg.RndvThreshold {
-			respProto = WriteRNDV
-		} else {
-			respProto = EagerSendRecv
-		}
-	}
-	if respProto == HybridEagerRead {
-		if len(resp) > c.eng.cfg.RndvThreshold {
-			respProto = ReadRNDV
-		} else {
-			respProto = EagerSendRecv
-		}
-	}
+	// Same switch as the request path (hybridSwitch), applied to the
+	// *response* size.
+	respProto := hybridSwitch(a.RespProto, len(resp), c.eng.cfg.RndvThreshold)
 	h := hdr{kind: kResp, proto: respProto, respProto: respProto, fn: a.Fn, length: uint32(len(resp)), seq: a.Seq}
 	switch respProto {
 	case RFP:
@@ -399,7 +494,14 @@ func (c *Conn) SendResponse(p *sim.Proc, a Arrival, resp []byte, busy bool) {
 		eh.proto = HERD
 		c.sendEager(p, eh, resp)
 	default:
-		c.sendMessage(p, h, resp, busy)
+		// Under fault injection the rendezvous CTS wait is bounded so an
+		// aborted client cannot wedge this dispatcher; an abandoned
+		// response is recovered by the client's retransmission (dedup).
+		var until sim.Time
+		if c.faultsActive() {
+			until = p.Now() + serverCTSTimeoutNs
+		}
+		c.sendMessageUntil(p, h, resp, busy, until)
 	}
 }
 

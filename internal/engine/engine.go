@@ -35,6 +35,11 @@ type Config struct {
 	// with every size class it ever touched. Zero means
 	// DefaultRndvPoolCap.
 	RndvPoolCap int
+	// CallDeadline is the default per-call deadline applied when
+	// CallOpts.Deadline is zero. Zero (the default) disables deadlines:
+	// a call on a lossy fabric may block forever, and the call path is
+	// byte-identical to builds without the reliability layer.
+	CallDeadline sim.Duration
 }
 
 // DefaultRndvPoolCap is the per-size-class free-list bound applied when
@@ -139,6 +144,13 @@ type engineMetrics struct {
 	poolDrop    *obs.Counter
 	ctsWait     *obs.Histogram
 	rndvReg     *obs.Histogram
+
+	// Reliability-layer instruments (only move under fault injection
+	// or explicit deadlines).
+	retries          *obs.Counter
+	deadlineExceeded *obs.Counter
+	dupRequests      *obs.Counter
+	qpRecoveries     *obs.Counter
 }
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
@@ -151,6 +163,11 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		poolDrop:    r.Counter("engine.rndv_pool.drop"),
 		ctsWait:     r.Histogram("engine.cts_wait_ns"),
 		rndvReg:     r.Histogram("engine.rndv_register_ns"),
+
+		retries:          r.Counter("engine.retries"),
+		deadlineExceeded: r.Counter("engine.deadline_exceeded"),
+		dupRequests:      r.Counter("engine.dup_requests"),
+		qpRecoveries:     r.Counter("engine.qp_recoveries"),
 	}
 	for i := 0; i < nProtocols; i++ {
 		name := Protocol(i).String()
@@ -215,6 +232,7 @@ func (e *Engine) acquireRndv(p *sim.Proc, size int) *verbs.MR {
 		mr := free[n-1]
 		free[n-1] = nil
 		e.rndvFree[cls] = free[:n-1]
+		mr.SetRevoked(false) // remote access restored for the new transfer
 		e.em.poolHitInc()
 		p.Sleep(200) // pool pop + bookkeeping
 		return mr
@@ -243,6 +261,10 @@ func (m *engineMetrics) poolHitInc() {
 // Config.RndvPoolCap free buffers; overflow is dropped and its pinned
 // bytes returned, bounding pool growth under mixed-size workloads.
 func (e *Engine) releaseRndv(mr *verbs.MR) {
+	// Withdraw remote access first: an in-flight one-sided transfer still
+	// holding this rkey (a retransmission race) must not touch the buffer
+	// once it can be recycled.
+	mr.SetRevoked(true)
 	cls := sizeClass(mr.Len())
 	free := e.rndvFree[cls]
 	if len(free) >= e.cfg.RndvPoolCap {
@@ -399,6 +421,22 @@ type Conn struct {
 	rndvOut      map[uint32]*verbs.MR // sender: exposed buffers awaiting FIN, by seq
 	pendingReads map[uint64]hdr       // READ wrid → header context (Read-RNDV pull)
 
+	// Orphaned rendezvous buffers from aborted (deadline-exceeded)
+	// calls: a peer-side one-sided transfer may still target them, so
+	// they cannot rejoin the pool until the late completion (WRITE_IMM,
+	// READ, FIN) arrives — or Close drains them.
+	orphanIn  map[uint32]*verbs.MR
+	orphanOut map[uint32]*verbs.MR
+
+	// Server-side idempotent dedup: the seq of the last executed request
+	// and its cached response. A retransmitted request (same seq)
+	// resends the cached response without re-running the handler. One
+	// entry suffices because a Conn carries one outstanding call.
+	dedupSeq   uint32
+	dedupResp  []byte
+	dedupArr   Arrival
+	dedupValid bool
+
 	ctsReady  map[uint32]bool       // CTS seen for seq
 	frags     map[uint32]*fragState // eager reassembly by seq
 	respQueue []Arrival             // completed arrivals not yet consumed
@@ -430,6 +468,8 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 		rndvIn:       make(map[uint32]*verbs.MR),
 		rndvOut:      make(map[uint32]*verbs.MR),
 		pendingReads: make(map[uint64]hdr),
+		orphanIn:     make(map[uint32]*verbs.MR),
+		orphanOut:    make(map[uint32]*verbs.MR),
 		ctsReady:     make(map[uint32]bool),
 		frags:        make(map[uint32]*fragState),
 	}
@@ -500,9 +540,18 @@ func (c *Conn) Close() {
 		c.eng.releaseRndv(c.rndvOut[seq])
 		delete(c.shared.rndv, rndvKey(seq, c.server))
 	}
+	for _, seq := range sortedSeqs(c.orphanIn) {
+		c.eng.releaseRndv(c.orphanIn[seq])
+	}
+	for _, seq := range sortedSeqs(c.orphanOut) {
+		c.eng.releaseRndv(c.orphanOut[seq])
+		delete(c.shared.rndv, rndvKey(seq, c.server))
+	}
 	c.rndvIn, c.rndvOut = nil, nil
+	c.orphanIn, c.orphanOut = nil, nil
 	c.pendingReads, c.ctsReady, c.frags = nil, nil, nil
 	c.respQueue = nil
+	c.dedupResp, c.dedupValid = nil, false
 	c.exitWait()
 	c.eng.pinnedBytes -= c.pinned
 	c.pinned = 0
@@ -674,12 +723,20 @@ func (c *Conn) NextArrival(p *sim.Proc, busy bool) Arrival {
 	}
 }
 
-// waitCTS pumps until the CTS for seq arrives, queueing any unrelated
-// arrivals.
-func (c *Conn) waitCTS(p *sim.Proc, seq uint32, busy bool) {
+// waitCTSUntil pumps until the CTS for seq arrives, queueing any
+// unrelated arrivals. A non-zero until bounds the wait (virtual time);
+// it returns false on timeout with the seq's CTS flag left unset so a
+// late CTS can still be consumed by a retry.
+func (c *Conn) waitCTSUntil(p *sim.Proc, seq uint32, busy bool, until sim.Time) bool {
 	c.enterWait(busy)
 	defer c.exitWait()
+	if until > 0 {
+		c.armWake(until)
+	}
 	for !c.ctsReady[seq] {
+		if until > 0 && p.Now() >= until {
+			return false
+		}
 		if wc, ok := c.cq.TryPoll(); ok {
 			if a, done := c.handleWC(p, wc); done {
 				c.respQueue = append(c.respQueue, a)
@@ -690,17 +747,21 @@ func (c *Conn) waitCTS(p *sim.Proc, seq uint32, busy bool) {
 	}
 	delete(c.ctsReady, seq)
 	c.chargeDetect(p, busy)
+	return true
 }
 
-// waitRead pumps until the READ with the given wrid completes.
-func (c *Conn) waitRead(p *sim.Proc, wrid uint64, busy bool) {
+// waitRead pumps until the READ with the given wrid completes, returning
+// whether it succeeded. (A READ always completes: success, retry
+// exhaustion after a drop, or a flush on an errored QP — so this wait
+// needs no deadline of its own.)
+func (c *Conn) waitRead(p *sim.Proc, wrid uint64, busy bool) bool {
 	c.enterWait(busy)
 	defer c.exitWait()
 	for {
 		if wc, ok := c.cq.TryPoll(); ok {
 			if wc.Op == verbs.OpRead && wc.WRID == wrid {
 				c.chargeDetect(p, busy)
-				return
+				return wc.Status == verbs.WCSuccess
 			}
 			if a, done := c.handleWC(p, wc); done {
 				c.respQueue = append(c.respQueue, a)
@@ -714,6 +775,23 @@ func (c *Conn) waitRead(p *sim.Proc, wrid uint64, busy bool) {
 // handleWC interprets one completion. It returns (arrival, true) when the
 // completion finishes an application-level message.
 func (c *Conn) handleWC(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
+	if wc.Status != verbs.WCSuccess {
+		// Failed work request (retry-exceeded or flushed on an errored
+		// QP). If it was a Read-RNDV pull, reclaim its control state: no
+		// data arrived, so the destination buffer can rejoin the pool.
+		if wc.Op == verbs.OpRead {
+			if rts, ok := c.pendingReads[wc.WRID]; ok {
+				delete(c.pendingReads, wc.WRID)
+				if buf, ok := c.rndvIn[rts.seq]; ok {
+					delete(c.rndvIn, rts.seq)
+					c.eng.releaseRndv(buf)
+				} else {
+					c.releaseOrphan(c.orphanIn, rts.seq)
+				}
+			}
+		}
+		return Arrival{}, false
+	}
 	switch wc.Op {
 	case verbs.OpRecv:
 		if wc.HasImm {
@@ -723,9 +801,20 @@ func (c *Conn) handleWC(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	case verbs.OpRead:
 		if rts, ok := c.pendingReads[wc.WRID]; ok {
 			delete(c.pendingReads, wc.WRID)
+			buf, live := c.rndvIn[rts.seq]
+			if !live {
+				// The call was aborted while this pull was in flight; the
+				// data arrived too late to matter. Release the orphaned
+				// buffer and still FIN so the peer frees its exposed one.
+				if obuf, ok := c.orphanIn[rts.seq]; ok {
+					delete(c.orphanIn, rts.seq)
+					c.eng.releaseRndv(obuf)
+					c.postSmall(p, hdr{kind: kFin, proto: rts.proto, seq: rts.seq})
+				}
+				return Arrival{}, false
+			}
 			// Read-RNDV pull completed: the pulled buffer carries the
 			// original [hdr|payload] (the RTS only announced it).
-			buf := c.rndvIn[rts.seq]
 			delete(c.rndvIn, rts.seq)
 			h := getHdr(buf.Buf)
 			payload := append([]byte(nil), buf.Buf[hdrSize:hdrSize+int(h.length)]...)
@@ -740,11 +829,14 @@ func (c *Conn) handleWC(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	}
 }
 
-// fragState accumulates a segmented eager message.
+// fragState accumulates a segmented eager message. seen dedups fragment
+// offsets so a retransmitted fragment (same seq, same off) can neither
+// double-count got nor mask a hole.
 type fragState struct {
-	h   hdr
-	buf []byte
-	got int
+	h    hdr
+	buf  []byte
+	got  int
+	seen map[uint32]bool
 }
 
 // handleRecvSlot processes a two-sided SEND landing in an eager ring slot.
@@ -766,15 +858,30 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 		cm := c.eng.dev.CostModel()
 		c.eng.node.CPU.Compute(p, c.eng.node.NUMAWork(sim.Duration(cm.EagerSlotMgmtNs), c.numaBound))
 		c.memcpyCharge(p, len(frag))
+		if c.dedupValid && h.kind == kReq && h.seq == c.dedupSeq {
+			// Retransmission of the request we just served (its response
+			// was lost). Drop any partial re-assembly and surface one dup
+			// arrival (on the first fragment only) so the dispatcher's
+			// dedup path resends the cached response.
+			delete(c.frags, h.seq)
+			if h.off == 0 {
+				return Arrival{Kind: kReq, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq}, true
+			}
+			return Arrival{}, false
+		}
 		if int(h.length) == len(frag) && h.off == 0 {
 			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: frag}, true
 		}
 		// Segmented message: accumulate until complete.
 		st, ok := c.frags[h.seq]
 		if !ok {
-			st = &fragState{h: h, buf: make([]byte, h.length)}
+			st = &fragState{h: h, buf: make([]byte, h.length), seen: make(map[uint32]bool)}
 			c.frags[h.seq] = st
 		}
+		if st.seen[h.off] {
+			return Arrival{}, false // duplicate fragment from a retransmission
+		}
+		st.seen[h.off] = true
 		copy(st.buf[h.off:], frag)
 		st.got += len(frag)
 		if st.got < int(h.length) {
@@ -797,16 +904,40 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 			delete(c.rndvOut, h.seq)
 			delete(c.shared.rndv, rndvKey(h.seq, c.server))
 			c.eng.releaseRndv(buf)
+		} else if buf, ok := c.orphanOut[h.seq]; ok {
+			// FIN for a call aborted mid-rendezvous: the peer's pull
+			// finally finished, so the orphaned exposure can be freed.
+			delete(c.orphanOut, h.seq)
+			delete(c.shared.rndv, rndvKey(h.seq, c.server))
+			c.eng.releaseRndv(buf)
 		}
 		return Arrival{}, false
 	}
 	return Arrival{}, false
 }
 
-// handleRTS reacts to a rendezvous request-to-send.
+// handleRTS reacts to a rendezvous request-to-send. Retransmitted RTSes
+// (the reliability layer resends with the same seq) are idempotent: an
+// existing grant is re-announced rather than re-allocated, an in-flight
+// pull is left alone, and an RTS for an already-served request surfaces
+// a dup arrival so the dispatcher resends the cached response.
 func (c *Conn) handleRTS(p *sim.Proc, h hdr) (Arrival, bool) {
+	// A prior loss may have erred this QP (a dropped CTS or READ errors
+	// its owner); cycle it back before posting the grant or the pull, or
+	// every response below would flush and the handshake could never make
+	// progress. No-op on a healthy QP.
+	c.recoverQP(p)
+	if c.dedupValid && c.server && h.seq == c.dedupSeq {
+		return Arrival{Kind: kReq, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq}, true
+	}
 	switch h.proto {
 	case WriteRNDV, HybridEagerRNDV:
+		if _, ok := c.rndvIn[h.seq]; ok {
+			// Duplicate RTS: the CTS was lost. The buffer is already
+			// granted — just re-announce it.
+			c.postSmall(p, hdr{kind: kCTS, proto: h.proto, seq: h.seq})
+			return Arrival{}, false
+		}
 		// Expose a pool buffer and grant. The entry is keyed by the
 		// *sender's* side (our peer).
 		buf := c.eng.acquireRndv(p, int(h.length)+hdrSize)
@@ -815,10 +946,14 @@ func (c *Conn) handleRTS(p *sim.Proc, h hdr) (Arrival, bool) {
 		c.postSmall(p, hdr{kind: kCTS, proto: h.proto, seq: h.seq})
 		return Arrival{}, false
 	case ReadRNDV:
+		if _, ok := c.rndvIn[h.seq]; ok {
+			return Arrival{}, false // duplicate RTS: the pull is in flight
+		}
 		// Pull the payload from the buffer exposed by the sender (peer).
 		rk, ok := c.shared.rndv[rndvKey(h.seq, !c.server)]
 		if !ok {
-			panic("engine: Read-RNDV RTS without exposed buffer")
+			// Stale RTS: the sender aborted and withdrew the exposure.
+			return Arrival{}, false
 		}
 		buf := c.eng.acquireRndv(p, int(h.length)+hdrSize)
 		c.rndvIn[h.seq] = buf
@@ -853,7 +988,11 @@ func (c *Conn) handleWriteImm(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	seq := wc.Imm
 	buf, ok := c.rndvIn[seq]
 	if !ok {
-		panic(fmt.Sprintf("engine: WRITE_IMM for unknown rndv seq %d", seq))
+		// Late WRITE_IMM for an aborted call: free the orphaned grant.
+		// (A duplicate for an already-completed seq lands here too — the
+		// data went to a revoked buffer and was discarded by the NIC.)
+		c.releaseOrphan(c.orphanIn, seq)
+		return Arrival{}, false
 	}
 	delete(c.rndvIn, seq)
 	h := getHdr(buf.Buf)

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"errors"
+
+	"hatrpc/internal/obs"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/verbs"
+)
+
+// Typed call failures. A deadline-bounded call always returns one of
+// these (or succeeds); it never blocks forever.
+var (
+	// ErrDeadline: the call's deadline expired before a response arrived.
+	// The transport looked healthy at expiry — the request or response
+	// was lost (or the server is slow) and retries ran out of time.
+	ErrDeadline = errors.New("engine: call deadline exceeded")
+	// ErrPeerDown: the deadline expired with the connection's QP in the
+	// error state — the transport to the peer was failing at expiry
+	// (link flap, partition), not merely slow.
+	ErrPeerDown = errors.New("engine: peer unreachable")
+)
+
+// Retry pacing. The backoff starts comfortably above the RC retry
+// timeout (so a dropped message has erred its QP before the first
+// retransmission probes it) and doubles up to the cap.
+const (
+	retryBackoffBaseNs = 50_000  // first retransmission wait
+	retryBackoffCapNs  = 400_000 // backoff ceiling
+	// serverCTSTimeoutNs bounds a server dispatcher's rendezvous-CTS
+	// wait when fault injection is active, so a client that aborted
+	// mid-handshake cannot wedge the dispatcher. The client's
+	// retransmission (dedup) restarts the response from scratch.
+	serverCTSTimeoutNs = 200_000
+)
+
+// faultsActive reports whether the cluster has a fault plan installed.
+// All reliability-only costs (bounded server waits, QP recovery) hide
+// behind it or behind an explicit deadline, keeping the lossless-fabric
+// path byte-identical to builds without this layer.
+func (c *Conn) faultsActive() bool {
+	return c.eng.node.Cluster().Faults() != nil
+}
+
+// recoverQP cycles the connection's QP out of the error state (if a
+// prior loss erred it) before the next attempt touches the wire.
+func (c *Conn) recoverQP(p *sim.Proc) {
+	if !c.qp.Errored() {
+		return
+	}
+	c.qp.Recover(p)
+	if m := c.eng.em; m != nil {
+		m.qpRecoveries.Inc()
+	}
+}
+
+// armWake schedules a signal fire at the given virtual time so a bounded
+// wait loop gets a chance to observe its timeout. Spurious fires (the
+// wait already returned) are absorbed by the signal's condition loops.
+func (c *Conn) armWake(until sim.Time) {
+	if until > c.eng.env.Now() {
+		c.eng.env.At(until, c.sig.Fire)
+	}
+}
+
+// callReliable runs the deadline/retransmit state machine around one
+// request/response call: send the request (seq-tagged), wait up to the
+// current backoff for the response, and retransmit with doubled backoff
+// until the response arrives or the deadline expires. The server
+// deduplicates by seq, so a retransmitted request is executed at most
+// once; stale duplicate responses are discarded by seq filtering.
+func (c *Conn) callReliable(p *sim.Proc, h hdr, req []byte, respProto Protocol, busy bool, until sim.Time) ([]byte, error) {
+	eng := c.eng
+	backoff := sim.Duration(retryBackoffBaseNs)
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if m := eng.em; m != nil {
+				m.retries.Inc()
+			}
+			eng.trc.Instant("rpc", "retry", eng.node.ID(), c.id, int64(p.Now()),
+				obs.Arg{K: "seq", V: h.seq}, obs.Arg{K: "attempt", V: attempt})
+		}
+		c.recoverQP(p)
+		attemptUntil := p.Now() + sim.Time(backoff)
+		if attemptUntil > until {
+			attemptUntil = until
+		}
+		if c.sendMessageUntil(p, h, req, busy, attemptUntil) {
+			var out []byte
+			var ok bool
+			switch respProto {
+			case RFP:
+				out, ok = c.fetchRFPUntil(p, true, attemptUntil)
+			case Pilaf:
+				out, ok = c.fetchKVUntil(p, 2, true, attemptUntil)
+			case FaRM:
+				out, ok = c.fetchKVUntil(p, 1, true, attemptUntil)
+			default:
+				out, ok = c.awaitResponse(p, h.seq, busy, attemptUntil)
+			}
+			if ok {
+				return out, nil
+			}
+		} else if out, ok := c.pollResponse(p, h.seq, busy); ok {
+			// The handshake timed out because the server already served
+			// this request (its dedup path answers a retransmitted RTS
+			// with the response, never a CTS) — and the response was
+			// pumped into respQueue by the failed handshake wait itself.
+			// Without this check the retry loop would spin on RTS → dup
+			// response → CTS timeout until the deadline.
+			return out, nil
+		}
+		if p.Now() >= until {
+			return nil, c.failCall(h.seq)
+		}
+		backoff *= 2
+		if backoff > retryBackoffCapNs {
+			backoff = retryBackoffCapNs
+		}
+	}
+}
+
+// sendOnewayReliable is the oneway variant: there is no response to
+// confirm delivery, but protocols with a handshake (Write-RNDV's
+// RTS/CTS) still need bounded waits and retransmission to get the
+// payload off the node.
+func (c *Conn) sendOnewayReliable(p *sim.Proc, h hdr, req []byte, busy bool, until sim.Time) error {
+	eng := c.eng
+	backoff := sim.Duration(retryBackoffBaseNs)
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if m := eng.em; m != nil {
+				m.retries.Inc()
+			}
+		}
+		c.recoverQP(p)
+		attemptUntil := p.Now() + sim.Time(backoff)
+		if attemptUntil > until {
+			attemptUntil = until
+		}
+		if c.sendMessageUntil(p, h, req, busy, attemptUntil) {
+			return nil
+		}
+		if p.Now() >= until {
+			return c.failCall(h.seq)
+		}
+		backoff *= 2
+		if backoff > retryBackoffCapNs {
+			backoff = retryBackoffCapNs
+		}
+	}
+}
+
+// failCall records a deadline expiry, reclaims the call's per-seq
+// control state, and maps the failure to its typed error.
+func (c *Conn) failCall(seq uint32) error {
+	c.abortCall(seq)
+	if m := c.eng.em; m != nil {
+		m.deadlineExceeded.Inc()
+	}
+	if c.qp.Errored() {
+		return ErrPeerDown
+	}
+	return ErrDeadline
+}
+
+// abortCall reclaims the per-seq control state of a call that died
+// mid-flight, so deadline-exceeded calls leak neither map entries nor
+// pinned bytes. Rendezvous buffers that a peer-side one-sided transfer
+// may still target cannot be returned to the pool immediately (the DMA
+// would land in a recycled buffer); they move to the orphan tables and
+// are released by the late completion (WRITE_IMM, READ, FIN) or by
+// Close, whichever comes first.
+func (c *Conn) abortCall(seq uint32) {
+	delete(c.ctsReady, seq)
+	delete(c.frags, seq)
+	if buf, ok := c.rndvIn[seq]; ok {
+		delete(c.rndvIn, seq)
+		// Withdraw the grant so the peer's late rkey lookup fails cleanly
+		// instead of writing into a buffer we are about to recycle.
+		delete(c.shared.rndv, rndvKey(seq, !c.server))
+		c.orphanIn[seq] = buf
+	}
+	if buf, ok := c.rndvOut[seq]; ok {
+		delete(c.rndvOut, seq)
+		// The shared entry stays: a peer READ may be in flight against
+		// it. The FIN (or Close) removes both.
+		c.orphanOut[seq] = buf
+	}
+}
+
+// awaitResponse pumps completions until the response for seq arrives or
+// the bound expires. Responses for other seqs are stale duplicates from
+// earlier attempts (or earlier calls) and are discarded — the dedup
+// guarantee means their payloads equal what the original call already
+// returned.
+func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, busy bool, until sim.Time) ([]byte, bool) {
+	c.enterWait(busy)
+	defer c.exitWait()
+	c.armWake(until)
+	for {
+		for len(c.respQueue) > 0 {
+			a := c.respQueue[0]
+			c.respQueue = c.respQueue[1:]
+			if a.Kind == kResp && a.Seq == seq {
+				c.chargeDetect(p, busy)
+				c.stats.BytesRecvd += int64(len(a.Payload))
+				return a.Payload, true
+			}
+		}
+		if p.Now() >= until {
+			return nil, false
+		}
+		if wc, ok := c.cq.TryPoll(); ok {
+			if a, done := c.handleWC(p, wc); done {
+				c.respQueue = append(c.respQueue, a)
+			}
+			continue
+		}
+		c.sig.Wait(p)
+	}
+}
+
+// pollResponse scans the queued arrivals for the response to seq without
+// blocking, consuming it when present. Non-matching entries are left for
+// awaitResponse's drain to discard.
+func (c *Conn) pollResponse(p *sim.Proc, seq uint32, busy bool) ([]byte, bool) {
+	for i, a := range c.respQueue {
+		if a.Kind == kResp && a.Seq == seq {
+			c.respQueue = append(c.respQueue[:i], c.respQueue[i+1:]...)
+			c.chargeDetect(p, busy)
+			c.stats.BytesRecvd += int64(len(a.Payload))
+			return a.Payload, true
+		}
+	}
+	return nil, false
+}
+
+// releaseOrphan returns an orphaned rendezvous buffer (the late
+// completion for an aborted call finally arrived).
+func (c *Conn) releaseOrphan(m map[uint32]*verbs.MR, seq uint32) {
+	if buf, ok := m[seq]; ok {
+		delete(m, seq)
+		c.eng.releaseRndv(buf)
+	}
+}

@@ -60,11 +60,27 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 		if a.Kind != kReq {
 			continue
 		}
+		if c.dedupValid && a.Seq == c.dedupSeq {
+			// Retransmitted request: the response (or the tail of the
+			// original delivery) was lost. Resend the cached response
+			// without re-executing the handler — at-most-once execution,
+			// idempotent from the application's point of view.
+			if m := eng.em; m != nil {
+				m.dupRequests.Inc()
+			}
+			if c.dedupArr.RespProto != ProtoAuto {
+				c.SendResponse(p, c.dedupArr, c.dedupResp, s.Busy)
+			}
+			continue
+		}
 		start := int64(p.Now())
 		resp := s.handler(p, a.Fn, a.Payload)
 		if a.RespProto != ProtoAuto { // ProtoAuto marks a oneway request
 			c.SendResponse(p, a, resp, s.Busy)
 		}
+		c.dedupValid, c.dedupSeq, c.dedupResp = true, a.Seq, resp
+		c.dedupArr = a
+		c.dedupArr.Payload = nil // the request body is not needed for resends
 		s.Served++
 		if m := eng.em; m != nil && int(a.Proto) < nProtocols {
 			m.served[a.Proto].Inc()

@@ -61,8 +61,18 @@ type Conn struct {
 	bytesSent  *obs.Counter
 	msgsRecvd  *obs.Counter
 	bytesRecvd *obs.Counter
+	retrans    *obs.Counter
 	trc        *obs.Tracer
 }
+
+// TCP retransmission pacing under fault injection: a segment lost by the
+// fabric is resent by the kernel after the RTO, which doubles per loss up
+// to the cap. The application only ever observes added latency — TCP's
+// reliability is part of the baseline being compared against.
+const (
+	tcpRTONs    = 200_000   // initial retransmission timeout
+	tcpRTOCapNs = 1_600_000 // RTO backoff ceiling
+)
 
 // SetNUMABound marks this endpoint's copies as NUMA-local.
 func (c *Conn) SetNUMABound(b bool) { c.numaB = b }
@@ -72,13 +82,14 @@ func (c *Conn) SetNUMABound(b bool) { c.numaB = b }
 // Pass nil to detach.
 func (c *Conn) SetObs(r *obs.Registry) {
 	if r == nil {
-		c.msgsSent, c.bytesSent, c.msgsRecvd, c.bytesRecvd, c.trc = nil, nil, nil, nil, nil
+		c.msgsSent, c.bytesSent, c.msgsRecvd, c.bytesRecvd, c.retrans, c.trc = nil, nil, nil, nil, nil, nil
 		return
 	}
 	c.msgsSent = r.Counter("ipoib.msgs_sent")
 	c.bytesSent = r.Counter("ipoib.bytes_sent")
 	c.msgsRecvd = r.Counter("ipoib.msgs_recvd")
 	c.bytesRecvd = r.Counter("ipoib.bytes_recvd")
+	c.retrans = r.Counter("ipoib.retransmits")
 	c.trc = r.Tracer()
 }
 
@@ -110,10 +121,48 @@ func (c *Conn) Send(p *sim.Proc, data []byte) {
 	env := p.Env()
 	peer := c.peer
 	msg := message{data: append([]byte(nil), data...)}
-	env.After(c.node.Cluster().PropDelay(), func() {
-		rxDone := peer.node.RX.Reserve(env.Now(), inflated)
-		env.At(rxDone, func() { peer.in.Push(msg) })
-	})
+	prop := c.node.Cluster().PropDelay()
+	if fp := c.node.Cluster().Faults(); fp != nil {
+		// Fault injection: the same per-hop drop/jitter model the RDMA
+		// path sees, but surfaced with TCP semantics — a lost segment is
+		// retransmitted by the kernel after the RTO (doubling per loss),
+		// so the application observes delay, never loss.
+		from, to := c.node.ID(), peer.node.ID()
+		var attempt func(rto sim.Duration)
+		attempt = func(rto sim.Duration) {
+			drop, extra := fp.Outcome(from, to)
+			if drop {
+				c.retrans.Inc()
+				next := rto * 2
+				if next > tcpRTOCapNs {
+					next = tcpRTOCapNs
+				}
+				env.After(rto, func() { attempt(next) })
+				return
+			}
+			// The retransmitted segment re-occupies the wire.
+			txDone := c.node.TX.Reserve(env.Now(), inflated)
+			env.At(txDone+sim.Time(prop+extra), func() {
+				rxDone := peer.node.RX.Reserve(env.Now(), inflated)
+				env.At(rxDone, func() { peer.in.Push(msg) })
+			})
+		}
+		drop, extra := fp.Outcome(from, to)
+		if drop {
+			c.retrans.Inc()
+			env.After(tcpRTONs, func() { attempt(2 * tcpRTONs) })
+		} else {
+			env.After(prop+extra, func() {
+				rxDone := peer.node.RX.Reserve(env.Now(), inflated)
+				env.At(rxDone, func() { peer.in.Push(msg) })
+			})
+		}
+	} else {
+		env.After(prop, func() {
+			rxDone := peer.node.RX.Reserve(env.Now(), inflated)
+			env.At(rxDone, func() { peer.in.Push(msg) })
+		})
+	}
 	c.trc.Complete("ipoib", "send", c.node.ID(), 0, start, int64(p.Now()),
 		obs.Arg{K: "bytes", V: len(data)})
 }

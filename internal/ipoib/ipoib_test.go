@@ -141,3 +141,49 @@ func TestMultipleConnectionsIndependent(t *testing.T) {
 		t.Fatalf("%d clients finished", done)
 	}
 }
+
+// TestFaultLossBecomesDelay: under injected packet loss TCP retransmits —
+// every message is still delivered, in order, the run is seed-deterministic,
+// and lossy runs take strictly longer than lossless ones.
+func TestFaultLossBecomesDelay(t *testing.T) {
+	run := func(loss float64) (sim.Time, int) {
+		env, cl := setup(7)
+		cl.InstallFaults(simnet.FaultConfig{DropProb: loss})
+		const msgs = 40
+		env.Spawn("server", func(p *sim.Proc) {
+			ln := Listen(cl.Node(0), "svc", nil)
+			c := ln.Accept(p)
+			for i := 0; i < msgs; i++ {
+				c.Send(p, append([]byte("r:"), c.Recv(p)...))
+			}
+		})
+		got := 0
+		var done sim.Time
+		env.Spawn("client", func(p *sim.Proc) {
+			c := Dial(p, cl.Node(1), cl.Node(0), "svc", nil)
+			for i := 0; i < msgs; i++ {
+				resp := c.Call(p, []byte{byte(i)})
+				if len(resp) != 3 || resp[2] != byte(i) {
+					t.Errorf("msg %d: bad response %v", i, resp)
+					return
+				}
+				got++
+			}
+			done = p.Now()
+		})
+		env.Run()
+		return done, got
+	}
+	cleanT, cleanN := run(0)
+	lossyT, lossyN := run(0.05)
+	if cleanN != 40 || lossyN != 40 {
+		t.Fatalf("delivered %d/%d messages, want 40/40 (TCP must not lose data)", cleanN, lossyN)
+	}
+	if lossyT <= cleanT {
+		t.Fatalf("lossy run (%d) not slower than clean run (%d)", lossyT, cleanT)
+	}
+	againT, _ := run(0.05)
+	if againT != lossyT {
+		t.Fatalf("lossy run nondeterministic: %d vs %d", lossyT, againT)
+	}
+}

@@ -77,7 +77,8 @@ type Env struct {
 
 	nprocs  int // live (not yet finished) processes
 	stopped bool
-	done    chan struct{} // closed by Shutdown to release parked goroutines
+	procs   []*Proc // every spawned process, in spawn order (for Shutdown)
+	shut    bool    // Shutdown has run
 }
 
 // NewEnv returns a fresh environment whose RNG is seeded with seed.
@@ -85,7 +86,6 @@ func NewEnv(seed int64) *Env {
 	return &Env{
 		rng:   rand.New(rand.NewSource(seed)),
 		sched: make(chan struct{}),
-		done:  make(chan struct{}),
 	}
 }
 
@@ -101,6 +101,8 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 type Proc struct {
 	env    *Env
 	resume chan struct{}
+	kill   chan struct{} // closed by Shutdown to terminate this process
+	exited chan struct{} // closed once the goroutine has fully unwound
 	name   string
 	done   bool
 	wake   *event // pending timer if parked in Sleep; nil otherwise
@@ -134,14 +136,22 @@ func (e *Env) cancel(ev *event) {
 // Spawn starts fn as a new simulation process. It may be called from
 // outside the simulation (before Run) or from inside another process.
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, resume: make(chan struct{}), name: name}
+	p := &Proc{
+		env:    e,
+		resume: make(chan struct{}),
+		kill:   make(chan struct{}),
+		exited: make(chan struct{}),
+		name:   name,
+	}
 	e.nprocs++
+	e.procs = append(e.procs, p)
 	// The process first runs when the scheduler reaches its start event.
 	e.schedule(e.now, p, nil)
 	go func() {
+		defer close(p.exited)
 		select {
 		case <-p.resume: // wait for first dispatch
-		case <-e.done:
+		case <-p.kill:
 			return
 		}
 		fn(p)
@@ -165,10 +175,17 @@ func (e *Env) After(d Duration, fn func()) { e.At(e.now+Time(d), fn) }
 // finished simulations release their memory.
 func (p *Proc) park() {
 	e := p.env
+	select {
+	case <-p.kill:
+		// Tearing down: a defer running under Goexit re-parked (nobody is
+		// receiving on sched anymore). Keep unwinding.
+		runtime.Goexit()
+	default:
+	}
 	e.sched <- struct{}{}
 	select {
 	case <-p.resume:
-	case <-e.done:
+	case <-p.kill:
 		runtime.Goexit()
 	}
 }
@@ -232,15 +249,26 @@ func (e *Env) RunUntil(limit Time) Time {
 // Stop halts the scheduler after the current event completes.
 func (e *Env) Stop() { e.stopped = true }
 
-// Shutdown releases every goroutine still parked in the environment so
-// the simulation's memory can be reclaimed. Call it after the final Run;
-// the environment must not be used afterwards.
+// Shutdown terminates every goroutine still parked in the environment so
+// the simulation's memory can be reclaimed. Processes are torn down one
+// at a time: each goroutine is released, runs its deferred cleanup under
+// Goexit, and is joined before the next wakes — preserving the kernel's
+// one-process-at-a-time invariant through teardown (deferred cleanup
+// touches shared scheduler state such as CPU load tracking). Call it
+// after the final Run; the environment must not be used afterwards.
 func (e *Env) Shutdown() {
-	select {
-	case <-e.done:
-	default:
-		close(e.done)
+	if e.shut {
+		return
 	}
+	e.shut = true
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		close(p.kill)
+		<-p.exited
+	}
+	e.procs = nil
 }
 
 // Stopped reports whether Stop has been called.

@@ -1,0 +1,181 @@
+// Fault injection for the simulated fabric. A FaultPlan is a
+// deterministic, seeded fault model installed on a Cluster: per-message
+// drop probability, latency jitter, periodic link flaps (a directed link
+// goes dark for a window) and node pauses (a node stops receiving for a
+// window, as under a GC stall, kernel hiccup or failover). Transports
+// (verbs NICs, ipoib) consult the plan on every message hop.
+//
+// Determinism: all randomness flows through sim.Env.Rand(), the single
+// seeded RNG of the simulation, and the per-link flap phases and
+// per-node pause phases are drawn eagerly at InstallFaults — so one seed
+// yields one reproducible fault schedule, and two runs with the same
+// seed and plan are byte-identical. A nil plan (the default) draws
+// nothing and schedules nothing: fault injection off is exactly the
+// no-fault build.
+package simnet
+
+import (
+	"hatrpc/internal/obs"
+	"hatrpc/internal/sim"
+)
+
+// FaultConfig describes the injected fault model. The zero value injects
+// nothing (and draws no randomness), so a zero-config plan behaves
+// identically to no plan at all.
+type FaultConfig struct {
+	// DropProb is the per-message probability that a fabric hop silently
+	// loses the message (0..1).
+	DropProb float64
+	// JitterNs adds a uniform extra one-way delay in [0, JitterNs) to
+	// every delivered message.
+	JitterNs int64
+	// FlapPeriodNs/FlapDownNs: every FlapPeriodNs of virtual time each
+	// directed link goes down for FlapDownNs (messages sent during the
+	// window are dropped). Each link's window phase is drawn from the
+	// seeded RNG so flaps do not align across links.
+	FlapPeriodNs int64
+	FlapDownNs   int64
+	// PausePeriodNs/PauseForNs: every PausePeriodNs each node in
+	// PausedNodes stalls for PauseForNs; messages arriving at a paused
+	// node are delayed until the pause window ends. Phases are drawn per
+	// node from the seeded RNG.
+	PausePeriodNs int64
+	PauseForNs    int64
+	// PausedNodes lists the node IDs subject to pauses (empty = none).
+	PausedNodes []int
+}
+
+// FaultPlan is an installed fault model. Obtain one with
+// Cluster.InstallFaults; transports fetch it with Cluster.Faults (nil
+// when fault injection is off).
+type FaultPlan struct {
+	env *sim.Env
+	cfg FaultConfig
+
+	flapPhase  map[[2]int]int64 // directed link → flap window phase
+	pausePhase map[int]int64    // node → pause window phase
+
+	// Counters are nil-safe; SetObs attaches them.
+	drops     *obs.Counter // messages lost (random + flap)
+	flapDrops *obs.Counter // of which lost to a down link
+	delays    *obs.Counter // messages delayed by jitter or a paused node
+}
+
+// InstallFaults attaches a fault plan to the cluster and returns it. The
+// per-link flap phases and per-node pause phases are drawn immediately
+// from the environment's seeded RNG (in node-ID order, so the schedule
+// depends only on the seed and the config).
+func (c *Cluster) InstallFaults(cfg FaultConfig) *FaultPlan {
+	fp := &FaultPlan{
+		env:        c.env,
+		cfg:        cfg,
+		flapPhase:  make(map[[2]int]int64),
+		pausePhase: make(map[int]int64),
+	}
+	rng := c.env.Rand()
+	if cfg.FlapPeriodNs > 0 && cfg.FlapDownNs > 0 {
+		for from := 0; from < len(c.nodes); from++ {
+			for to := 0; to < len(c.nodes); to++ {
+				if from != to {
+					fp.flapPhase[[2]int{from, to}] = rng.Int63n(cfg.FlapPeriodNs)
+				}
+			}
+		}
+	}
+	if cfg.PausePeriodNs > 0 && cfg.PauseForNs > 0 {
+		for _, n := range cfg.PausedNodes {
+			fp.pausePhase[n] = rng.Int63n(cfg.PausePeriodNs)
+		}
+	}
+	// A config with nothing enabled leaves the cluster fault-free: Faults()
+	// stays nil, so transports and the engine's reliability heuristics take
+	// the exact no-fault code path (byte-identical traces).
+	if cfg.enabled() {
+		c.faults = fp
+	} else {
+		c.faults = nil
+	}
+	return fp
+}
+
+// enabled reports whether any fault feature is actually configured.
+func (cfg FaultConfig) enabled() bool {
+	return cfg.DropProb > 0 || cfg.JitterNs > 0 ||
+		(cfg.FlapPeriodNs > 0 && cfg.FlapDownNs > 0) ||
+		(cfg.PausePeriodNs > 0 && cfg.PauseForNs > 0 && len(cfg.PausedNodes) > 0)
+}
+
+// Faults returns the installed fault plan, or nil when fault injection
+// is off.
+func (c *Cluster) Faults() *FaultPlan { return c.faults }
+
+// SetObs attaches drop/delay counters (simnet.drops, simnet.flap_drops,
+// simnet.delayed) to the plan. Counters are shared by name when several
+// plans attach to one registry. Pass nil to detach.
+func (fp *FaultPlan) SetObs(r *obs.Registry) {
+	if r == nil {
+		fp.drops, fp.flapDrops, fp.delays = nil, nil, nil
+		return
+	}
+	fp.drops = r.Counter("simnet.drops")
+	fp.flapDrops = r.Counter("simnet.flap_drops")
+	fp.delays = r.Counter("simnet.delayed")
+}
+
+// linkDown reports whether the directed link from→to is inside a flap
+// window at time t.
+func (fp *FaultPlan) linkDown(from, to int, t sim.Time) bool {
+	if fp.cfg.FlapPeriodNs <= 0 || fp.cfg.FlapDownNs <= 0 {
+		return false
+	}
+	phase, ok := fp.flapPhase[[2]int{from, to}]
+	if !ok {
+		return false
+	}
+	return (int64(t)+phase)%fp.cfg.FlapPeriodNs < fp.cfg.FlapDownNs
+}
+
+// pauseRemaining returns how long node is still paused at time t (zero
+// when the node is running).
+func (fp *FaultPlan) pauseRemaining(node int, t sim.Time) sim.Duration {
+	if fp.cfg.PausePeriodNs <= 0 || fp.cfg.PauseForNs <= 0 {
+		return 0
+	}
+	phase, ok := fp.pausePhase[node]
+	if !ok {
+		return 0
+	}
+	into := (int64(t) + phase) % fp.cfg.PausePeriodNs
+	if into < fp.cfg.PauseForNs {
+		return sim.Duration(fp.cfg.PauseForNs - into)
+	}
+	return 0
+}
+
+// Outcome draws the fate of one message on the directed link from→to at
+// the current virtual time: dropped (lost forever at this hop), or
+// delivered with extra one-way delay (jitter plus any destination pause
+// window). RNG draws happen only for the features the config enables, so
+// a zero config perturbs nothing.
+func (fp *FaultPlan) Outcome(from, to int) (drop bool, extra sim.Duration) {
+	now := fp.env.Now()
+	if fp.linkDown(from, to, now) {
+		fp.drops.Inc()
+		fp.flapDrops.Inc()
+		return true, 0
+	}
+	if fp.cfg.DropProb > 0 && fp.env.Rand().Float64() < fp.cfg.DropProb {
+		fp.drops.Inc()
+		return true, 0
+	}
+	if fp.cfg.JitterNs > 0 {
+		extra += sim.Duration(fp.env.Rand().Int63n(fp.cfg.JitterNs))
+	}
+	if pause := fp.pauseRemaining(to, now); pause > 0 {
+		extra += pause
+	}
+	if extra > 0 {
+		fp.delays.Inc()
+	}
+	return false, extra
+}

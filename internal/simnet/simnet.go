@@ -42,9 +42,10 @@ func DefaultConfig() Config {
 
 // Cluster is a simulated cluster.
 type Cluster struct {
-	env   *sim.Env
-	cfg   Config
-	nodes []*Node
+	env    *sim.Env
+	cfg    Config
+	nodes  []*Node
+	faults *FaultPlan // nil when fault injection is off
 }
 
 // NewCluster builds the nodes described by cfg inside env.
@@ -179,18 +180,39 @@ func (g *BandwidthGate) Reserve(now sim.Time, size int) sim.Time {
 	return g.nextFree
 }
 
-// BusyNs returns total accumulated occupancy in nanoseconds.
+// BusyNs returns total accumulated occupancy in nanoseconds, including
+// reservations that extend into the future (the raw value; see
+// ReservedAheadNs).
 func (g *BandwidthGate) BusyNs() int64 { return g.busyNs }
 
-// Utilization returns accumulated occupancy as a fraction of elapsed
-// virtual time. Reservations extend into the future, so early in a run
-// the value can exceed 1 while the gate's queue drains; observability
-// gauges sample it as-is.
+// ReservedAheadNs returns the portion of accumulated occupancy that has
+// been reserved but not yet elapsed at time now. Reservations are FIFO,
+// so the not-yet-elapsed part is exactly the contiguous tail ending at
+// nextFree.
+func (g *BandwidthGate) ReservedAheadNs(now sim.Time) int64 {
+	if g.nextFree > now {
+		return int64(g.nextFree - now)
+	}
+	return 0
+}
+
+// CompletedBusyNs returns occupancy that has actually elapsed by now —
+// busyNs minus the reserved-ahead tail — so it never exceeds elapsed
+// virtual time.
+func (g *BandwidthGate) CompletedBusyNs(now sim.Time) int64 {
+	return g.busyNs - g.ReservedAheadNs(now)
+}
+
+// Utilization returns completed occupancy as a fraction of elapsed
+// virtual time, always in [0, 1]. Reserve accounts transfers that extend
+// into the future; that in-flight tail is excluded here (it previously
+// made the gauge read >1 early in a run) and remains available via
+// BusyNs/ReservedAheadNs for the pipeline-depth trace.
 func (g *BandwidthGate) Utilization(now sim.Time) float64 {
 	if now <= 0 {
 		return 0
 	}
-	return float64(g.busyNs) / float64(now)
+	return float64(g.CompletedBusyNs(now)) / float64(now)
 }
 
 // ---------------------------------------------------------------------------

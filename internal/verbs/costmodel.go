@@ -62,6 +62,16 @@ type CostModel struct {
 
 	// CQEDmaNs is the NIC cost to DMA a completion entry to the host.
 	CQEDmaNs int64
+
+	// RetryTimeoutNs is how long the RC transport retries a lost packet
+	// before giving up: the gap between a message being dropped by the
+	// fabric and the requester QP raising a retry-exceeded completion and
+	// entering the error state. Only exercised under fault injection.
+	RetryTimeoutNs int64
+
+	// QPRecoverNs is the CPU cost to cycle an errored QP back to RTS
+	// (modify-QP through RESET→INIT→RTR→RTS).
+	QPRecoverNs int64
 }
 
 // DefaultCostModel returns constants calibrated for the paper's testbed.
@@ -81,6 +91,8 @@ func DefaultCostModel() *CostModel {
 		MRRegisterPerPageNs:     400,
 		WireHeaderBytes:         40,
 		CQEDmaNs:                60,
+		RetryTimeoutNs:          20000,
+		QPRecoverNs:             4000,
 	}
 }
 

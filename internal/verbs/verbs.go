@@ -136,7 +136,19 @@ type MR struct {
 	Buf     []byte
 	lkey    uint32
 	onWrite func()
+	revoked bool
 }
+
+// SetRevoked marks the region's remote access as withdrawn (or restores
+// it). While revoked, an inbound one-sided WRITE is discarded and an
+// inbound READ fails with a remote-access error at the initiator — the
+// behaviour of a real rkey invalidation. Buffer pools revoke regions on
+// release so a stale rkey held by an in-flight transfer can never
+// corrupt a recycled buffer.
+func (mr *MR) SetRevoked(b bool) { mr.revoked = b }
+
+// Revoked reports whether remote access to the region is withdrawn.
+func (mr *MR) Revoked() bool { return mr.revoked }
 
 // SetWriteNotify registers a callback invoked whenever an inbound
 // one-sided WRITE lands in this region. Memory-polling protocols (HERD,
@@ -171,13 +183,42 @@ func (mr *MR) RKey() RKey { return RKey{mr: mr} }
 // Len returns the region size.
 func (mr *MR) Len() int { return len(mr.Buf) }
 
-// WC is a work completion.
+// WCStatus is the completion status of a work request.
+type WCStatus int
+
+const (
+	// WCSuccess: the work request completed normally.
+	WCSuccess WCStatus = iota
+	// WCRetryExceeded: the RC transport exhausted its retries — the
+	// message (or its response) was lost in the fabric. The owning QP has
+	// transitioned to the error state.
+	WCRetryExceeded
+	// WCFlushed: the work request was posted to a QP already in the
+	// error state and was flushed without touching the wire.
+	WCFlushed
+)
+
+func (s WCStatus) String() string {
+	switch s {
+	case WCSuccess:
+		return "SUCCESS"
+	case WCRetryExceeded:
+		return "RETRY_EXC"
+	case WCFlushed:
+		return "FLUSH_ERR"
+	}
+	return fmt.Sprintf("WCStatus(%d)", int(s))
+}
+
+// WC is a work completion. Status is WCSuccess (zero) unless the work
+// request failed; on failure ByteLen/Imm are meaningless.
 type WC struct {
 	WRID    uint64
 	Op      Opcode
 	ByteLen int
 	Imm     uint32
 	HasImm  bool
+	Status  WCStatus
 	QP      *QP
 }
 
@@ -300,6 +341,7 @@ type QP struct {
 	peer    *QP
 	recvq   []RecvWR
 	pending []*packet // arrived SEND/WRITE_IMM packets awaiting a RECV WQE
+	errored bool      // retry-exceeded; posts flush until Recover
 }
 
 // CreateQP allocates a queue pair bound to the given completion queues.
@@ -337,15 +379,44 @@ func (qp *QP) PostRecv(wr RecvWR) {
 	qp.recvq = append(qp.recvq, wr)
 }
 
+// Errored reports whether the QP is in the error state (a prior work
+// request exhausted transport retries). Posts to an errored QP complete
+// with WCFlushed until Recover is called.
+func (qp *QP) Errored() bool { return qp.errored }
+
+// Recover cycles an errored QP back to ready-to-send (the modify-QP
+// RESET→INIT→RTR→RTS walk), charging the caller's CPU. A no-op on a
+// healthy QP.
+func (qp *QP) Recover(p *sim.Proc) {
+	if !qp.errored {
+		return
+	}
+	qp.dev.node.CPU.Compute(p, sim.Duration(qp.dev.cm.QPRecoverNs))
+	qp.errored = false
+}
+
 // PostSend posts a work-request chain with one doorbell, charging the
 // caller's CPU for the MMIO write. Inline payloads are captured at post
-// time.
+// time. On an errored QP nothing reaches the wire: each signaled request
+// in the chain completes with WCFlushed.
 func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) {
 	if qp.peer == nil {
 		panic("verbs: PostSend on unconnected QP")
 	}
 	// One doorbell posts the entire chain (the Chained-Write-Send saving).
 	qp.dev.node.CPU.Compute(p, sim.Duration(qp.dev.cm.DoorbellNs))
+	if qp.errored {
+		for w := wr; w != nil; w = w.Next {
+			if w.Unsignaled {
+				continue
+			}
+			id, op := w.WRID, w.Op
+			qp.dev.env.After(sim.Duration(qp.dev.cm.CQEDmaNs), func() {
+				qp.sendCQ.push(WC{WRID: id, Op: op, Status: WCFlushed, QP: qp})
+			})
+		}
+		return
+	}
 	doorbell := int64(qp.dev.env.Now())
 	for w := wr; w != nil; w = w.Next {
 		work := &txWork{qp: qp, wr: *w, postTs: doorbell}
@@ -421,8 +492,8 @@ func (d *Device) txEngine(p *sim.Proc) {
 				wrid:      wr.WRID,
 				signaled:  !wr.Unsignaled,
 			}
-			txDone := d.transmit(pkt, len(w.payload))
-			if !wr.Unsignaled {
+			txDone, delivered := d.transmit(pkt, len(w.payload))
+			if !wr.Unsignaled && delivered {
 				// Local send completion once the message is on the wire.
 				qp, id, op, n := w.qp, wr.WRID, wr.Op, len(w.payload)
 				cqeAt := txDone + sim.Time(cm.CQEDmaNs)
@@ -456,18 +527,54 @@ func (d *Device) txEngine(p *sim.Proc) {
 // transmit reserves wire time on the local TX gate (the NIC pipelines
 // serialization with subsequent WQE processing), propagates the packet,
 // and schedules receive-side handling through the remote RX gate. It
-// returns the virtual time the last byte leaves the local NIC.
-func (d *Device) transmit(pkt *packet, size int) sim.Time {
+// returns the virtual time the last byte leaves the local NIC, and
+// whether the fabric delivered the message.
+//
+// When a fault plan is installed on the cluster it is consulted per
+// message: a dropped message never reaches the remote NIC — instead,
+// after the RC transport's retry window expires, the requester QP enters
+// the error state and (for signaled requests) a WCRetryExceeded
+// completion is raised. Jitter and destination-pause delays stretch the
+// propagation leg. With no plan installed this path is untouched.
+func (d *Device) transmit(pkt *packet, size int) (txDone sim.Time, delivered bool) {
 	wire := size + d.cm.WireHeaderBytes
-	txDone := d.node.TX.Reserve(d.env.Now(), wire)
+	txDone = d.node.TX.Reserve(d.env.Now(), wire)
 	remote := pkt.dstQP.dev
 	prop := d.node.Cluster().PropDelay()
 	env := d.env
+	if fp := d.node.Cluster().Faults(); fp != nil {
+		drop, extra := fp.Outcome(d.node.ID(), remote.node.ID())
+		if drop {
+			d.dropInFlight(pkt, txDone)
+			return txDone, false
+		}
+		prop += extra
+	}
 	env.At(txDone+sim.Time(prop), func() {
 		rxDone := remote.node.RX.Reserve(env.Now(), wire)
 		env.At(rxDone, func() { remote.receive(pkt) })
 	})
-	return txDone
+	return txDone, true
+}
+
+// dropInFlight models the requester-side consequence of a message lost
+// by the fabric: after RetryTimeoutNs of futile transport retries the
+// owning QP transitions to the error state, and a signaled work request
+// completes with WCRetryExceeded. For a lost READ response the "owner"
+// is the initiator (its retry timer is the one that expires); for
+// everything else it is the sender.
+func (d *Device) dropInFlight(pkt *packet, txDone sim.Time) {
+	owner := pkt.srcQP
+	if pkt.isReadResp {
+		owner = pkt.dstQP
+	}
+	id, op, signaled := pkt.wrid, pkt.kind, pkt.signaled
+	d.env.At(txDone+sim.Time(d.cm.RetryTimeoutNs), func() {
+		owner.errored = true
+		if signaled {
+			owner.sendCQ.push(WC{WRID: id, Op: op, Status: WCRetryExceeded, QP: owner})
+		}
+	})
 }
 
 // receive is the remote NIC's handling of an arrived packet. It runs as a
@@ -503,6 +610,9 @@ func (d *Device) receive(pkt *packet) {
 		qp.completeRecv(pkt, wr)
 	case OpWrite:
 		dst := pkt.remote.mr
+		if dst.revoked {
+			return // stale rkey: access withdrawn, WRITE discarded
+		}
 		copy(dst.Buf[pkt.remoteOff:], pkt.payload)
 		// Inbound WRITE: NIC DMA only, no CPU, no target completion.
 		if dst.onWrite != nil {
@@ -510,6 +620,9 @@ func (d *Device) receive(pkt *packet) {
 		}
 	case OpWriteImm:
 		dst := pkt.remote.mr
+		if dst.revoked {
+			return // stale rkey: access withdrawn, WRITE discarded
+		}
 		copy(dst.Buf[pkt.remoteOff:], pkt.payload)
 		qp := pkt.dstQP
 		if len(qp.recvq) == 0 {
@@ -527,6 +640,12 @@ func (d *Device) receive(pkt *packet) {
 		// Serve the READ entirely in the NIC: fetch from host memory and
 		// stream the response back.
 		src := pkt.remote.mr
+		if src.revoked {
+			// Stale rkey: remote access error. The initiator's WR fails
+			// after its retry window, like a lost response would.
+			d.dropInFlight(pkt, env.Now())
+			return
+		}
 		data := append([]byte(nil), src.Buf[pkt.remoteOff:pkt.remoteOff+pkt.readLen]...)
 		resp := &packet{
 			kind:       OpRead,
@@ -540,16 +659,9 @@ func (d *Device) receive(pkt *packet) {
 			postTs:     pkt.postTs,
 		}
 		serve := sim.Duration(cm.InboundServeNs + cm.DMATime(pkt.readLen))
-		env.After(serve, func() {
-			wire := len(data) + cm.WireHeaderBytes
-			txDone := d.node.TX.Reserve(env.Now(), wire)
-			prop := d.node.Cluster().PropDelay()
-			env.At(txDone+sim.Time(prop), func() {
-				rdev := resp.dstQP.dev
-				rxDone := rdev.node.RX.Reserve(env.Now(), wire)
-				env.At(rxDone, func() { rdev.receive(resp) })
-			})
-		})
+		// The response takes the same fabric path as any other message
+		// (and is therefore subject to the same fault plan).
+		env.After(serve, func() { d.transmit(resp, len(data)) })
 	}
 }
 
