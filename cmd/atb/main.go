@@ -25,16 +25,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"hatrpc/internal/atb"
+	"hatrpc/internal/engine"
 	"hatrpc/internal/obs"
 	"hatrpc/internal/simnet"
 	"hatrpc/internal/stats"
 )
 
 func main() {
-	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix")
+	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix, overload")
 	size := flag.Int("size", 512, "payload size for the mix benchmark")
+	offeredLoad := flag.String("offered-load", "", "overload bench: comma-separated offered loads in Kops/s (default 70,140,210,280)")
+	admitLimit := flag.Int("admit-limit", 28, "overload bench: max concurrent handlers before the admission policy kicks in")
+	shedPolicy := flag.String("shed-policy", "newest", "overload bench: admission policy: block, newest, oldest")
+	credits := flag.Bool("credits", true, "overload bench: enable receiver-driven credit flow control (false sweeps the RNR-NAK control)")
 	metrics := flag.Bool("metrics", false, "print obs counter/histogram/gauge tables after the run")
 	traceFile := flag.String("trace", "", "write a chrome://tracing JSON event trace to FILE")
 	faults := flag.Bool("faults", false, "inject faults: 1% per-hop packet loss unless -loss/-jitter override")
@@ -115,6 +122,39 @@ func main() {
 		tb := stats.NewTable("system", "clients", "lat-call avg", "tput-call Kops/s")
 		for _, p := range pts {
 			tb.Row(p.System, p.Clients, stats.FormatNs(p.LatAvgNs), fmt.Sprintf("%.1f", p.TputOpsS/1000))
+		}
+		fmt.Print(tb)
+	case "overload":
+		cfg := atb.DefaultOverloadConfig()
+		cfg.AdmitLimit = *admitLimit
+		cfg.Credits = *credits
+		pol, err := engine.ParseAdmitPolicy(*shedPolicy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atb: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.ShedPolicy = pol
+		if *offeredLoad != "" {
+			cfg.OfferedOps = nil
+			for _, s := range strings.Split(*offeredLoad, ",") {
+				kops, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "atb: bad -offered-load %q: %v\n", s, err)
+					os.Exit(2)
+				}
+				cfg.OfferedOps = append(cfg.OfferedOps, int64(kops*1000))
+			}
+		}
+		pts := atb.RunOverload(cfg)
+		tb := stats.NewTable("offered Kops", "goodput Kops", "shed/s", "deadline/s", "avg", "p99",
+			"rnr-naks", "rnr-fail", "stalls")
+		for _, p := range pts {
+			tb.Row(fmt.Sprintf("%.0f", float64(p.Offered)/1000),
+				fmt.Sprintf("%.1f", p.GoodputOps/1000),
+				fmt.Sprintf("%.0f", p.ShedOps),
+				fmt.Sprintf("%.0f", p.DeadlineOps+p.BreakerOps),
+				stats.FormatNs(p.AvgNs), stats.FormatNs(p.P99Ns),
+				p.RnrNaks, p.RnrFailures, p.CreditStalls)
 		}
 		fmt.Print(tb)
 	default:

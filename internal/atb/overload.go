@@ -1,0 +1,174 @@
+package atb
+
+// Overload benchmark: an open-loop goodput-vs-offered-load sweep that
+// exercises the receiver-driven flow control and overload protection
+// stack (RNR NAKs, credits, admission control, load shedding). Unlike
+// the closed-loop Fig. 5 throughput runs, clients here pace request
+// *issue* times from a target aggregate rate, so offered load keeps
+// rising past the server's capacity and the admission policy decides
+// what happens to the excess.
+
+import (
+	"errors"
+	"fmt"
+
+	"hatrpc/internal/engine"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/stats"
+)
+
+// OverloadConfig parameterizes one goodput-vs-offered-load sweep.
+type OverloadConfig struct {
+	Clients    int     // open-loop client connections
+	Size       int     // request payload bytes (single-fragment eager)
+	ServiceNs  int64   // per-request server CPU cost
+	OfferedOps []int64 // offered aggregate loads to sweep, ops/s
+	WarmupNs   int64   // excluded from measurement
+	DurationNs int64   // measured window after warmup
+	DeadlineNs int64   // per-call deadline (arms retry/backoff layer)
+
+	AdmitLimit int                // concurrent-handler bound (0 = unbounded)
+	ShedPolicy engine.AdmitPolicy // what to do with the excess
+	Credits    bool               // receiver-driven credit flow control
+	ModelRNR   bool               // finite RECV rings with RNR NAKs
+	Breaker    int                // client breaker threshold (0 = off)
+
+	EagerSlots int // per-conn RECV ring depth (small, to make overrun real)
+	RnrRetry   int // sender retry budget before WCRNRRetryExceeded
+	Seed       int64
+}
+
+// DefaultOverloadConfig sizes the sweep around a ~140 Kops/s capacity
+// server (28 cores x 200 us/req): half, full, 1.5x, and 2x capacity.
+func DefaultOverloadConfig() OverloadConfig {
+	return OverloadConfig{
+		Clients:    128,
+		Size:       1024,
+		ServiceNs:  200_000,
+		OfferedOps: []int64{70_000, 140_000, 210_000, 280_000},
+		WarmupNs:   2_000_000,
+		DurationNs: 20_000_000,
+		DeadlineNs: 5_000_000,
+		AdmitLimit: 28,
+		ShedPolicy: engine.AdmitShedNewest,
+		Credits:    true,
+		ModelRNR:   true,
+		EagerSlots: 2,
+		RnrRetry:   40,
+		Seed:       97,
+	}
+}
+
+// OverloadPoint is one offered-load measurement.
+type OverloadPoint struct {
+	Offered      int64   // target ops/s
+	GoodputOps   float64 // successful calls per second in the measured window
+	ShedOps      float64 // typed ErrOverloaded rejections per second
+	DeadlineOps  float64 // ErrDeadline/ErrPeerDown failures per second
+	BreakerOps   float64 // local ErrCircuitOpen rejections per second
+	AvgNs        float64 // mean latency of successful calls
+	P99Ns        float64
+	SrvShed      int64 // server-side shed counter (should match ShedOps*window)
+	RnrNaks      int64 // NAKs sent by the server NIC
+	RnrFailures  int64 // client WCRNRRetryExceeded completions
+	CreditStalls int64 // client sends that blocked waiting for credits
+}
+
+// RunOverload sweeps the offered loads of cfg, one fresh fabric per
+// point so runs are independent and deterministic.
+func RunOverload(cfg OverloadConfig) []OverloadPoint {
+	out := make([]OverloadPoint, 0, len(cfg.OfferedOps))
+	for _, offered := range cfg.OfferedOps {
+		out = append(out, runOneOverload(cfg, offered))
+	}
+	return out
+}
+
+func runOneOverload(cfg OverloadConfig, offered int64) OverloadPoint {
+	ecfg := engineConfigFor(cfg.Size, false)
+	ecfg.EagerSlots = cfg.EagerSlots
+	ecfg.CallDeadline = sim.Duration(cfg.DeadlineNs)
+	ecfg.ModelRNR = cfg.ModelRNR
+	if cfg.RnrRetry > 0 {
+		ecfg.RnrRetry = cfg.RnrRetry
+	}
+	if cfg.Credits {
+		ecfg.FlowCredits = cfg.EagerSlots
+	}
+	if cfg.Breaker > 0 {
+		ecfg.BreakerThreshold = cfg.Breaker
+	}
+	f := NewFabricWith(cfg.Seed, 10, ecfg)
+	srv := f.Server.Serve("atb", func(p *sim.Proc, fn uint32, req []byte) []byte {
+		f.Server.Node().CPU.Compute(p, sim.Duration(cfg.ServiceNs))
+		return req[:4]
+	})
+	srv.AdmitLimit = cfg.AdmitLimit
+	srv.Admit = cfg.ShedPolicy
+
+	warmup := sim.Time(cfg.WarmupNs)
+	end := warmup + sim.Time(cfg.DurationNs)
+	interval := sim.Duration(float64(cfg.Clients) * 1e9 / float64(offered))
+	var succ, shed, dead, brk int
+	var lat stats.Sample
+	running := cfg.Clients
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		f.Env.Spawn(fmt.Sprintf("cl%d", i), func(p *sim.Proc) {
+			c := f.clientEngine(i).Dial(p, f.Server.Node(), "atb")
+			payload := make([]byte, cfg.Size)
+			opts := engine.CallOpts{Proto: engine.EagerSendRecv, RespProto: engine.DirectWriteIMM, Busy: true}
+			// Stagger start times so the open-loop arrivals interleave.
+			next := sim.Time(interval) * sim.Time(i) / sim.Time(cfg.Clients)
+			for next < end {
+				if now := p.Now(); now < next {
+					p.Sleep(sim.Duration(next - now))
+				}
+				issued := p.Now()
+				_, err := c.Call(p, 1, payload, opts)
+				if issued >= warmup {
+					switch {
+					case err == nil:
+						succ++
+						lat.Add(float64(p.Now() - issued))
+					case errors.Is(err, engine.ErrOverloaded):
+						shed++
+					case errors.Is(err, engine.ErrCircuitOpen):
+						brk++
+					default:
+						dead++
+					}
+				}
+				next += sim.Time(interval)
+				// Open loop with catch-up cap: a client that fell behind
+				// issues immediately but does not accumulate unbounded debt.
+				if now := p.Now(); next < now {
+					next = now
+				}
+			}
+			if running--; running == 0 {
+				f.Env.Stop()
+			}
+		})
+	}
+	f.Env.Run()
+	f.Env.Shutdown()
+
+	secs := float64(cfg.DurationNs) / 1e9
+	pt := OverloadPoint{
+		Offered:     offered,
+		GoodputOps:  float64(succ) / secs,
+		ShedOps:     float64(shed) / secs,
+		DeadlineOps: float64(dead) / secs,
+		BreakerOps:  float64(brk) / secs,
+		AvgNs:       lat.Mean(),
+		P99Ns:       lat.Percentile(99),
+		SrvShed:     srv.Shed,
+		RnrNaks:     f.Server.RnrNaks(),
+	}
+	for _, e := range f.Clients {
+		pt.RnrFailures += e.RnrFailures()
+		pt.CreditStalls += e.CreditStalls()
+	}
+	return pt
+}

@@ -27,6 +27,11 @@ type CallOpts struct {
 	// on a lossy fabric (the lossless-fabric fast path, byte-identical
 	// to builds without the reliability layer).
 	Deadline sim.Duration
+	// NoWait fails the call immediately with ErrNoCredits instead of
+	// blocking when flow control (Config.FlowCredits) has no send
+	// credits — the peer's RECV ring is full as far as this endpoint
+	// knows. No-op when flow control is off.
+	NoWait bool
 }
 
 // hybridSwitch resolves a hybrid protocol against the rendezvous
@@ -71,6 +76,22 @@ func (c *Conn) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, 
 	if len(req) > c.eng.cfg.MaxMsgSize {
 		return nil, fmt.Errorf("engine: request of %d bytes exceeds MaxMsgSize %d", len(req), c.eng.cfg.MaxMsgSize)
 	}
+	if err := c.breakerGate(p); err != nil {
+		return nil, err
+	}
+	if opts.NoWait {
+		if fc := c.fc; fc != nil && fc.avail <= 0 {
+			// Local fast-fail; says nothing about server health, so it is
+			// not a breaker observation.
+			return nil, ErrNoCredits
+		}
+	}
+	out, err := c.doCall(p, fn, req, opts)
+	c.breakerObserve(p, err)
+	return out, err
+}
+
+func (c *Conn) doCall(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, error) {
 	eng := c.eng
 	c.stats.Calls++
 	c.stats.BytesSent += int64(len(req))
@@ -125,19 +146,29 @@ func (c *Conn) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, 
 		// their READ completions regardless of the call's polling mode —
 		// short client-side spins are these designs' defining trait (RFP,
 		// Pilaf and FaRM all poll one-sided results).
+		var err error
 		switch respProto {
 		case RFP:
-			out = c.fetchRFP(p, true)
+			out, _, err = c.fetchRFPUntil(p, true, 0)
 		case Pilaf:
-			out = c.fetchKV(p, 2, true)
+			out, _, err = c.fetchKVUntil(p, 2, true, 0)
 		case FaRM:
-			out = c.fetchKV(p, 1, true)
+			out, _, err = c.fetchKVUntil(p, 1, true, 0)
 		default:
 			a := c.NextArrival(p, opts.Busy)
-			if a.Kind != kResp {
+			switch a.Kind {
+			case kResp:
+				out = a.Payload
+			case kErr:
+				err = ErrOverloaded
+			default:
 				return nil, fmt.Errorf("engine: expected response, got kind %d", a.Kind)
 			}
-			out = a.Payload
+		}
+		if err != nil {
+			eng.trc.Instant("rpc", "call_failed."+reqProto.String(), eng.node.ID(), c.id,
+				int64(p.Now()), obs.Arg{K: "fn", V: fn}, obs.Arg{K: "seq", V: h.seq})
+			return nil, err
 		}
 	}
 	if m := eng.em; m != nil {
@@ -157,40 +188,46 @@ func (c *Conn) sendMessage(p *sim.Proc, h hdr, payload []byte, busy bool) {
 }
 
 // sendMessageUntil is sendMessage with a bound on protocol-internal
-// handshake waits (Write-RNDV's CTS). It reports whether the payload was
-// handed to the fabric; false means the handshake timed out or the grant
-// was withdrawn, and the caller's retry loop should try again. until
-// zero waits forever (the lossless fast path).
+// waits (Write-RNDV's CTS, flow-control credit stalls). It reports
+// whether the payload was handed to the fabric; false means a wait
+// timed out or the grant was withdrawn, and the caller's retry loop
+// should try again. until zero waits forever (the lossless fast path).
 func (c *Conn) sendMessageUntil(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
 	switch h.proto {
 	case EagerSendRecv:
-		c.sendEager(p, h, payload)
+		return c.sendEager(p, h, payload, busy, until)
 	case DirectWriteSend:
-		c.sendDirectWrite(p, h, payload, false)
+		return c.sendDirectWrite(p, h, payload, false, busy, until)
 	case ChainedWriteSend:
-		c.sendDirectWrite(p, h, payload, true)
+		return c.sendDirectWrite(p, h, payload, true, busy, until)
 	case DirectWriteIMM:
-		c.sendWriteImm(p, h, payload)
+		return c.sendWriteImm(p, h, payload, busy, until)
 	case WriteRNDV:
 		return c.sendWriteRNDV(p, h, payload, busy, until)
 	case ReadRNDV:
-		c.sendReadRNDV(p, h, payload)
+		return c.sendReadRNDV(p, h, payload, busy, until)
 	case RFP, HERD:
+		// Pure WRITE into the server's polled region: consumes no peer
+		// RECV, so no credit is needed.
 		c.sendRfpWrite(p, h, payload)
+		return true
 	case Pilaf, FaRM:
 		// Pilaf/FaRM requests travel eagerly (SEND); only the response
 		// path is server-bypass.
-		c.sendEager(p, h, payload)
+		return c.sendEager(p, h, payload, busy, until)
 	default:
 		panic("engine: sendMessage: unresolved protocol " + h.proto.String())
 	}
-	return true
 }
 
 // sendEager copies the payload into staging slots and SENDs it,
 // segmenting messages larger than one ring slot. The defining costs of
 // the eager protocol are the copy and the per-slot management work.
-func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte) {
+// Credits are acquired per fragment — acquiring a whole burst upfront
+// could exceed the peer's ring depth and deadlock. A credit timeout
+// mid-message abandons the remainder; the retry's full resend completes
+// reassembly (the receiver dedups fragments by offset).
+func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
 	cm := c.eng.dev.CostModel()
 	slotCap := c.slotSize - hdrSize
 	segmented := len(payload) > slotCap
@@ -200,11 +237,15 @@ func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte) {
 		if n > slotCap {
 			n = slotCap
 		}
+		if !c.waitCredit(p, h.proto, busy, until) {
+			return false
+		}
+		c.spend()
 		fh := h
 		fh.off = uint32(off)
 		c.eng.node.CPU.Compute(p, c.eng.node.NUMAWork(sim.Duration(cm.EagerSlotMgmtNs), c.numaBound))
 		c.memcpyCharge(p, n)
-		putHdr(c.stageMR.Buf, fh)
+		c.putHdrC(c.stageMR.Buf, fh)
 		copy(c.stageMR.Buf[hdrSize:], payload[off:off+n])
 		c.qp.PostSend(p, &verbs.SendWR{
 			WRID: c.wrid(), Op: verbs.OpSend,
@@ -221,7 +262,7 @@ func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte) {
 		}
 		off += n
 		if off >= len(payload) {
-			return
+			return true
 		}
 	}
 }
@@ -230,11 +271,16 @@ func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte) {
 // buffer, then SENDs a notification. chained=false posts two work
 // requests (two doorbells, Fig. 3b); chained=true posts them as one
 // chain (one doorbell, Fig. 3c).
-func (c *Conn) sendDirectWrite(p *sim.Proc, h hdr, payload []byte, chained bool) {
-	putHdr(c.stageMR.Buf, h)
+func (c *Conn) sendDirectWrite(p *sim.Proc, h hdr, payload []byte, chained bool, busy bool, until sim.Time) bool {
+	// The WRITE is one-sided; only the notify SEND consumes a peer RECV.
+	if !c.waitCredit(p, h.proto, busy, until) {
+		return false
+	}
+	c.spend()
+	c.putHdrC(c.stageMR.Buf, h)
 	copy(c.stageMR.Buf[hdrSize:], payload)
 	nh := hdr{kind: kNotify, proto: h.proto, seq: h.seq}
-	putHdr(c.stageMR.Buf[c.stageNotifyOff():], nh)
+	c.putHdrC(c.stageMR.Buf[c.stageNotifyOff():], nh)
 	write := &verbs.SendWR{
 		WRID: c.wrid(), Op: verbs.OpWrite,
 		SGE:        verbs.SGE{MR: c.stageMR, Off: 0, Len: hdrSize + len(payload)},
@@ -254,6 +300,7 @@ func (c *Conn) sendDirectWrite(p *sim.Proc, h hdr, payload []byte, chained bool)
 		c.qp.PostSend(p, write)
 		c.qp.PostSend(p, send)
 	}
+	return true
 }
 
 // stageNotifyOff is the staging offset reserved for notify headers.
@@ -261,8 +308,13 @@ func (c *Conn) stageNotifyOff() int { return c.eng.cfg.MaxMsgSize + hdrSize }
 
 // sendWriteImm WRITEs [hdr|payload] into the peer's direct buffer with an
 // immediate, completing delivery in a single work request (Fig. 3f).
-func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte) {
-	putHdr(c.stageMR.Buf, h)
+// The immediate consumes a zero-length peer RECV, so it costs a credit.
+func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
+	if !c.waitCredit(p, h.proto, busy, until) {
+		return false
+	}
+	c.spend()
+	c.putHdrC(c.stageMR.Buf, h)
 	copy(c.stageMR.Buf[hdrSize:], payload)
 	c.qp.PostSend(p, &verbs.SendWR{
 		WRID: c.wrid(), Op: verbs.OpWriteImm,
@@ -272,6 +324,7 @@ func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte) {
 		Inline:     hdrSize+len(payload) <= 256,
 		Unsignaled: true,
 	})
+	return true
 }
 
 // sendWriteRNDV runs the WRITE-based rendezvous: RTS, wait for the CTS
@@ -281,6 +334,12 @@ func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte) {
 // caller's retry (or the client's retransmission + server dedup)
 // recovers.
 func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
+	// One credit for the RTS (spent inside postSmall) and one for the
+	// final WRITE_IMM's zero-length RECV, acquired separately — holding
+	// both across the CTS wait would starve the peer's control traffic.
+	if !c.waitCredit(p, h.proto, busy, until) {
+		return false
+	}
 	rts := hdr{kind: kRTS, proto: WriteRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
 	c.postSmall(p, rts)
 	ctsStart := int64(p.Now())
@@ -297,9 +356,13 @@ func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool, unti
 		// The granter aborted after sending CTS and withdrew the buffer.
 		return false
 	}
+	if !c.waitCredit(p, h.proto, busy, until) {
+		return false
+	}
+	c.spend()
 	// Zero-copy: the payload was serialized straight into registered
 	// staging (rendezvous avoids the eager copy; that is its point).
-	putHdr(c.stageMR.Buf, h)
+	c.putHdrC(c.stageMR.Buf, h)
 	copy(c.stageMR.Buf[hdrSize:], payload)
 	c.qp.PostSend(p, &verbs.SendWR{
 		WRID: c.wrid(), Op: verbs.OpWriteImm,
@@ -315,11 +378,16 @@ func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool, unti
 // peer READs it and FINs (Fig. 3e). A retransmission (same seq, buffer
 // still exposed because no FIN arrived) reuses the existing exposure and
 // just resends the RTS.
-func (c *Conn) sendReadRNDV(p *sim.Proc, h hdr, payload []byte) {
+func (c *Conn) sendReadRNDV(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
+	// Only the RTS consumes a peer RECV (the peer READs the payload
+	// one-sided and its FIN spends from the peer's own budget).
+	if !c.waitCredit(p, h.proto, busy, until) {
+		return false
+	}
 	rts := hdr{kind: kRTS, proto: ReadRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
 	if _, ok := c.rndvOut[h.seq]; ok {
 		c.postSmall(p, rts)
-		return
+		return true
 	}
 	// Zero-copy exposure: serialized straight into the pool buffer.
 	buf := c.eng.acquireRndv(p, len(payload)+hdrSize)
@@ -328,6 +396,7 @@ func (c *Conn) sendReadRNDV(p *sim.Proc, h hdr, payload []byte) {
 	c.rndvOut[h.seq] = buf
 	c.shared.rndv[rndvKey(h.seq, c.server)] = buf.RKey()
 	c.postSmall(p, rts)
+	return true
 }
 
 // sendRfpWrite WRITEs [hdr|payload] into the server's polled request
@@ -362,21 +431,18 @@ func (c *Conn) readRemote(p *sim.Proc, rk verbs.RKey, off, n int, busy bool) ([]
 // retryDelay paces ready-flag polling loops.
 const retryDelay = 600 // ns between one-sided polls of a not-yet-ready result
 
-// fetchRFP is the client half of RFP's remote fetching: READ the server's
-// response region until the sequence stamp matches, fetching the tail
-// with a second READ when the response exceeds the first chunk.
-func (c *Conn) fetchRFP(p *sim.Proc, busy bool) []byte {
-	out, _ := c.fetchRFPUntil(p, busy, 0)
-	return out
-}
-
-// fetchRFPUntil is fetchRFP bounded by virtual time (zero = forever). A
-// failed READ (loss) recovers the QP and keeps polling until the bound.
-func (c *Conn) fetchRFPUntil(p *sim.Proc, busy bool, until sim.Time) ([]byte, bool) {
+// fetchRFPUntil is the client half of RFP's remote fetching: READ the
+// server's response region until the sequence stamp matches, fetching
+// the tail with a second READ when the response exceeds the first
+// chunk. A non-zero until bounds the polling (zero = forever); a failed
+// READ (loss) recovers the QP and keeps polling until the bound. A kErr
+// stamp for the current seq is the server's shed marker and surfaces as
+// a terminal ErrOverloaded.
+func (c *Conn) fetchRFPUntil(p *sim.Proc, busy bool, until sim.Time) ([]byte, bool, error) {
 	chunk := c.eng.cfg.RFPChunk
 	for {
 		if until > 0 && p.Now() >= until {
-			return nil, false
+			return nil, false, nil
 		}
 		b, ok := c.readRemote(p, c.peerRfpOut, 0, chunk, busy)
 		if !ok {
@@ -385,16 +451,21 @@ func (c *Conn) fetchRFPUntil(p *sim.Proc, busy bool, until sim.Time) ([]byte, bo
 			continue
 		}
 		h := getHdr(b)
+		if h.seq == c.seq && h.kind == kErr {
+			c.noteCredits(h)
+			return nil, false, ErrOverloaded
+		}
 		if h.seq != c.seq || h.kind != kResp {
 			c.noteReadRetry(p)
 			p.Sleep(retryDelay)
 			continue
 		}
+		c.noteCredits(h)
 		n := int(h.length)
 		got := chunk - hdrSize
 		if n <= got {
 			c.stats.BytesRecvd += int64(n)
-			return append([]byte(nil), b[hdrSize:hdrSize+n]...), true
+			return append([]byte(nil), b[hdrSize:hdrSize+n]...), true, nil
 		}
 		// Tail fetch for large responses.
 		out := make([]byte, n)
@@ -407,7 +478,7 @@ func (c *Conn) fetchRFPUntil(p *sim.Proc, busy bool, until sim.Time) ([]byte, bo
 		}
 		copy(out[got:], rest)
 		c.stats.BytesRecvd += int64(n)
-		return out, true
+		return out, true, nil
 	}
 }
 
@@ -424,20 +495,21 @@ func (c *Conn) noteReadRetry(p *sim.Proc) {
 		obs.Arg{K: "seq", V: c.seq})
 }
 
-// fetchKV is the Pilaf/FaRM client fetch: metaReads metadata READs (two
-// for Pilaf, one for FaRM) followed by one payload READ of the published
-// length.
-func (c *Conn) fetchKV(p *sim.Proc, metaReads int, busy bool) []byte {
-	out, _ := c.fetchKVUntil(p, metaReads, busy, 0)
-	return out
-}
+// kvShedLen is the length marker a shed Pilaf/FaRM request's metadata
+// record carries in place of a real response length. It cannot collide
+// with a genuine response: lengths are bounded by MaxMsgSize.
+const kvShedLen = ^uint32(0)
 
-// fetchKVUntil is fetchKV bounded by virtual time (zero = forever). A
-// failed READ (loss) recovers the QP and keeps polling until the bound.
-func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, busy bool, until sim.Time) ([]byte, bool) {
+// fetchKVUntil is the Pilaf/FaRM client fetch: metaReads metadata READs
+// (two for Pilaf, one for FaRM) followed by one payload READ of the
+// published length. A non-zero until bounds the polling (zero =
+// forever); a failed READ (loss) recovers the QP and keeps polling
+// until the bound. The kvShedLen length marker is the server's shed
+// signal and surfaces as a terminal ErrOverloaded.
+func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, busy bool, until sim.Time) ([]byte, bool, error) {
 	for {
 		if until > 0 && p.Now() >= until {
-			return nil, false
+			return nil, false, nil
 		}
 		meta, ok := c.readRemote(p, c.peerKvMeta, 0, 16, busy)
 		if !ok {
@@ -446,12 +518,16 @@ func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, busy bool, until sim.Tim
 			continue
 		}
 		seq := binary.LittleEndian.Uint32(meta[0:])
-		n := int(binary.LittleEndian.Uint32(meta[4:]))
+		rawLen := binary.LittleEndian.Uint32(meta[4:])
 		if seq != c.seq {
 			c.noteReadRetry(p)
 			p.Sleep(retryDelay)
 			continue
 		}
+		if rawLen == kvShedLen {
+			return nil, false, ErrOverloaded
+		}
+		n := int(rawLen)
 		for i := 1; i < metaReads; i++ {
 			c.readRemote(p, c.peerKvMeta, 0, 16, busy)
 		}
@@ -462,7 +538,7 @@ func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, busy bool, until sim.Tim
 			continue
 		}
 		c.stats.BytesRecvd += int64(n)
-		return append([]byte(nil), b[:n]...), true
+		return append([]byte(nil), b[:n]...), true, nil
 	}
 }
 
@@ -483,6 +559,14 @@ func (c *Conn) SendResponse(p *sim.Proc, a Arrival, resp []byte, busy bool) {
 	// *response* size.
 	respProto := hybridSwitch(a.RespProto, len(resp), c.eng.cfg.RndvThreshold)
 	h := hdr{kind: kResp, proto: respProto, respProto: respProto, fn: a.Fn, length: uint32(len(resp)), seq: a.Seq}
+	// Under fault injection the protocol-internal waits (rendezvous CTS,
+	// credit stalls) are bounded so an aborted client cannot wedge this
+	// dispatcher; an abandoned response is recovered by the client's
+	// retransmission (dedup).
+	var until sim.Time
+	if c.faultsActive() {
+		until = p.Now() + serverCTSTimeoutNs
+	}
 	switch respProto {
 	case RFP:
 		c.publish(p, c.rfpOutMR, h, resp)
@@ -492,15 +576,8 @@ func (c *Conn) SendResponse(p *sim.Proc, a Arrival, resp []byte, busy bool) {
 		// HERD responds two-sided.
 		eh := h
 		eh.proto = HERD
-		c.sendEager(p, eh, resp)
+		c.sendEager(p, eh, resp, busy, until)
 	default:
-		// Under fault injection the rendezvous CTS wait is bounded so an
-		// aborted client cannot wedge this dispatcher; an abandoned
-		// response is recovered by the client's retransmission (dedup).
-		var until sim.Time
-		if c.faultsActive() {
-			until = p.Now() + serverCTSTimeoutNs
-		}
 		c.sendMessageUntil(p, h, resp, busy, until)
 	}
 }
@@ -510,7 +587,28 @@ func (c *Conn) SendResponse(p *sim.Proc, a Arrival, resp []byte, busy bool) {
 func (c *Conn) publish(p *sim.Proc, mr *verbs.MR, h hdr, payload []byte) {
 	c.memcpyCharge(p, len(payload)+hdrSize)
 	copy(mr.Buf[hdrSize:], payload)
-	putHdr(mr.Buf, h) // header (with seq stamp) written last
+	c.putHdrC(mr.Buf, h) // header (with seq stamp) written last
+}
+
+// sendOverloaded answers a shed request with the typed overload marker
+// on whatever response channel the client is watching. Header-only on
+// every path — the whole point of shedding is that the rejection costs
+// the server ~nothing.
+func (c *Conn) sendOverloaded(p *sim.Proc, a Arrival, busy bool) {
+	c.recoverQP(p)
+	respProto := hybridSwitch(a.RespProto, 0, c.eng.cfg.RndvThreshold)
+	h := hdr{kind: kErr, proto: respProto, respProto: respProto, fn: a.Fn, seq: a.Seq}
+	switch respProto {
+	case RFP:
+		c.putHdrC(c.rfpOutMR.Buf, h) // client's poll sees kErr at its seq
+	case Pilaf, FaRM:
+		binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[4:], kvShedLen)
+		binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[8:], 0xABCD)
+		binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[0:], a.Seq) // seq last
+	default:
+		// Two-sided and HERD clients wait on the eager ring.
+		c.postSmall(p, h)
+	}
 }
 
 // publishKV publishes payload + metadata for Pilaf/FaRM-style fetching:

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -200,6 +201,79 @@ func TestChaosDeadlineNoServer(t *testing.T) {
 		env.Stop()
 	})
 	env.Run()
+}
+
+// TestChaosLossPlusOverload is the combined robustness test (satellite
+// of the flow-control PR): packet loss AND a 3x-oversubscribed server
+// with shed-newest admission, credits, RNR arming, and the circuit
+// breaker all at once. Every call must either succeed with a correct
+// echo or fail with a *typed* overload/deadline error — never a
+// corrupted response, never an untyped failure — and quiescing must
+// leave zero pinned bytes and a fully accounted RECV ring.
+func TestChaosLossPlusOverload(t *testing.T) {
+	const (
+		nClients = 6
+		nCalls   = 8
+	)
+	env, srvEng, cliEng := chaosCluster(83, simnet.FaultConfig{DropProb: 0.02}, 20_000_000)
+	// Arm the whole overload stack on both engines' future conns.
+	for _, e := range []*Engine{srvEng, cliEng} {
+		e.cfg.FlowCredits = e.cfg.EagerSlots
+		e.cfg.ModelRNR = true
+		e.cfg.BreakerThreshold = 5
+		e.cfg.BreakerCooldown = 1_000_000
+	}
+	srv := srvEng.Serve("svc", slowEchoHandler(srvEng.Node(), 200_000))
+	srv.AdmitLimit = 2
+	srv.Admit = AdmitShedNewest
+	protos := []Protocol{EagerSendRecv, DirectWriteIMM, WriteRNDV}
+	var succ, shed, brk, dead int
+	done := 0
+	for ci := 0; ci < nClients; ci++ {
+		ci := ci
+		env.Spawn(fmt.Sprintf("client-%d", ci), func(p *sim.Proc) {
+			c := cliEng.Dial(p, srvEng.Node(), "svc")
+			for i := 0; i < nCalls; i++ {
+				req := []byte(fmt.Sprintf("c%d-call%d", ci, i))
+				resp, err := c.Call(p, uint32(i), req, CallOpts{
+					Proto: protos[(ci+i)%len(protos)], RespProto: DirectWriteIMM, Busy: true,
+				})
+				switch {
+				case err == nil:
+					if want := "ECHO" + string(req); string(resp) != want {
+						t.Errorf("client %d call %d: corrupted response %q", ci, i, resp)
+					}
+					succ++
+				case errors.Is(err, ErrOverloaded):
+					shed++
+					p.Sleep(300_000) // back off before retrying the next call
+				case errors.Is(err, ErrCircuitOpen):
+					brk++
+					p.Sleep(1_200_000) // sit out the cooldown
+				case errors.Is(err, ErrDeadline), errors.Is(err, ErrPeerDown):
+					dead++
+				default:
+					t.Errorf("client %d call %d: untyped error %v", ci, i, err)
+				}
+			}
+			if done++; done == nClients {
+				env.Stop()
+			}
+		})
+	}
+	env.Run()
+	if succ == 0 {
+		t.Error("no call ever succeeded under overload — shedding starved everyone")
+	}
+	if shed == 0 {
+		t.Error("3x oversubscription shed nothing — admission control unexercised")
+	}
+	if srv.Shed == 0 {
+		t.Error("server-side shed counter is zero")
+	}
+	t.Logf("succ=%d shed=%d breaker=%d deadline=%d srv.Shed=%d rnrNaks=%d",
+		succ, shed, brk, dead, srv.Shed, srvEng.RnrNaks())
+	assertNoLeaks(t, srvEng, cliEng)
 }
 
 // chaosTrace runs a fixed workload with tracing attached and returns the

@@ -40,7 +40,44 @@ type Config struct {
 	// a call on a lossy fabric may block forever, and the call path is
 	// byte-identical to builds without the reliability layer.
 	CallDeadline sim.Duration
+
+	// FlowCredits enables receiver-driven credit flow control when
+	// positive: it is the number of peer RECV-ring slots one endpoint may
+	// have outstanding (clamped to EagerSlots; a small reserve is carved
+	// out for control messages). Grants piggyback on every outbound
+	// header and a low-water async credit update keeps one-directional
+	// flows live. Both endpoints of a connection must agree on the value
+	// (they already must agree on EagerSlotSize/EagerSlots). Zero — the
+	// default — disables flow control entirely: senders post unboundedly,
+	// exactly the pre-credit behaviour.
+	FlowCredits int
+	// ModelRNR arms finite RECV depth on every connection QP: a SEND or
+	// WRITE_WITH_IMM arriving with no posted RECV draws an RNR NAK (with
+	// the modelled RNR-timer backoff) instead of being buffered, and
+	// RnrRetry exhausted retransmissions fail the work request with
+	// WCRNRRetryExceeded. False keeps the legacy infinite buffering.
+	ModelRNR bool
+	// RnrRetry is the RNR retransmission budget when ModelRNR is set.
+	// Zero means DefaultRnrRetry.
+	RnrRetry int
+	// BreakerThreshold arms the client-side circuit breaker: this many
+	// consecutive overload/deadline failures on a connection open it.
+	// Zero (the default) disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// half-open probing (doubling after each failed probe, capped at 16×).
+	// Zero means DefaultBreakerCooldown.
+	BreakerCooldown sim.Duration
 }
+
+// DefaultRnrRetry is the RNR retransmission budget applied when
+// Config.RnrRetry is zero (matches the common 7-retry RNIC default,
+// minus the initial attempt).
+const DefaultRnrRetry = 6
+
+// DefaultBreakerCooldown is the initial open-state cooldown applied when
+// Config.BreakerCooldown is zero: 1 ms of virtual time.
+const DefaultBreakerCooldown = sim.Duration(1_000_000)
 
 // DefaultRndvPoolCap is the per-size-class free-list bound applied when
 // Config.RndvPoolCap is zero.
@@ -84,6 +121,12 @@ type Engine struct {
 	rndvAllocs  int64
 	readRetries int64
 
+	// Always-on overload-protection accounting (only move when the
+	// corresponding knob is enabled).
+	creditStalls int64 // sends that blocked on zero credits
+	rnrFailures  int64 // work requests failed with WCRNRRetryExceeded
+	breakerOpens int64 // closed/half-open → open breaker transitions
+
 	conns      []*Conn
 	nextConnID int
 	closed     bool
@@ -124,6 +167,22 @@ func (e *Engine) RndvAllocs() int64 { return e.rndvAllocs }
 // connections.
 func (e *Engine) ReadRetries() int64 { return e.readRetries }
 
+// CreditStalls returns how many sends blocked on exhausted flow-control
+// credits across all connections.
+func (e *Engine) CreditStalls() int64 { return e.creditStalls }
+
+// RnrNaks returns the RNR NAKs this node's NIC generated as a receiver
+// (non-zero only with Config.ModelRNR and an overdriven RECV ring).
+func (e *Engine) RnrNaks() int64 { return e.dev.RnrNaks() }
+
+// RnrFailures returns work requests on this engine's connections that
+// failed with WCRNRRetryExceeded (RNR retry budget exhausted).
+func (e *Engine) RnrFailures() int64 { return e.rnrFailures }
+
+// BreakerOpens returns circuit-breaker open transitions across this
+// engine's connections.
+func (e *Engine) BreakerOpens() int64 { return e.breakerOpens }
+
 // nProtocols sizes per-protocol instrument arrays (ProtoAuto included so
 // Protocol values index directly).
 const nProtocols = int(HybridEagerRead) + 1
@@ -151,6 +210,14 @@ type engineMetrics struct {
 	deadlineExceeded *obs.Counter
 	dupRequests      *obs.Counter
 	qpRecoveries     *obs.Counter
+
+	// Overload-protection instruments (only move when flow control,
+	// admission control, RNR modelling or the breaker is enabled).
+	shed          [nProtocols]*obs.Counter // requests rejected by admission
+	creditStalls  [nProtocols]*obs.Counter // sends blocked on zero credits
+	rnrNaks       *obs.Counter             // WCRNRRetryExceeded completions
+	breakerOpen   *obs.Counter             // breaker open transitions
+	creditUpdates *obs.Counter             // async kCredit messages sent
 }
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
@@ -168,6 +235,10 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		deadlineExceeded: r.Counter("engine.deadline_exceeded"),
 		dupRequests:      r.Counter("engine.dup_requests"),
 		qpRecoveries:     r.Counter("engine.qp_recoveries"),
+
+		rnrNaks:       r.Counter("engine.rnr_naks"),
+		breakerOpen:   r.Counter("engine.breaker_open"),
+		creditUpdates: r.Counter("engine.credit_updates"),
 	}
 	for i := 0; i < nProtocols; i++ {
 		name := Protocol(i).String()
@@ -175,6 +246,8 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		m.served[i] = r.Counter("engine.served." + name)
 		m.bytesSent[i] = r.Counter("engine.bytes_sent." + name)
 		m.callLat[i] = r.Histogram("engine.call_lat_ns." + name)
+		m.shed[i] = r.Counter("engine.shed." + name)
+		m.creditStalls[i] = r.Counter("engine.credit_stalls." + name)
 	}
 	return m
 }
@@ -205,6 +278,10 @@ func (e *Engine) SetObs(r *obs.Registry) {
 
 // Node returns the node this engine runs on.
 func (e *Engine) Node() *simnet.Node { return e.node }
+
+// Conns returns every connection this engine created, both dialed and
+// accepted (for inspection — e.g. leak assertions over PostedRecvs).
+func (e *Engine) Conns() []*Conn { return e.conns }
 
 // Config returns the engine sizing.
 func (e *Engine) Config() Config { return e.cfg }
@@ -290,6 +367,8 @@ const (
 	kCTS    byte = 4
 	kNotify byte = 5
 	kFin    byte = 6
+	kCredit byte = 7 // async credit-grant update (header-only)
+	kErr    byte = 8 // typed overload rejection (header-only)
 )
 
 const immDirect uint32 = 0xFFFFFFFF
@@ -302,6 +381,7 @@ type hdr struct {
 	length    uint32 // total payload length of the message
 	seq       uint32
 	off       uint32 // fragment offset (eager segmentation)
+	credits   uint32 // cumulative RECV-repost grant (flow control; 0 when off)
 }
 
 func putHdr(b []byte, h hdr) {
@@ -313,7 +393,7 @@ func putHdr(b []byte, h hdr) {
 	binary.LittleEndian.PutUint32(b[8:], h.length)
 	binary.LittleEndian.PutUint32(b[12:], h.seq)
 	binary.LittleEndian.PutUint32(b[16:], h.off)
-	binary.LittleEndian.PutUint32(b[20:], 0)
+	binary.LittleEndian.PutUint32(b[20:], h.credits)
 }
 
 func getHdr(b []byte) hdr {
@@ -325,6 +405,7 @@ func getHdr(b []byte) hdr {
 		length:    binary.LittleEndian.Uint32(b[8:]),
 		seq:       binary.LittleEndian.Uint32(b[12:]),
 		off:       binary.LittleEndian.Uint32(b[16:]),
+		credits:   binary.LittleEndian.Uint32(b[20:]),
 	}
 }
 
@@ -441,6 +522,10 @@ type Conn struct {
 	frags     map[uint32]*fragState // eager reassembly by seq
 	respQueue []Arrival             // completed arrivals not yet consumed
 
+	// Overload-protection state (nil when the knob is disabled).
+	fc  *flowState // receiver-driven credit flow control
+	brk *breaker   // client-side circuit breaker
+
 	stats  ConnStats
 	pinned int64 // registered bytes attributed to this conn
 	closed bool
@@ -454,6 +539,19 @@ func (c *Conn) Stats() ConnStats { return c.stats }
 
 // ID returns the engine-local connection index (used as the trace tid).
 func (c *Conn) ID() int { return c.id }
+
+// PostedRecvs reports the RECVs currently posted to the connection's QP.
+// At quiescence (no message in flight) every consumed slot has been
+// reposted, so this equals the configured ring depth — the invariant the
+// leak-assertion test helper checks.
+func (c *Conn) PostedRecvs() int { return c.qp.RecvDepth() }
+
+// UnpolledRecvs reports RECV completions delivered to the CQ but not yet
+// polled by a pump loop (e.g. stale duplicate responses that arrived
+// after their call completed). Their ring slots are consumed but will be
+// reposted the next time the connection pumps, so leak accounting treats
+// PostedRecvs + UnpolledRecvs as the ring's true depth.
+func (c *Conn) UnpolledRecvs() int { return c.cq.QueuedRecvs() }
 
 func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 	c := &Conn{
@@ -476,6 +574,19 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 	e.nextConnID++
 	c.qp = e.dev.CreateQP(c.cq, c.cq)
 	c.cq.SetNotify(c.sig.Fire)
+	if e.cfg.ModelRNR {
+		retry := e.cfg.RnrRetry
+		if retry <= 0 {
+			retry = DefaultRnrRetry
+		}
+		c.qp.SetRNR(retry)
+	}
+	if e.cfg.FlowCredits > 0 {
+		c.fc = newFlowState(e.cfg.FlowCredits, e.cfg.EagerSlots)
+	}
+	if !server && e.cfg.BreakerThreshold > 0 {
+		c.brk = newBreaker(e.cfg.BreakerThreshold, e.cfg.BreakerCooldown)
+	}
 	c.eagerMR = e.pd.RegisterMRNoCost(c.slots * c.slotSize)
 	// Staging holds [hdr|payload] plus a dedicated tail region for notify
 	// headers so Direct-Write-Send chains never overlap the payload.
@@ -714,6 +825,7 @@ func (c *Conn) NextArrival(p *sim.Proc, busy bool) Arrival {
 		if c.rfpPending {
 			c.rfpPending = false
 			h := getHdr(c.rfpInMR.Buf)
+			c.noteCredits(h)
 			payload := append([]byte(nil), c.rfpInMR.Buf[hdrSize:hdrSize+int(h.length)]...)
 			c.chargeDetect(p, busy)
 			c.stats.BytesRecvd += int64(len(payload))
@@ -776,6 +888,16 @@ func (c *Conn) waitRead(p *sim.Proc, wrid uint64, busy bool) bool {
 // completion finishes an application-level message.
 func (c *Conn) handleWC(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	if wc.Status != verbs.WCSuccess {
+		if wc.Status == verbs.WCRNRRetryExceeded {
+			// The peer's RECV ring stayed exhausted through the whole RNR
+			// retry budget. A credit-respecting sender never sees this.
+			c.eng.rnrFailures++
+			if m := c.eng.em; m != nil {
+				m.rnrNaks.Inc()
+			}
+			c.eng.trc.Instant("engine", "rnr_retry_exceeded", c.eng.node.ID(), c.id,
+				int64(p.Now()), obs.Arg{K: "wrid", V: wc.WRID})
+		}
 		// Failed work request (retry-exceeded or flushed on an errored
 		// QP). If it was a Read-RNDV pull, reclaim its control state: no
 		// data arrived, so the destination buffer can rejoin the pool.
@@ -817,6 +939,7 @@ func (c *Conn) handleWC(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 			// original [hdr|payload] (the RTS only announced it).
 			delete(c.rndvIn, rts.seq)
 			h := getHdr(buf.Buf)
+			c.noteCredits(h)
 			payload := append([]byte(nil), buf.Buf[hdrSize:hdrSize+int(h.length)]...)
 			c.eng.releaseRndv(buf)
 			c.postSmall(p, hdr{kind: kFin, proto: h.proto, seq: h.seq})
@@ -845,12 +968,18 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	base := slot * c.slotSize
 	buf := c.eagerMR.Buf[base : base+c.slotSize]
 	h := getHdr(buf)
-	// Recycle the ring slot after extracting the fragment.
+	c.noteCredits(h)
+	// Recycle the ring slot after extracting the fragment. This is the
+	// ONLY repost for this slot regardless of what the message turns out
+	// to be (data, control, duplicate, or a request later shed by
+	// admission control) — the repost happens before the message is
+	// interpreted, so shedding can neither skip nor double it.
 	frag := append([]byte(nil), buf[hdrSize:wc.ByteLen]...)
 	c.qp.PostRecv(verbs.RecvWR{
 		WRID: wc.WRID,
 		SGE:  verbs.SGE{MR: c.eagerMR, Off: base, Len: c.slotSize},
 	})
+	c.noteRepost(p)
 	switch h.kind {
 	case kReq, kResp:
 		// Eager delivery: per-slot management cost plus the copy out of
@@ -892,6 +1021,7 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	case kNotify:
 		// Direct-Write-Send: payload already written into directMR.
 		dh := getHdr(c.directMR.Buf)
+		c.noteCredits(dh)
 		payload := append([]byte(nil), c.directMR.Buf[hdrSize:hdrSize+int(dh.length)]...)
 		return Arrival{Kind: dh.kind, Proto: dh.proto, RespProto: dh.respProto, Fn: dh.fn, Seq: dh.seq, Payload: payload}, true
 	case kRTS:
@@ -899,6 +1029,14 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	case kCTS:
 		c.ctsReady[h.seq] = true
 		return Arrival{}, false
+	case kCredit:
+		// Async credit grant: the piggybacked total was consumed by
+		// noteCredits above; nothing else to do.
+		return Arrival{}, false
+	case kErr:
+		// Typed overload rejection (header-only): surface it so the
+		// caller's response wait maps it to ErrOverloaded.
+		return Arrival{Kind: kErr, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq}, true
 	case kFin:
 		if buf, ok := c.rndvOut[h.seq]; ok {
 			delete(c.rndvOut, h.seq)
@@ -980,8 +1118,10 @@ func (c *Conn) handleWriteImm(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 		WRID: wc.WRID,
 		SGE:  verbs.SGE{MR: c.eagerMR, Off: base, Len: c.slotSize},
 	})
+	c.noteRepost(p)
 	if wc.Imm == immDirect {
 		h := getHdr(c.directMR.Buf)
+		c.noteCredits(h)
 		payload := append([]byte(nil), c.directMR.Buf[hdrSize:hdrSize+int(h.length)]...)
 		return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true
 	}
@@ -996,6 +1136,7 @@ func (c *Conn) handleWriteImm(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	}
 	delete(c.rndvIn, seq)
 	h := getHdr(buf.Buf)
+	c.noteCredits(h)
 	payload := append([]byte(nil), buf.Buf[hdrSize:hdrSize+int(h.length)]...)
 	delete(c.shared.rndv, rndvKey(seq, !c.server))
 	c.eng.releaseRndv(buf)
@@ -1003,8 +1144,12 @@ func (c *Conn) handleWriteImm(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 }
 
 // postSmall sends a header-only control message through the eager ring.
+// Control traffic spends a credit without blocking: it is issued from
+// pump context where blocking would deadlock, and the per-connection
+// reserve (see flowState) absorbs the overdraft.
 func (c *Conn) postSmall(p *sim.Proc, h hdr) {
-	putHdr(c.stageMR.Buf, h)
+	c.spend()
+	c.putHdrC(c.stageMR.Buf, h)
 	c.qp.PostSend(p, &verbs.SendWR{
 		WRID: c.wrid(), Op: verbs.OpSend,
 		SGE:        verbs.SGE{MR: c.stageMR, Off: 0, Len: hdrSize},

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"errors"
+
+	"hatrpc/internal/obs"
+	"hatrpc/internal/sim"
+)
+
+// ErrNoCredits is returned by Call when CallOpts.NoWait is set and the
+// connection has no send credits available: the peer's RECV ring is (as
+// far as this endpoint knows) full, and the caller asked to fail fast
+// rather than queue behind it.
+var ErrNoCredits = errors.New("engine: no send credits (peer receive ring full)")
+
+// flowState is the per-connection credit accounting for receiver-driven
+// flow control (Config.FlowCredits > 0). The invariant it maintains is
+// that the number of un-granted messages in flight toward the peer never
+// exceeds the peer's RECV ring depth, so a credit-respecting sender can
+// never draw an RNR NAK.
+//
+// Grants are ABSOLUTE cumulative repost counts, not deltas: every
+// outbound header carries the total number of RECV reposts this endpoint
+// has performed since connection setup (grantTotal), and the receiver
+// advances avail by the wrap-safe difference from the last total it saw
+// (peerGrant). Duplicated or reordered grants are therefore idempotent,
+// and a grant lost with its carrier message is recovered by the next
+// header that makes it through — which matters because responses (and
+// kCredit updates) can be dropped by fault injection.
+//
+// A small reserve is carved out of the configured credit budget for
+// header-only control messages (CTS, FIN, kCredit, kErr): those are
+// issued from pump context where blocking would deadlock, so they spend
+// without waiting and may drive avail negative into the reserve. The
+// overdraft is bounded — the engine runs one outstanding call per
+// connection, and each call issues at most a couple of control messages
+// before the data path next blocks on waitCredit.
+type flowState struct {
+	avail      int    // spendable credits; may dip below 0 into the reserve
+	grantTotal uint32 // cumulative RECV reposts performed locally
+	sentGrant  uint32 // grantTotal as of the last header we stamped
+	peerGrant  uint32 // last cumulative total received from the peer
+	lowWater   int    // un-piggybacked grants that force an async kCredit
+}
+
+// newFlowState sizes the credit budget for a connection whose peer posts
+// `slots` RECVs. The budget is clamped to the ring depth (more credits
+// than slots would defeat the point), a quarter (max 4) is reserved for
+// control traffic, and the async-update low-water mark is half the
+// spendable budget but never below 2 — at 1, every kCredit would itself
+// trigger the peer's next kCredit and the connection would ping-pong
+// credit updates forever.
+func newFlowState(flowCredits, slots int) *flowState {
+	credits := flowCredits
+	if credits > slots {
+		credits = slots
+	}
+	reserve := credits / 4
+	if reserve > 4 {
+		reserve = 4
+	}
+	avail := credits - reserve
+	if avail < 1 {
+		avail = 1
+	}
+	lowWater := avail / 2
+	if lowWater < 2 {
+		lowWater = 2
+	}
+	return &flowState{avail: avail, lowWater: lowWater}
+}
+
+// putHdrC stamps the header with the current cumulative grant and writes
+// it. Every outbound header is a grant carrier; with flow control off it
+// degrades to putHdr with a zero credits field — byte-identical to the
+// pre-credit wire format.
+func (c *Conn) putHdrC(b []byte, h hdr) {
+	if fc := c.fc; fc != nil {
+		h.credits = fc.grantTotal
+		fc.sentGrant = fc.grantTotal
+	}
+	putHdr(b, h)
+}
+
+// noteCredits consumes the piggybacked grant of an inbound header.
+func (c *Conn) noteCredits(h hdr) {
+	fc := c.fc
+	if fc == nil {
+		return
+	}
+	if d := int32(h.credits - fc.peerGrant); d > 0 {
+		fc.peerGrant = h.credits
+		fc.avail += int(d)
+		// No wakeup needed: grants are only discovered inside this conn's
+		// own pump loops (waitCredit included), which re-check avail on
+		// the next iteration.
+	}
+}
+
+// noteRepost records that one RECV was reposted to the ring (one more
+// message the peer may now send). If the grant backlog that has not yet
+// ridden an outbound header reaches the low-water mark, an async kCredit
+// update carries it — this keeps one-directional flows (oneway floods,
+// long request bursts with no response traffic) from starving the peer.
+func (c *Conn) noteRepost(p *sim.Proc) {
+	fc := c.fc
+	if fc == nil {
+		return
+	}
+	fc.grantTotal++
+	if int32(fc.grantTotal-fc.sentGrant) >= int32(fc.lowWater) {
+		if m := c.eng.em; m != nil {
+			m.creditUpdates.Inc()
+		}
+		c.postSmall(p, hdr{kind: kCredit})
+	}
+}
+
+// spend consumes one credit without blocking (control-message path).
+func (c *Conn) spend() {
+	if fc := c.fc; fc != nil {
+		fc.avail--
+	}
+}
+
+// waitCredit blocks until at least one credit is spendable, pumping the
+// CQ so inbound grants (and unrelated arrivals, which are queued) can
+// land. A non-zero until bounds the wait; false means the deadline
+// passed with the peer's ring still full. The caller spends separately —
+// keeping acquisition and spending distinct lets fragmented sends
+// acquire per fragment instead of needing the whole burst upfront
+// (which could exceed the ring and deadlock).
+func (c *Conn) waitCredit(p *sim.Proc, proto Protocol, busy bool, until sim.Time) bool {
+	fc := c.fc
+	if fc == nil || fc.avail > 0 {
+		return true
+	}
+	eng := c.eng
+	eng.creditStalls++
+	if m := eng.em; m != nil {
+		m.creditStalls[proto].Inc()
+	}
+	eng.trc.Instant("engine", "credit_stall."+proto.String(), eng.node.ID(), c.id,
+		int64(p.Now()), obs.Arg{K: "avail", V: int64(fc.avail)})
+	c.enterWait(busy)
+	defer c.exitWait()
+	if until > 0 {
+		c.armWake(until)
+	}
+	for fc.avail <= 0 {
+		if until > 0 && p.Now() >= until {
+			return false
+		}
+		if wc, ok := c.cq.TryPoll(); ok {
+			if a, done := c.handleWC(p, wc); done {
+				c.respQueue = append(c.respQueue, a)
+			}
+			continue
+		}
+		c.sig.Wait(p)
+	}
+	c.chargeDetect(p, busy)
+	return true
+}

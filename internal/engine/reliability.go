@@ -88,26 +88,37 @@ func (c *Conn) callReliable(p *sim.Proc, h hdr, req []byte, respProto Protocol, 
 		if c.sendMessageUntil(p, h, req, busy, attemptUntil) {
 			var out []byte
 			var ok bool
+			var err error
 			switch respProto {
 			case RFP:
-				out, ok = c.fetchRFPUntil(p, true, attemptUntil)
+				out, ok, err = c.fetchRFPUntil(p, true, attemptUntil)
 			case Pilaf:
-				out, ok = c.fetchKVUntil(p, 2, true, attemptUntil)
+				out, ok, err = c.fetchKVUntil(p, 2, true, attemptUntil)
 			case FaRM:
-				out, ok = c.fetchKVUntil(p, 1, true, attemptUntil)
+				out, ok, err = c.fetchKVUntil(p, 1, true, attemptUntil)
 			default:
-				out, ok = c.awaitResponse(p, h.seq, busy, attemptUntil)
+				out, ok, err = c.awaitResponse(p, h.seq, busy, attemptUntil)
+			}
+			if err != nil {
+				// Typed server rejection (shed): terminal — retrying into
+				// an overloaded server immediately only feeds the overload.
+				c.abortCall(h.seq)
+				return nil, err
 			}
 			if ok {
 				return out, nil
 			}
-		} else if out, ok := c.pollResponse(p, h.seq, busy); ok {
+		} else if out, ok, err := c.pollResponse(p, h.seq, busy); ok || err != nil {
 			// The handshake timed out because the server already served
 			// this request (its dedup path answers a retransmitted RTS
 			// with the response, never a CTS) — and the response was
 			// pumped into respQueue by the failed handshake wait itself.
 			// Without this check the retry loop would spin on RTS → dup
 			// response → CTS timeout until the deadline.
+			if err != nil {
+				c.abortCall(h.seq)
+				return nil, err
+			}
 			return out, nil
 		}
 		if p.Now() >= until {
@@ -193,8 +204,9 @@ func (c *Conn) abortCall(seq uint32) {
 // the bound expires. Responses for other seqs are stale duplicates from
 // earlier attempts (or earlier calls) and are discarded — the dedup
 // guarantee means their payloads equal what the original call already
-// returned.
-func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, busy bool, until sim.Time) ([]byte, bool) {
+// returned. A kErr arrival for seq is the server's shed rejection and
+// returns ErrOverloaded.
+func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, busy bool, until sim.Time) ([]byte, bool, error) {
 	c.enterWait(busy)
 	defer c.exitWait()
 	c.armWake(until)
@@ -202,14 +214,21 @@ func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, busy bool, until sim.Time)
 		for len(c.respQueue) > 0 {
 			a := c.respQueue[0]
 			c.respQueue = c.respQueue[1:]
-			if a.Kind == kResp && a.Seq == seq {
+			if a.Seq != seq {
+				continue
+			}
+			if a.Kind == kResp {
 				c.chargeDetect(p, busy)
 				c.stats.BytesRecvd += int64(len(a.Payload))
-				return a.Payload, true
+				return a.Payload, true, nil
+			}
+			if a.Kind == kErr {
+				c.chargeDetect(p, busy)
+				return nil, false, ErrOverloaded
 			}
 		}
 		if p.Now() >= until {
-			return nil, false
+			return nil, false, nil
 		}
 		if wc, ok := c.cq.TryPoll(); ok {
 			if a, done := c.handleWC(p, wc); done {
@@ -221,19 +240,23 @@ func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, busy bool, until sim.Time)
 	}
 }
 
-// pollResponse scans the queued arrivals for the response to seq without
-// blocking, consuming it when present. Non-matching entries are left for
-// awaitResponse's drain to discard.
-func (c *Conn) pollResponse(p *sim.Proc, seq uint32, busy bool) ([]byte, bool) {
+// pollResponse scans the queued arrivals for the response (or shed
+// rejection) to seq without blocking, consuming it when present.
+// Non-matching entries are left for awaitResponse's drain to discard.
+func (c *Conn) pollResponse(p *sim.Proc, seq uint32, busy bool) ([]byte, bool, error) {
 	for i, a := range c.respQueue {
-		if a.Kind == kResp && a.Seq == seq {
-			c.respQueue = append(c.respQueue[:i], c.respQueue[i+1:]...)
-			c.chargeDetect(p, busy)
-			c.stats.BytesRecvd += int64(len(a.Payload))
-			return a.Payload, true
+		if a.Seq != seq || (a.Kind != kResp && a.Kind != kErr) {
+			continue
 		}
+		c.respQueue = append(c.respQueue[:i], c.respQueue[i+1:]...)
+		c.chargeDetect(p, busy)
+		if a.Kind == kErr {
+			return nil, false, ErrOverloaded
+		}
+		c.stats.BytesRecvd += int64(len(a.Payload))
+		return a.Payload, true, nil
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // releaseOrphan returns an orphaned rendezvous buffer (the late

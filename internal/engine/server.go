@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"hatrpc/internal/obs"
@@ -11,6 +12,116 @@ import (
 // It runs on the per-connection dispatcher process; CPU work must be
 // charged explicitly via the process (e.g. node.CPU.Compute).
 type Handler func(p *sim.Proc, fn uint32, req []byte) []byte
+
+// ErrOverloaded is the typed failure a client receives when the server's
+// admission control shed its request. The rejection is header-only and
+// costs the server ~no CPU — the point of load shedding is that saying
+// "no" must be far cheaper than saying "yes".
+var ErrOverloaded = errors.New("engine: server overloaded (request shed)")
+
+// AdmitPolicy selects what a server does with a request that arrives
+// while AdmitLimit handlers are already executing.
+type AdmitPolicy uint8
+
+const (
+	// AdmitBlock queues the dispatcher FIFO until a handler slot frees.
+	// Nothing is shed; queueing delay is unbounded under sustained
+	// overload (the client's deadline is the only backstop).
+	AdmitBlock AdmitPolicy = iota
+	// AdmitShedNewest rejects the arriving request immediately when all
+	// slots are busy. Requests already queued keep their accumulated
+	// waiting investment — the classic tail-drop policy.
+	AdmitShedNewest
+	// AdmitShedOldest queues the arriving request and, when the queue
+	// exceeds AdmitLimit waiters, sheds the longest-waiting one instead.
+	// Under uniform per-call deadlines the oldest waiter is the one with
+	// the least remaining deadline budget — shedding it first spends
+	// server capacity on requests that still have time to be useful.
+	AdmitShedOldest
+)
+
+func (ap AdmitPolicy) String() string {
+	switch ap {
+	case AdmitBlock:
+		return "block"
+	case AdmitShedNewest:
+		return "shed-newest"
+	case AdmitShedOldest:
+		return "shed-oldest"
+	}
+	return "unknown"
+}
+
+// ParseAdmitPolicy maps the cmd-line spellings to a policy.
+func ParseAdmitPolicy(s string) (AdmitPolicy, error) {
+	switch s {
+	case "block":
+		return AdmitBlock, nil
+	case "newest", "shed-newest":
+		return AdmitShedNewest, nil
+	case "oldest", "shed-oldest":
+		return AdmitShedOldest, nil
+	}
+	return 0, fmt.Errorf("unknown admission policy %q (want block|newest|oldest)", s)
+}
+
+// admitQueue bounds the number of concurrently executing handlers
+// server-wide. Dispatchers call acquire before running the handler and
+// release after the response is sent; waiters park on per-ticket signals
+// so a release wakes exactly one of them, FIFO.
+type admitQueue struct {
+	env     *sim.Env
+	limit   int
+	policy  AdmitPolicy
+	running int
+	waiting []*admitTicket
+}
+
+type admitTicket struct {
+	sig     *sim.Signal
+	arrival sim.Time
+	state   int8 // 0 waiting, 1 admitted, -1 shed
+}
+
+func newAdmitQueue(env *sim.Env, limit int, policy AdmitPolicy) *admitQueue {
+	return &admitQueue{env: env, limit: limit, policy: policy}
+}
+
+// acquire claims a handler slot, waiting per the policy. False means the
+// request was shed and must be answered with ErrOverloaded.
+func (q *admitQueue) acquire(p *sim.Proc) bool {
+	if q.running < q.limit {
+		q.running++
+		return true
+	}
+	if q.policy == AdmitShedNewest {
+		return false
+	}
+	t := &admitTicket{sig: sim.NewSignal(q.env), arrival: p.Now()}
+	q.waiting = append(q.waiting, t)
+	if q.policy == AdmitShedOldest && len(q.waiting) > q.limit {
+		old := q.waiting[0]
+		q.waiting = q.waiting[1:]
+		old.state = -1
+		old.sig.Fire()
+	}
+	for t.state == 0 {
+		t.sig.Wait(p)
+	}
+	return t.state == 1
+}
+
+// release frees a handler slot and promotes the longest-waiting ticket.
+func (q *admitQueue) release() {
+	q.running--
+	for q.running < q.limit && len(q.waiting) > 0 {
+		t := q.waiting[0]
+		q.waiting = q.waiting[1:]
+		q.running++
+		t.state = 1
+		t.sig.Fire()
+	}
+}
 
 // Server accepts engine connections on a port and runs one dispatcher
 // process per connection — the threaded-server model the paper's
@@ -28,10 +139,21 @@ type Server struct {
 	// copies/compute).
 	NUMABind bool
 
+	// AdmitLimit bounds concurrently executing handlers server-wide.
+	// Zero — the default — disables admission control entirely (the
+	// pre-admission behaviour: every dispatcher runs its handler as soon
+	// as the request arrives). Set it before the first request arrives.
+	AdmitLimit int
+	// Admit selects the over-limit policy (default AdmitBlock).
+	Admit AdmitPolicy
+
 	// Served counts completed requests.
 	Served int64
+	// Shed counts requests rejected by admission control.
+	Shed int64
 
 	conns []*Conn
+	adm   *admitQueue
 }
 
 // Serve starts accepting connections for the named port, dispatching each
@@ -73,10 +195,35 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 			}
 			continue
 		}
+		if s.AdmitLimit > 0 {
+			if s.adm == nil {
+				s.adm = newAdmitQueue(eng.env, s.AdmitLimit, s.Admit)
+			}
+			if !s.adm.acquire(p) {
+				// Shed. The RECV this request consumed was already reposted
+				// by the pump (before the message was interpreted), so no
+				// repost bookkeeping happens here — and no dedup entry is
+				// recorded: the handler never ran, and a retransmission of
+				// this seq deserves a fresh admission attempt.
+				s.Shed++
+				if m := eng.em; m != nil && int(a.Proto) < nProtocols {
+					m.shed[a.Proto].Inc()
+				}
+				eng.trc.Instant("rpc", "shed."+a.Proto.String(), eng.node.ID(), c.id,
+					int64(p.Now()), obs.Arg{K: "seq", V: a.Seq})
+				if a.RespProto != ProtoAuto {
+					c.sendOverloaded(p, a, s.Busy)
+				}
+				continue
+			}
+		}
 		start := int64(p.Now())
 		resp := s.handler(p, a.Fn, a.Payload)
 		if a.RespProto != ProtoAuto { // ProtoAuto marks a oneway request
 			c.SendResponse(p, a, resp, s.Busy)
+		}
+		if s.adm != nil {
+			s.adm.release()
 		}
 		c.dedupValid, c.dedupSeq, c.dedupResp = true, a.Seq, resp
 		c.dedupArr = a

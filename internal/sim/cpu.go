@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // CPU models a node's processor complex as a processor-sharing (PS)
 // server with a fixed number of cores. Compute tasks carry a work amount
@@ -20,12 +23,14 @@ type CPU struct {
 	load  int // persistent runnable load (busy pollers)
 
 	tasks      map[*cpuTask]struct{}
+	nextID     uint64 // admission order, for deterministic completion ties
 	lastUpdate Time
 	rate       float64 // current per-task progress rate in (0,1]
 	completion *event  // pending earliest-completion callback
 }
 
 type cpuTask struct {
+	id        uint64  // admission order
 	remaining float64 // ns of dedicated-core work left
 	proc      *Proc
 }
@@ -84,7 +89,8 @@ func (c *CPU) Compute(p *Proc, work Duration) {
 		return
 	}
 	c.advance()
-	t := &cpuTask{remaining: float64(work), proc: p}
+	t := &cpuTask{id: c.nextID, remaining: float64(work), proc: p}
+	c.nextID++
 	c.tasks[t] = struct{}{}
 	c.reschedule()
 	p.park()
@@ -100,12 +106,21 @@ func (c *CPU) advance() {
 		return
 	}
 	progress := elapsed * c.rate
+	// Tasks completing at the same instant must wake in a deterministic
+	// order: collect them out of the (randomly iterated) map and schedule
+	// in admission order, so the event sequence numbers they receive do
+	// not depend on map layout.
+	var done []*cpuTask
 	for t := range c.tasks {
 		t.remaining -= progress
 		if t.remaining <= 1e-6 {
 			delete(c.tasks, t)
-			c.env.schedule(now, t.proc, nil)
+			done = append(done, t)
 		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].id < done[j].id })
+	for _, t := range done {
+		c.env.schedule(now, t.proc, nil)
 	}
 }
 

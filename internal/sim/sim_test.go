@@ -413,3 +413,30 @@ func TestMutexMutualExclusion(t *testing.T) {
 		t.Fatal("TryLock on held mutex succeeded")
 	}
 }
+
+// TestCPUSimultaneousCompletionOrder: tasks that finish at the same
+// instant under processor sharing must wake in admission order, not in
+// task-map iteration order — otherwise the event sequence numbers they
+// draw (and every downstream tie-break) vary between process runs.
+func TestCPUSimultaneousCompletionOrder(t *testing.T) {
+	const procs = 30
+	env := NewEnv(1)
+	cpu := NewCPU(env, 4) // heavily oversubscribed: all finish together
+	var order []int
+	for i := 0; i < procs; i++ {
+		i := i
+		env.Spawn("w", func(p *Proc) {
+			cpu.Compute(p, 10_000)
+			order = append(order, i)
+		})
+	}
+	env.Run()
+	if len(order) != procs {
+		t.Fatalf("only %d of %d tasks completed", len(order), procs)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("wake order %v: position %d woke task %d, want %d", order, i, got, i)
+		}
+	}
+}

@@ -72,6 +72,15 @@ type CostModel struct {
 	// QPRecoverNs is the CPU cost to cycle an errored QP back to RTS
 	// (modify-QP through RESET→INIT→RTR→RTS).
 	QPRecoverNs int64
+
+	// RnrTimerNs is the receiver-not-ready backoff: when a SEND (or
+	// WRITE_WITH_IMM) arrives at a QP with finite RECV depth enabled and
+	// no posted RECV, the responder answers with an RNR NAK and the
+	// requester waits this long before retransmitting. Real RC timers
+	// span 10 µs – 655 ms; the simulation pins the low end so the cost is
+	// painful relative to a normal operation (~5 µs) but recoverable.
+	// Only exercised on QPs armed via SetRNR.
+	RnrTimerNs int64
 }
 
 // DefaultCostModel returns constants calibrated for the paper's testbed.
@@ -93,6 +102,7 @@ func DefaultCostModel() *CostModel {
 		CQEDmaNs:                60,
 		RetryTimeoutNs:          20000,
 		QPRecoverNs:             4000,
+		RnrTimerNs:              20000,
 	}
 }
 
