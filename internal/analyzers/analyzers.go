@@ -1,0 +1,25 @@
+// Package analyzers assembles the hatlint suite: the custom static
+// checks that machine-enforce the repository's DES-determinism and
+// verbs-protocol invariants (DESIGN.md §11). The suite runs in CI via
+// cmd/hatlint and must stay clean on the whole repo.
+package analyzers
+
+import (
+	"hatrpc/internal/analyzers/framework"
+	"hatrpc/internal/analyzers/maporder"
+	"hatrpc/internal/analyzers/nogoroutine"
+	"hatrpc/internal/analyzers/obsnames"
+	"hatrpc/internal/analyzers/simdet"
+	"hatrpc/internal/analyzers/wrsigned"
+)
+
+// All returns every analyzer in the hatlint suite, in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		maporder.Analyzer,
+		nogoroutine.Analyzer,
+		obsnames.Analyzer,
+		simdet.Analyzer,
+		wrsigned.Analyzer,
+	}
+}

@@ -1,0 +1,205 @@
+// Package analysistest runs a framework.Analyzer over GOPATH-style
+// testdata packages and checks its diagnostics against // want
+// annotations, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: <testdata>/src/<pkgpath>/*.go. Imports between testdata
+// packages resolve within the testdata tree (so fixtures can stub the
+// sim/verbs/obs APIs under their real tail names); all other imports
+// resolve from GOROOT source.
+//
+// A want annotation is a trailing comment of the form
+//
+//	x := foo() // want `regexp` `another regexp`
+//
+// Each backquoted (or double-quoted) pattern must be matched, in any
+// order, by exactly one diagnostic reported on that line; diagnostics
+// on lines with no matching pattern are test failures, as are unmatched
+// patterns.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hatrpc/internal/analyzers/framework"
+)
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each testdata package, applies the analyzer and verifies
+// the reported diagnostics against // want annotations.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := &testLoader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*loaded{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	for _, pkgpath := range pkgpaths {
+		pkg, err := ld.load(pkgpath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgpath, err)
+		}
+		wants, err := collectWants(ld.fset, pkg.files)
+		if err != nil {
+			t.Fatalf("parsing wants in %s: %v", pkgpath, err)
+		}
+		var diags []framework.Diagnostic
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.types,
+			TypesInfo: pkg.info,
+			Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer failed: %v", pkgpath, err)
+		}
+		for _, d := range diags {
+			pos := ld.fset.Position(d.Pos)
+			if !claim(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched want on (file, line) whose pattern
+// matches msg.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// ---------------------------------------------------------------------------
+// testdata loader
+
+type loaded struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type testLoader struct {
+	src  string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*loaded
+}
+
+func (l *testLoader) load(pkgpath string) (*loaded, error) {
+	if p, ok := l.pkgs[pkgpath]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", pkgpath)
+		}
+		return p, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(pkgpath))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[pkgpath] = nil
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err == nil {
+			p, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.types, nil
+		}
+		return l.std.Import(path)
+	})}
+	tpkg, err := conf.Check(pkgpath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgpath, err)
+	}
+	p := &loaded{files: files, types: tpkg, info: info}
+	l.pkgs[pkgpath] = p
+	return p, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

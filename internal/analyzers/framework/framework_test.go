@@ -1,0 +1,72 @@
+package framework_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"hatrpc/internal/analyzers/framework"
+)
+
+// testcheck reports every function declaration, giving the suppression
+// machinery something deterministic to filter.
+var testcheck = &framework.Analyzer{
+	Name: "testcheck",
+	Doc:  "report every function declaration (test analyzer)",
+	Run: func(pass *framework.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestSuppressionSemantics(t *testing.T) {
+	ld, err := framework.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load("internal/analyzers/framework/testdata/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := framework.Run(pkgs, []*framework.Analyzer{testcheck})
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, "["+d.Analyzer+"] "+d.Message)
+	}
+	want := []string{
+		// reported() has no suppression.
+		"[testcheck] function reported",
+		// unjustified()'s allow matches but lacks "-- reason".
+		"[suppression] //hatlint:allow testcheck needs a justification (\"-- <reason>\")",
+		// othercheck's allow suppressed nothing.
+		"[suppression] unused //hatlint:allow othercheck",
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic %q in %v", w, got)
+		}
+	}
+	// suppressedAbove and suppressedEOL must NOT surface.
+	for _, g := range got {
+		if strings.Contains(g, "suppressedAbove") || strings.Contains(g, "suppressedEOL") {
+			t.Errorf("justified suppression did not filter: %s", g)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(got), len(want), got)
+	}
+}

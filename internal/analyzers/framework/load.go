@@ -1,0 +1,254 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader loads and type-checks packages of a single module from source.
+// Standard-library imports are resolved by the stdlib "source" compiler
+// importer (GOROOT source); module-internal imports are resolved to
+// their directories directly, so loading needs neither a module proxy
+// nor prebuilt export data.
+type Loader struct {
+	ModulePath string
+	ModuleRoot string
+	Fset       *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package // by import path; nil while in progress
+}
+
+// NewLoader locates the enclosing module starting at dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("hatlint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("hatlint: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModulePath: modPath,
+		ModuleRoot: root,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+	}, nil
+}
+
+// Load expands the given patterns ("./...", "./internal/engine", an
+// import path, …) and returns the matched packages, type-checked, in
+// deterministic (sorted import path) order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.ModuleRoot, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			if err := l.walk(l.dirFor(base), dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dirs[l.dirFor(pat)] = true
+		}
+	}
+	var out []*Package
+	for _, dir := range sortedDirs(dirs) {
+		if !hasGoFiles(dir) {
+			continue
+		}
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// dirFor maps a pattern (relative path or module-rooted import path) to
+// a directory.
+func (l *Loader) dirFor(pat string) string {
+	if strings.HasPrefix(pat, l.ModulePath) {
+		return filepath.Join(l.ModuleRoot, strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/"))
+	}
+	if filepath.IsAbs(pat) {
+		return pat
+	}
+	return filepath.Join(l.ModuleRoot, pat)
+}
+
+// walk collects every package directory under root, skipping testdata,
+// hidden and underscore-prefixed directories.
+func (l *Loader) walk(root string, dirs map[string]bool) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs[path] = true
+		}
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedDirs(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pathFor maps a module directory back to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("hatlint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir parses and type-checks the package in dir (memoized).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	pkgPath, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[pkgPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("hatlint: import cycle through %s", pkgPath)
+		}
+		return pkg, nil
+	}
+	l.pkgs[pkgPath] = nil // cycle guard
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("hatlint: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		return l.importPath(path)
+	})}
+	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("hatlint: type-checking %s: %w", pkgPath, err)
+	}
+	pkg := &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[pkgPath] = pkg
+	return pkg, nil
+}
+
+// importPath resolves one import: module-internal paths recurse into
+// loadDir, everything else goes to the GOROOT source importer.
+func (l *Loader) importPath(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.loadDir(l.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,16 @@
+// Fixture for the suppression-comment semantics test. The test runs a
+// fake analyzer ("testcheck") that reports every function declaration.
+package suppress
+
+func reported() {}
+
+//hatlint:allow testcheck -- suppressed with a written reason
+func suppressedAbove() {}
+
+func suppressedEOL() {} //hatlint:allow testcheck -- end-of-line placement
+
+//hatlint:allow testcheck
+func unjustified() {}
+
+//hatlint:allow othercheck -- this analyzer never fires here
+var stale = 1

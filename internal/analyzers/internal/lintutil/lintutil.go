@@ -1,0 +1,71 @@
+// Package lintutil holds the small shared vocabulary of the hatlint
+// analyzers: which packages are DES-scheduled, how to recognize the
+// sim/verbs/obs packages from either their real module paths or the
+// bare-tail paths used by analysistest fixtures, and how to resolve a
+// call expression to its callee.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// desPackages are the package-path tails whose code runs under the DES
+// scheduler (ISSUE 4): everything that executes inside sim processes or
+// builds deterministic inputs for them.
+var desPackages = map[string]bool{
+	"sim": true, "simnet": true, "verbs": true, "engine": true,
+	"ipoib": true, "trdma": true, "lmdb": true, "hatkv": true,
+	"atb": true, "tpch": true, "ycsb": true,
+}
+
+// PkgTail returns the last segment of an import path.
+func PkgTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsDESPackage reports whether the import path names a DES-scheduled
+// package (by tail, so both "hatrpc/internal/sim" and a testdata "sim"
+// match).
+func IsDESPackage(path string) bool { return desPackages[PkgTail(path)] }
+
+// IsPkg reports whether pkg's import path has the given tail.
+func IsPkg(pkg *types.Package, tail string) bool {
+	return pkg != nil && PkgTail(pkg.Path()) == tail
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for calls through function
+// values, conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// RecvPkgIs reports whether fn is a method whose receiver's type is
+// declared in a package with the given path tail.
+func RecvPkgIs(fn *types.Func, tail string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return IsPkg(fn.Pkg(), tail)
+}

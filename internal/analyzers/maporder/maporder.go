@@ -1,0 +1,343 @@
+// Package maporder flags iteration over Go maps whose loop body has
+// order-dependent effects — exactly the bug class PR 3 fixed in
+// sim.CPU, where simultaneous processor-sharing completions were
+// scheduled in map-iteration order and event sequence numbers (and so
+// the whole downstream simulation) depended on runtime map layout.
+//
+// In DES-scheduled packages, a `for … range m` over a map is reported
+// when the body (or a same-package function it calls, one level deep):
+//
+//   - posts or schedules simulation events (any non-pure sim-package
+//     call: Env.At/After/Spawn, Signal.Fire/Broadcast, Queue.Push,
+//     Proc.Sleep/Yield, CPU.Compute, …),
+//   - draws from a *rand.Rand (the draw-to-key assignment becomes
+//     layout-dependent),
+//   - appends to a slice that outlives the loop without the slice being
+//     sorted immediately after the loop,
+//   - mutates package-level state or emits trace events (obs.Tracer
+//     records in insertion order).
+//
+// A loop whose escaping effects are provably order-insensitive can be
+// annotated with a //hatlint:sorted comment on (or directly above) the
+// `for` line; prefer the collect-then-sort shape, which the analyzer
+// recognizes on its own.
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hatrpc/internal/analyzers/framework"
+	"hatrpc/internal/analyzers/internal/lintutil"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops with order-dependent effects (event scheduling, " +
+		"RNG draws, escaping appends, shared-state mutation) in DES-scheduled packages",
+	Run: run,
+}
+
+// pureSimFuncs are sim-package calls with no scheduling effect: reads
+// of the clock and of queue/lock state.
+var pureSimFuncs = map[string]bool{
+	"Now": true, "Len": true, "Waiting": true, "Stopped": true, "Rand": true,
+	"Name": true, "Env": true, "Cores": true, "Runnable": true,
+	"LoadFactor": true, "NewSignal": true, "NewQueue": true, "NewMutex": true,
+}
+
+type checker struct {
+	pass   *framework.Pass
+	declOf map[*types.Func]*ast.FuncDecl
+	sorted map[string]map[int]bool // filename → lines carrying //hatlint:sorted
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !lintutil.IsDESPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	c := &checker{
+		pass:   pass,
+		declOf: map[*types.Func]*ast.FuncDecl{},
+		sorted: map[string]map[int]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					c.declOf[fn] = fd
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				if strings.TrimSpace(cm.Text) == "//hatlint:sorted" {
+					pos := pass.Fset.Position(cm.Pos())
+					if c.sorted[pos.Filename] == nil {
+						c.sorted[pos.Filename] = map[int]bool{}
+					}
+					c.sorted[pos.Filename][pos.Line] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		parents := map[ast.Node]ast.Node{}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			if rng, ok := n.(*ast.RangeStmt); ok {
+				c.checkRange(parents, rng)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// stmtList returns the statement list a node directly holds, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+func (c *checker) checkRange(parents map[ast.Node]ast.Node, rng *ast.RangeStmt) {
+	tv, ok := c.pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	pos := c.pass.Fset.Position(rng.For)
+	if lines := c.sorted[pos.Filename]; lines[pos.Line] || lines[pos.Line-1] {
+		return
+	}
+
+	var reasons []string
+	seen := map[string]bool{}
+	add := func(r string) {
+		if !seen[r] {
+			seen[r] = true
+			reasons = append(reasons, r)
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			c.classifyCall(st, true, add)
+		case *ast.AssignStmt:
+			if obj := c.escapingAppend(st, rng); obj != nil && !sortedAfter(c.pass, parents, rng, obj) {
+				add(fmt.Sprintf("appends to %q which outlives the loop unsorted", obj.Name()))
+			}
+			if st.Tok != token.DEFINE {
+				for _, lhs := range st.Lhs {
+					if v := c.pkgLevelVar(lhs); v != nil {
+						add(fmt.Sprintf("mutates package-level %q", v.Name()))
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := c.pkgLevelVar(st.X); v != nil {
+				add(fmt.Sprintf("mutates package-level %q", v.Name()))
+			}
+		}
+		return true
+	})
+
+	if len(reasons) > 0 {
+		c.pass.Reportf(rng.For,
+			"map iteration order is random but the loop body %s: iterate a sorted snapshot "+
+				"(or sort the collected results and annotate //hatlint:sorted)",
+			strings.Join(reasons, "; "))
+	}
+}
+
+// pkgLevelVar returns the package-level *types.Var expr refers to, if
+// it is a bare identifier naming one.
+func (c *checker) pkgLevelVar(expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() != c.pass.Pkg {
+		return nil
+	}
+	if c.pass.Pkg.Scope().Lookup(v.Name()) != v {
+		return nil
+	}
+	return v
+}
+
+// classifyCall records order-dependent effects of one call. When
+// transitive is true and the callee is a same-package function, its
+// body is scanned one level deep for direct sim effects.
+func (c *checker) classifyCall(call *ast.CallExpr, transitive bool, add func(string)) {
+	fn := lintutil.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case lintutil.IsPkg(fn.Pkg(), "sim") && !pureSimFuncs[fn.Name()] && !strings.HasPrefix(fn.Name(), "Try"):
+		add(fmt.Sprintf("schedules simulation events (sim %s.%s)", recvName(fn), fn.Name()))
+	case fn.Pkg() != nil && (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2"):
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			add("draws from a *rand.Rand, making draw order layout-dependent")
+		}
+	case lintutil.RecvPkgIs(fn, "obs") && recvName(fn) == "Tracer":
+		add("emits trace events (recorded in insertion order)")
+	case transitive && fn.Pkg() == c.pass.Pkg:
+		if fd := c.declOf[fn]; fd != nil {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if inner, ok := n.(*ast.CallExpr); ok {
+					c.classifyCall(inner, false, func(r string) {
+						add(fmt.Sprintf("calls %s which %s", fn.Name(), r))
+					})
+				}
+				return true
+			})
+		}
+	}
+}
+
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Pkg().Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// escapingAppend matches `x = append(x, …)` where x is declared outside
+// the range statement, returning x's object.
+func (c *checker) escapingAppend(st *ast.AssignStmt, rng *ast.RangeStmt) types.Object {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return nil
+	} else if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	lhs, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.TypesInfo.Uses[lhs]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[lhs]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+		return nil // loop-local accumulator
+	}
+	return obj
+}
+
+// sortedAfter reports whether a statement following the range loop — in
+// its own block or any enclosing block up to the function boundary —
+// sorts obj: sort.X(obj, …), slices.X(obj, …), or either wrapped one
+// call deep (sort.Sort(byID(obj))). Climbing enclosing blocks accepts
+// the nested collect-then-sort shape (inner loop fills a slice, the
+// sort sits after the outer loop).
+func sortedAfter(pass *framework.Pass, parents map[ast.Node]ast.Node, rng *ast.RangeStmt, obj types.Object) bool {
+	var node ast.Node = rng
+	for {
+		par := parents[node]
+		if par == nil {
+			return false
+		}
+		if _, ok := par.(*ast.FuncDecl); ok {
+			return false
+		}
+		if _, ok := par.(*ast.FuncLit); ok {
+			return false
+		}
+		if list := stmtList(par); list != nil {
+			idx := -1
+			for i, st := range list {
+				if ast.Node(st) == node {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 && sortCallIn(pass, list[idx+1:], obj) {
+				return true
+			}
+		}
+		node = par
+	}
+}
+
+// sortCallIn scans stmts for a sort call on obj.
+func sortCallIn(pass *framework.Pass, stmts []ast.Stmt, obj types.Object) bool {
+	for _, st := range stmts {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && isSortCall(pass, call) && len(call.Args) > 0 && mentionsObj(pass, call.Args[0], obj) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isSortCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Pkg() != nil &&
+		(fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices")
+}
+
+// mentionsObj reports whether expr is obj or a call/conversion whose
+// first argument is obj.
+func mentionsObj(pass *framework.Pass, expr ast.Expr, obj types.Object) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e] == obj
+	case *ast.CallExpr:
+		return len(e.Args) > 0 && mentionsObj(pass, e.Args[0], obj)
+	}
+	return false
+}

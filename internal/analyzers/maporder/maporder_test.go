@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers/framework/analysistest"
+	"hatrpc/internal/analyzers/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "engine", "other")
+}

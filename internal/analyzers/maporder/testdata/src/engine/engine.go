@@ -1,0 +1,137 @@
+// Fixture: DES-scheduled code iterating maps. The positive cases
+// reproduce the PR 3 sim.CPU bug: simultaneous completions scheduled in
+// map-iteration order, so event sequence numbers depend on runtime map
+// layout.
+package engine
+
+import (
+	"math/rand"
+	"sort"
+
+	"sim"
+)
+
+type task struct{ id uint64 }
+
+type cpu struct {
+	env   *sim.Env
+	tasks map[*task]struct{}
+}
+
+// advanceBuggy is the exact shape PR 3 fixed: completion events posted
+// while ranging over the task map.
+func (c *cpu) advanceBuggy() {
+	for t := range c.tasks { // want `schedules simulation events \(sim Env.At\)`
+		delete(c.tasks, t)
+		c.env.At(c.env.Now(), func() { _ = t })
+	}
+}
+
+// advanceFixed is the PR 3 fix: collect completions out of the map,
+// sort by admission order, then schedule. No diagnostic.
+func (c *cpu) advanceFixed() {
+	var done []*task
+	for t := range c.tasks {
+		delete(c.tasks, t)
+		done = append(done, t)
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].id < done[j].id })
+	for _, t := range done {
+		c.env.At(c.env.Now(), func() { _ = t })
+	}
+}
+
+// post schedules; callers iterating maps inherit the effect one level
+// deep.
+func (c *cpu) post(t *task) {
+	c.env.At(0, nil)
+}
+
+func (c *cpu) transitive() {
+	for t := range c.tasks { // want `calls post which schedules simulation events`
+		c.post(t)
+	}
+}
+
+func fireAndPush(m map[int]*sim.Signal, q *sim.Queue) {
+	for k, s := range m { // want `schedules simulation events \(sim Signal.Fire\)`
+		s.Fire()
+		q.Push(k)
+	}
+}
+
+// escape appends map-ordered entries to a slice read by the caller.
+func escape(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to "keys" which outlives the loop unsorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// escapeSorted is the sanctioned shape: sorted immediately after.
+func escapeSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// escapeNestedSorted collects through a nested loop and sorts after the
+// outer loop — the Q3-merge shape. No diagnostic.
+func escapeNestedSorted(ms []map[string]int) []string {
+	var keys []string
+	for _, m := range ms {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// annotated is order-insensitive by construction and carries the
+// suppression marker.
+func annotated(m map[string]int) map[string]bool {
+	set := map[string]bool{}
+	var tmp []string
+	//hatlint:sorted
+	for k := range m {
+		tmp = append(tmp, k)
+		set[k] = true
+	}
+	_ = tmp
+	return set
+}
+
+var total int
+
+func countShared(m map[string]int) {
+	for _, v := range m { // want `mutates package-level "total"`
+		total += v
+	}
+}
+
+func draw(m map[string]int, rng *rand.Rand) {
+	for range m { // want `draws from a \*rand.Rand`
+		_ = rng.Intn(4)
+	}
+}
+
+// localOnly has no escaping effects. No diagnostic.
+func localOnly(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sliceLoop ranges a slice, not a map. No diagnostic.
+func sliceLoop(s []*sim.Signal) {
+	for _, sig := range s {
+		sig.Fire()
+	}
+}

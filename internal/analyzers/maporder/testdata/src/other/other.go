@@ -1,0 +1,11 @@
+// Fixture: outside the DES set — map iteration with escaping appends is
+// not this analyzer's business.
+package other
+
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

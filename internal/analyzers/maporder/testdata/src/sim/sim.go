@@ -1,0 +1,38 @@
+// Fixture: a stub of the sim kernel's scheduling surface.
+package sim
+
+// Time is virtual time.
+type Time int64
+
+// Proc is a simulation process.
+type Proc struct{}
+
+// Sleep parks the process.
+func (p *Proc) Sleep(d int64) {}
+
+// Env is the scheduler.
+type Env struct{ now Time }
+
+// Now is pure.
+func (e *Env) Now() Time { return e.now }
+
+// At schedules a callback.
+func (e *Env) At(t Time, fn func()) {}
+
+// Spawn starts a process.
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc { return nil }
+
+// Signal is a wait queue.
+type Signal struct{}
+
+// Fire wakes one waiter.
+func (s *Signal) Fire() {}
+
+// Queue is a FIFO.
+type Queue struct{}
+
+// Push appends and wakes.
+func (q *Queue) Push(v int) {}
+
+// Len is pure.
+func (q *Queue) Len() int { return 0 }

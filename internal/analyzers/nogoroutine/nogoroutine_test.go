@@ -1,0 +1,12 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers/framework/analysistest"
+	"hatrpc/internal/analyzers/nogoroutine"
+)
+
+func TestNogoroutine(t *testing.T) {
+	analysistest.Run(t, "testdata", nogoroutine.Analyzer, "engine", "sim")
+}

@@ -1,0 +1,35 @@
+// Fixture: DES-scheduled process code. Real concurrency primitives
+// bypass the cooperative scheduler and are forbidden.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func spawn() {
+	go func() {}() // want `go statement`
+}
+
+func channels() {
+	ch := make(chan int, 1) // want `make\(chan\)`
+	ch <- 1                 // want `channel send`
+	<-ch                    // want `channel receive`
+	select {                // want `select statement`
+	default:
+	}
+}
+
+var mu sync.Mutex // want `use of sync.Mutex`
+
+func locked() {
+	mu.Lock()         // want `use of sync.Lock`
+	defer mu.Unlock() // want `use of sync.Unlock`
+}
+
+func counted(n *int64) {
+	atomic.AddInt64(n, 1) // want `use of atomic.AddInt64`
+}
+
+// plain computation is fine.
+func pure(a, b int) int { return a + b }

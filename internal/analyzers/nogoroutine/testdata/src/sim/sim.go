@@ -1,0 +1,16 @@
+// Fixture: the sim kernel itself is the one place allowed to use real
+// concurrency — it implements the cooperative scheduler on top of it.
+package sim
+
+import "sync"
+
+type Proc struct {
+	mu     sync.Mutex
+	resume chan struct{}
+}
+
+func (p *Proc) park() {
+	p.resume = make(chan struct{})
+	go func() { p.resume <- struct{}{} }()
+	<-p.resume
+}

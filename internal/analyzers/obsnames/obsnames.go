@@ -1,0 +1,78 @@
+// Package obsnames polices the observability namespace. Instrument
+// names are rendered into sorted tables and traces that downstream
+// tooling greps, so they must be static: a name built with fmt.Sprintf
+// from request data is a cardinality bomb (unbounded registry growth)
+// and breaks byte-identical output between runs. Names must be
+// compile-time string constants matching [a-z0-9_.]+, and one name must
+// not be registered as two different instrument kinds.
+//
+// Sites that append a bounded enum suffix (per-protocol counters) carry
+// a //hatlint:allow obsnames comment with the justification naming the
+// bounding enum.
+package obsnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+
+	"hatrpc/internal/analyzers/framework"
+	"hatrpc/internal/analyzers/internal/lintutil"
+)
+
+// Analyzer is the obsnames check.
+var Analyzer = &framework.Analyzer{
+	Name: "obsnames",
+	Doc: "require obs instrument names to be constant strings matching [a-z0-9_.]+ " +
+		"and consistently registered as a single metric kind",
+	Run: run,
+}
+
+var nameRe = regexp.MustCompile(`^[a-z0-9_.]+$`)
+
+// registrars are the obs.Registry methods whose first argument is an
+// instrument name.
+var registrars = map[string]bool{"Counter": true, "Histogram": true, "Gauge": true}
+
+func run(pass *framework.Pass) (any, error) {
+	type site struct {
+		kind string
+		pos  ast.Node
+	}
+	firstKind := map[string]site{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if !lintutil.RecvPkgIs(fn, "obs") || !registrars[fn.Name()] || len(call.Args) < 1 {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"obs %s name must be a compile-time string constant (dynamic names are cardinality bombs and break deterministic rendering)",
+					fn.Name())
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !nameRe.MatchString(name) {
+				pass.Reportf(arg.Pos(),
+					"obs %s name %q must match [a-z0-9_.]+", fn.Name(), name)
+				return true
+			}
+			if prev, ok := firstKind[name]; ok && prev.kind != fn.Name() {
+				pass.Reportf(arg.Pos(),
+					"obs name %q already registered as a %s; one name must map to one metric kind",
+					name, prev.kind)
+			} else if !ok {
+				firstKind[name] = site{kind: fn.Name(), pos: call}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers/framework/analysistest"
+	"hatrpc/internal/analyzers/obsnames"
+)
+
+func TestObsnames(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnames.Analyzer, "app")
+}

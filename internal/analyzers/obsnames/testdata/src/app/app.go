@@ -1,0 +1,22 @@
+// Fixture: instrument registration sites, static and dynamic.
+package app
+
+import (
+	"fmt"
+
+	"obs"
+)
+
+const latName = "rpc.call_latency_us"
+
+func register(r *obs.Registry, proto string) {
+	r.Counter("rpc.calls")   // literal: ok
+	r.Histogram(latName)     // named constant: ok
+	r.Counter("srv." + "up") // constant-folded concatenation: ok
+
+	r.Counter(fmt.Sprintf("rpc.calls.%s", proto)) // want `must be a compile-time string constant`
+	r.Counter("RPC-Calls")                        // want `must match \[a-z0-9_.\]\+`
+
+	r.Histogram("queue.depth")
+	r.Counter("queue.depth") // want `already registered as a Histogram`
+}

@@ -1,0 +1,26 @@
+// Fixture: a stub of the obs metrics registry surface.
+package obs
+
+// Counter counts.
+type Counter struct{}
+
+// Inc bumps.
+func (c *Counter) Inc(n uint64) {}
+
+// Histogram records.
+type Histogram struct{}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {}
+
+// Registry holds named instruments.
+type Registry struct{}
+
+// Counter registers or fetches a counter.
+func (r *Registry) Counter(name string) *Counter { return nil }
+
+// Histogram registers or fetches a histogram.
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+
+// Gauge registers or fetches a gauge.
+func (r *Registry) Gauge(name string, fn func() float64) {}

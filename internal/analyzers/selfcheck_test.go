@@ -1,0 +1,34 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers"
+	"hatrpc/internal/analyzers/framework"
+)
+
+// TestSuiteCleanOnRepo runs the full hatlint suite over the repository
+// itself — the same invocation as `go run ./cmd/hatlint ./...` in CI.
+// The suite being clean is a standing invariant: any finding here is
+// either a real determinism/protocol bug or a site that needs a
+// justified //hatlint:allow.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	ld, err := framework.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing most of the module", len(pkgs))
+	}
+	for _, d := range framework.Run(pkgs, analyzers.All()) {
+		pos := ld.Fset.Position(d.Pos)
+		t.Errorf("%s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,99 @@
+// Package simdet enforces the DES determinism contract in
+// simulation-scheduled packages: no wall-clock time, no global
+// randomness, no process-environment dependence. Inside the simulation
+// every timestamp must come from the virtual clock (sim.Env.Now) and
+// every random draw from the environment's seeded RNG (sim.Env.Rand),
+// or two runs with the same seed stop being byte-identical.
+package simdet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hatrpc/internal/analyzers/framework"
+	"hatrpc/internal/analyzers/internal/lintutil"
+)
+
+// Analyzer is the simdet check.
+var Analyzer = &framework.Analyzer{
+	Name: "simdet",
+	Doc: "forbid wall-clock time, global math/rand state and process-environment " +
+		"reads in DES-scheduled packages; randomness and time must flow through sim.Env",
+	Run: run,
+}
+
+// timeFuncs are the wall-clock entry points of package time. Pure
+// constructors and conversions (Duration arithmetic, Unix, Date) are
+// fine — it is the ambient clock and timers that break determinism.
+var timeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randGlobalFuncs are the math/rand package-level functions backed by
+// the shared global source.
+var randGlobalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// osEnvFuncs read process-environment state that varies across runs and
+// hosts.
+var osEnvFuncs = map[string]bool{
+	"Getpid": true, "Getppid": true, "Getenv": true, "LookupEnv": true,
+	"Environ": true, "Hostname": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !lintutil.IsDESPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	isKernel := lintutil.PkgTail(pass.Pkg.Path()) == "sim"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && timeFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"call to time.%s in DES-scheduled package %s: use the virtual clock (sim.Env.Now / Proc.Sleep)",
+						fn.Name(), pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // *rand.Rand methods on an explicitly threaded RNG are fine
+				}
+				switch {
+				case randGlobalFuncs[fn.Name()]:
+					pass.Reportf(call.Pos(),
+						"call to global rand.%s in DES-scheduled package %s: draw from the seeded sim.Env RNG instead",
+						fn.Name(), pass.Pkg.Name())
+				case (fn.Name() == "New" || fn.Name() == "NewSource") && !isKernel:
+					// Only the sim kernel may mint an RNG (NewEnv seeds the
+					// one true source); everything else threads *rand.Rand.
+					pass.Reportf(call.Pos(),
+						"rand.%s in DES-scheduled package %s: only the sim kernel seeds RNGs; accept a *rand.Rand (sim.Env.Rand) instead",
+						fn.Name(), pass.Pkg.Name())
+				}
+			case "os":
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && osEnvFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"call to os.%s in DES-scheduled package %s: process-environment state is not deterministic across runs",
+						fn.Name(), pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers/framework/analysistest"
+	"hatrpc/internal/analyzers/simdet"
+)
+
+func TestSimdet(t *testing.T) {
+	analysistest.Run(t, "testdata", simdet.Analyzer, "sim", "engine", "other")
+}

@@ -1,0 +1,13 @@
+// Fixture: a DES-scheduled package outside the sim kernel — RNG
+// minting is forbidden, threading a caller-supplied RNG is the
+// sanctioned shape.
+package engine
+
+import "math/rand"
+
+func mint(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand.New` `rand.NewSource`
+}
+
+// threaded draws from an explicitly provided RNG — no diagnostic.
+func threaded(rng *rand.Rand) int { return rng.Intn(10) }

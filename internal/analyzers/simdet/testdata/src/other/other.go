@@ -1,0 +1,12 @@
+// Fixture: a package outside the DES set — wall-clock use is fine.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free() int64 {
+	rand.Seed(1)
+	return time.Now().UnixNano() + int64(rand.Intn(3))
+}

@@ -1,0 +1,42 @@
+// Fixture: the sim kernel package itself. Wall-clock and environment
+// reads are forbidden even here; minting RNG sources is the kernel's
+// privilege.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Env mirrors the kernel: it owns the one seeded RNG.
+type Env struct{ rng *rand.Rand }
+
+// NewEnv is the kernel exemption: rand.New/rand.NewSource are legal
+// only here.
+func NewEnv(seed int64) *Env {
+	return &Env{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand hands out the seeded RNG.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+func wallClock() {
+	_ = time.Now()              // want `time.Now`
+	time.Sleep(time.Nanosecond) // want `time.Sleep`
+	_ = time.Since(time.Time{}) // want `time.Since`
+	_ = time.After(1)           // want `time.After`
+}
+
+func environment() {
+	_ = os.Getpid()          // want `os.Getpid`
+	_, _ = os.LookupEnv("X") // want `os.LookupEnv`
+}
+
+func globalRand() {
+	_ = rand.Intn(10)                  // want `global rand.Intn`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand.Shuffle`
+}
+
+// duration arithmetic and formatting are pure — no diagnostics.
+func pureTimeUse(d time.Duration) string { return d.String() }

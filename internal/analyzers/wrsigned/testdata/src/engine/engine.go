@@ -1,0 +1,55 @@
+// Fixture: WR posting discipline around signaled completions.
+package engine
+
+import (
+	"verbs"
+)
+
+// allUnsignaled posts a 2-element chain with no signaled element and
+// never drains — the SQ-exhaustion shape.
+func allUnsignaled(qp *verbs.QP) {
+	send := &verbs.SendWR{Unsignaled: true}
+	write := &verbs.SendWR{Unsignaled: true}
+	write.Next = send
+	qp.PostSend(0, write) // want `2-element WR chain with no signaled element`
+}
+
+// literalChain links via the composite literal's Next field.
+func literalChain(qp *verbs.QP) {
+	tail := &verbs.SendWR{Unsignaled: true}
+	qp.PostSend(0, &verbs.SendWR{Unsignaled: true, Next: tail}) // want `2-element WR chain`
+}
+
+// signaledTail leaves the last element signaled: slots reclaimed. No
+// diagnostic.
+func signaledTail(qp *verbs.QP) {
+	send := &verbs.SendWR{}
+	write := &verbs.SendWR{Unsignaled: true}
+	write.Next = send
+	qp.PostSend(0, write)
+}
+
+// drainsLocally polls the CQ in the same function. No diagnostic.
+func drainsLocally(qp *verbs.QP, cq *verbs.CQ) {
+	send := &verbs.SendWR{Unsignaled: true}
+	write := &verbs.SendWR{Unsignaled: true}
+	write.Next = send
+	qp.PostSend(0, write)
+	for {
+		if _, ok := cq.TryPoll(); !ok {
+			break
+		}
+	}
+}
+
+// single posts one unsignaled WR — below the chain threshold. No
+// diagnostic.
+func single(qp *verbs.QP) {
+	qp.PostSend(0, &verbs.SendWR{Unsignaled: true})
+}
+
+// unknownChain passes a WR from elsewhere; the chain is not statically
+// resolvable. No diagnostic.
+func unknownChain(qp *verbs.QP, wr *verbs.SendWR) {
+	qp.PostSend(0, wr)
+}

@@ -1,0 +1,23 @@
+// Fixture: a stub of the verbs work-request surface.
+package verbs
+
+// SendWR is a send work request.
+type SendWR struct {
+	Unsignaled bool
+	Next       *SendWR
+}
+
+// CQE is a completion entry.
+type CQE struct{}
+
+// QP is a queue pair.
+type QP struct{}
+
+// PostSend posts a WR chain.
+func (q *QP) PostSend(p int, wr *SendWR) {}
+
+// CQ is a completion queue.
+type CQ struct{}
+
+// TryPoll drains one completion if available.
+func (c *CQ) TryPoll() (CQE, bool) { return CQE{}, false }

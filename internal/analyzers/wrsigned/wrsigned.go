@@ -1,0 +1,245 @@
+// Package wrsigned guards the verbs completion-accounting discipline.
+// On real hardware a send-queue slot is only reclaimed when a *later
+// signaled* completion is polled; posting a multi-element WR chain in
+// which every element is unsignaled, from a function that never drains
+// a CQ, is the silent-SQ-exhaustion shape that PR 3's runtime
+// assertNoLeaks helper catches only after the fact. This analyzer
+// reports it at compile time.
+//
+// The check is intraprocedural and conservative: a chain is reported
+// only when every element is statically known (composite literals
+// linked by Next fields or `x.Next = y` assignments in the same
+// function), every element sets Unsignaled: true, the chain has at
+// least two elements, and the function contains no CQ drain
+// (Poll/TryPoll/PollBusy/WaitEvent). Functions that intentionally rely
+// on a downstream signaled completion document it with
+// //hatlint:allow wrsigned -- <reason>.
+package wrsigned
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hatrpc/internal/analyzers/framework"
+	"hatrpc/internal/analyzers/internal/lintutil"
+)
+
+// Analyzer is the wrsigned check.
+var Analyzer = &framework.Analyzer{
+	Name: "wrsigned",
+	Doc: "flag posting an all-unsignaled multi-element WR chain from a function " +
+		"that never drains a completion queue",
+	Run: run,
+}
+
+// drainFuncs are the CQ methods that retire completions.
+var drainFuncs = map[string]bool{
+	"Poll": true, "TryPoll": true, "PollBusy": true, "WaitEvent": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+type funcFacts struct {
+	lits   map[types.Object]*ast.CompositeLit // var → its SendWR literal
+	next   map[types.Object]ast.Expr          // var → expr assigned to var.Next
+	drains bool
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	facts := &funcFacts{
+		lits: map[types.Object]*ast.CompositeLit{},
+		next: map[types.Object]ast.Expr{},
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident: // x := &SendWR{…}
+					if lit := wrLiteral(pass, st.Rhs[i]); lit != nil {
+						if obj := identObj(pass, l); obj != nil {
+							facts.lits[obj] = lit
+						}
+					}
+				case *ast.SelectorExpr: // x.Next = y
+					if l.Sel.Name == "Next" {
+						if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+							if obj := identObj(pass, base); obj != nil && isWRType(pass, base) {
+								facts.next[obj] = st.Rhs[i]
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn := lintutil.CalleeFunc(pass.TypesInfo, st); fn != nil &&
+				lintutil.RecvPkgIs(fn, "verbs") && drainFuncs[fn.Name()] {
+				facts.drains = true
+			}
+		}
+		return true
+	})
+	if facts.drains {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Name() != "PostSend" || !lintutil.RecvPkgIs(fn, "verbs") {
+			return true
+		}
+		// The WR argument is the last one (QP.PostSend(p, wr)).
+		if len(call.Args) == 0 {
+			return true
+		}
+		chain, known := resolveChain(pass, facts, call.Args[len(call.Args)-1], 0)
+		if !known || len(chain) < 2 {
+			return true
+		}
+		for _, lit := range chain {
+			if !unsignaled(pass, lit) {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"PostSend of a %d-element WR chain with no signaled element and no CQ drain in this function: "+
+				"SQ slots are only reclaimed via signaled completions (leak shape caught at runtime by assertNoLeaks)",
+			len(chain))
+		return true
+	})
+}
+
+// resolveChain statically follows a WR expression through Next links,
+// returning the chain's literals and whether every element was
+// resolvable.
+func resolveChain(pass *framework.Pass, facts *funcFacts, expr ast.Expr, depth int) ([]*ast.CompositeLit, bool) {
+	if depth > 32 {
+		return nil, false
+	}
+	var lit *ast.CompositeLit
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = identObj(pass, e)
+		if obj != nil {
+			lit = facts.lits[obj]
+		}
+	default:
+		lit = wrLiteral(pass, expr)
+	}
+	if lit == nil {
+		return nil, false
+	}
+	chain := []*ast.CompositeLit{lit}
+	// Next via the literal's own field…
+	var nextExpr ast.Expr
+	if fv := fieldValue(lit, "Next"); fv != nil {
+		nextExpr = fv
+	}
+	// …or via a later x.Next = y assignment (which overrides).
+	if obj != nil {
+		if fv, ok := facts.next[obj]; ok {
+			nextExpr = fv
+		}
+	}
+	if nextExpr == nil {
+		return chain, true
+	}
+	if id, ok := ast.Unparen(nextExpr).(*ast.Ident); ok && id.Name == "nil" {
+		return chain, true
+	}
+	rest, known := resolveChain(pass, facts, nextExpr, depth+1)
+	if !known {
+		return nil, false
+	}
+	return append(chain, rest...), true
+}
+
+// wrLiteral returns the composite literal if expr is (&)SendWR{…} from
+// the verbs package.
+func wrLiteral(pass *framework.Pass, expr ast.Expr) *ast.CompositeLit {
+	e := ast.Unparen(expr)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "SendWR" || !lintutil.IsPkg(named.Obj().Pkg(), "verbs") {
+		return nil
+	}
+	return lit
+}
+
+func isWRType(pass *framework.Pass, id *ast.Ident) bool {
+	obj := identObj(pass, id)
+	if obj == nil {
+		return false
+	}
+	t := obj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "SendWR" && lintutil.IsPkg(named.Obj().Pkg(), "verbs")
+}
+
+func identObj(pass *framework.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// fieldValue returns the value of the named field in a keyed composite
+// literal.
+func fieldValue(lit *ast.CompositeLit, name string) ast.Expr {
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if k, ok := kv.Key.(*ast.Ident); ok && k.Name == name {
+				return kv.Value
+			}
+		}
+	}
+	return nil
+}
+
+// unsignaled reports whether the literal sets Unsignaled: true.
+func unsignaled(pass *framework.Pass, lit *ast.CompositeLit) bool {
+	fv := fieldValue(lit, "Unsignaled")
+	if fv == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fv]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.ExactString() == "true"
+}

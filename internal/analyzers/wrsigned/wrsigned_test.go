@@ -1,0 +1,12 @@
+package wrsigned_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers/framework/analysistest"
+	"hatrpc/internal/analyzers/wrsigned"
+)
+
+func TestWrsigned(t *testing.T) {
+	analysistest.Run(t, "testdata", wrsigned.Analyzer, "engine")
+}

@@ -1,0 +1,113 @@
+package atb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hatrpc/internal/engine"
+	"hatrpc/internal/obs"
+	"hatrpc/internal/simnet"
+)
+
+// sweepOutput runs a small ATB sweep (latency points across two
+// protocols plus one throughput point) with full observability attached
+// and returns every byte the run produces: the raw points, the rendered
+// metric tables, and the chrome trace JSON. chaos additionally installs
+// packet loss + jitter with the retry/deadline layer enabled — the
+// configuration with the most scheduler-visible branching.
+func sweepOutput(chaos bool) string {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	reg.SetTracer(tracer)
+
+	savedHook, savedFaults, savedDeadline := FabricHook, FaultSpec, CallDeadlineNs
+	defer func() {
+		FabricHook, FaultSpec, CallDeadlineNs = savedHook, savedFaults, savedDeadline
+	}()
+	runIdx := 0
+	FabricHook = func(f *Fabric) {
+		tracer.SetPIDOffset(runIdx * 16)
+		runIdx++
+		for _, e := range f.Engines() {
+			e.SetObs(reg)
+		}
+		if fp := f.Cluster.Faults(); fp != nil {
+			fp.SetObs(reg)
+		}
+	}
+	FaultSpec = nil
+	CallDeadlineNs = 0
+	if chaos {
+		FaultSpec = &simnet.FaultConfig{DropProb: 0.02, JitterNs: 300}
+		CallDeadlineNs = 2_000_000
+	}
+
+	lcfg := ProtoLatencyConfig{
+		Protos: []engine.Protocol{engine.EagerSendRecv, engine.DirectWriteIMM},
+		Busy:   []bool{true},
+		Sizes:  []int{512},
+		Iters:  6,
+		Seed:   42,
+	}
+	lat := RunProtoLatency(lcfg)
+
+	tcfg := ProtoThroughputConfig{
+		Protos:     []engine.Protocol{engine.EagerSendRecv},
+		Busy:       []bool{false},
+		Sizes:      []int{512},
+		Clients:    []int{4},
+		DurationNs: 2_000_000,
+		Seed:       42,
+	}
+	tput := RunProtoThroughput(tcfg)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency: %+v\n", lat)
+	fmt.Fprintf(&b, "throughput: %+v\n", tput)
+	b.WriteString(reg.Render())
+	if err := tracer.WriteJSON(&b); err != nil {
+		fmt.Fprintf(&b, "trace error: %v", err)
+	}
+	return b.String()
+}
+
+// TestByteIdenticalReplay is the repo-wide determinism regression test:
+// the same seed must reproduce the complete observable output of a
+// sweep — metrics tables and trace JSON byte for byte — both fault-free
+// and under chaos (loss + jitter + retries). Any map-order or
+// wall-clock leak anywhere in the stack shows up here as a diff.
+func TestByteIdenticalReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full simulation sweeps")
+	}
+	for _, tc := range []struct {
+		name  string
+		chaos bool
+	}{
+		{"clean", false},
+		{"chaos", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := sweepOutput(tc.chaos)
+			b := sweepOutput(tc.chaos)
+			if len(a) < 1000 || !strings.Contains(a, "traceEvents") {
+				t.Fatalf("sweep produced implausibly small output (%d bytes)", len(a))
+			}
+			if a != b {
+				t.Fatalf("replay diverged:\n%s", firstDiff(a, b))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first line where two outputs diverge.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  run1: %s\n  run2: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

@@ -92,6 +92,14 @@ func NewEnv(seed int64) *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
+// NewRand returns a deterministic RNG seeded with seed, independent of
+// any Env (for input generators that run before a simulation exists).
+// The sim kernel is the single place allowed to mint RNG sources — the
+// simdet analyzer forbids rand.New elsewhere in DES-scheduled packages
+// — so all randomness is either this or Env.Rand, both explicitly
+// seeded.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
 // Rand returns the environment's deterministic RNG. It must only be used
 // from simulation processes (never concurrently).
 func (e *Env) Rand() *rand.Rand { return e.rng }

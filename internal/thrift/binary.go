@@ -313,9 +313,5 @@ func (p *TBinaryProtocol) ReadBinary() ([]byte, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("thrift: negative binary length %d", n)
 	}
-	b := make([]byte, n)
-	if err := p.readFull(b); err != nil {
-		return nil, err
-	}
-	return b, nil
+	return readLenPrefixed(p.trans, int(n))
 }

@@ -407,6 +407,9 @@ func (p *TCompactProtocol) ReadMapBegin() (TType, TType, int, error) {
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	if size > 1<<30 {
+		return 0, 0, 0, fmt.Errorf("thrift: map too large: %d", size)
+	}
 	if size == 0 {
 		return 0, 0, 0, nil
 	}
@@ -443,6 +446,9 @@ func (p *TCompactProtocol) ReadListBegin() (TType, int, error) {
 		v, err := p.readVarint()
 		if err != nil {
 			return 0, 0, err
+		}
+		if v > 1<<30 {
+			return 0, 0, fmt.Errorf("thrift: list too large: %d", v)
 		}
 		size = int(v)
 	}
@@ -516,9 +522,5 @@ func (p *TCompactProtocol) ReadBinary() ([]byte, error) {
 	if n > 1<<30 {
 		return nil, fmt.Errorf("thrift: binary too large: %d", n)
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(p.trans, b); err != nil {
-		return nil, err
-	}
-	return b, nil
+	return readLenPrefixed(p.trans, int(n))
 }

@@ -13,6 +13,7 @@ package thrift
 import (
 	"errors"
 	"fmt"
+	"io"
 )
 
 // TType is a Thrift wire type identifier.
@@ -139,8 +140,21 @@ type TProtocol interface {
 	Transport() TTransport
 }
 
+// maxSkipDepth bounds the nesting Skip will follow. Legitimate HatRPC
+// schemas nest a handful of levels; a crafted message of thousands of
+// nested struct/list headers (3 bytes each on the wire) must not be
+// able to exhaust the goroutine stack.
+const maxSkipDepth = 64
+
 // Skip reads and discards a value of the given type.
 func Skip(p TProtocol, t TType) error {
+	return skip(p, t, 0)
+}
+
+func skip(p TProtocol, t TType, depth int) error {
+	if depth > maxSkipDepth {
+		return fmt.Errorf("thrift: skip nesting exceeds %d levels", maxSkipDepth)
+	}
 	switch t {
 	case BOOL:
 		_, err := p.ReadBool()
@@ -175,7 +189,7 @@ func Skip(p TProtocol, t TType) error {
 			if ft == STOP {
 				break
 			}
-			if err := Skip(p, ft); err != nil {
+			if err := skip(p, ft, depth+1); err != nil {
 				return err
 			}
 			if err := p.ReadFieldEnd(); err != nil {
@@ -189,10 +203,10 @@ func Skip(p TProtocol, t TType) error {
 			return err
 		}
 		for i := 0; i < size; i++ {
-			if err := Skip(p, kt); err != nil {
+			if err := skip(p, kt, depth+1); err != nil {
 				return err
 			}
-			if err := Skip(p, vt); err != nil {
+			if err := skip(p, vt, depth+1); err != nil {
 				return err
 			}
 		}
@@ -203,7 +217,7 @@ func Skip(p TProtocol, t TType) error {
 			return err
 		}
 		for i := 0; i < size; i++ {
-			if err := Skip(p, et); err != nil {
+			if err := skip(p, et, depth+1); err != nil {
 				return err
 			}
 		}
@@ -214,7 +228,7 @@ func Skip(p TProtocol, t TType) error {
 			return err
 		}
 		for i := 0; i < size; i++ {
-			if err := Skip(p, et); err != nil {
+			if err := skip(p, et, depth+1); err != nil {
 				return err
 			}
 		}
@@ -222,6 +236,31 @@ func Skip(p TProtocol, t TType) error {
 	default:
 		return fmt.Errorf("thrift: cannot skip type %v", t)
 	}
+}
+
+// readLenPrefixed reads exactly n bytes from r without trusting n for
+// the upfront allocation: the buffer grows chunk by chunk as bytes
+// actually arrive, so a corrupt multi-gigabyte length prefix fails with
+// an EOF after at most one chunk instead of attempting a huge make.
+func readLenPrefixed(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	b := make([]byte, 0, chunk)
+	for len(b) < n {
+		c := min(n-len(b), chunk)
+		off := len(b)
+		b = append(b, make([]byte, c)...)
+		if _, err := io.ReadFull(r, b[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
 }
 
 // TStruct is implemented by every generated struct.

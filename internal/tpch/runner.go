@@ -122,7 +122,7 @@ func RunBench(cfg BenchConfig) []QueryResult {
 			qs = append(qs, i)
 		}
 	}
-	dbs := Generate(cfg.SF, cfg.Workers, cfg.Seed)
+	dbs := Generate(cfg.SF, cfg.Workers, sim.NewRand(cfg.Seed))
 	var out []QueryResult
 	for _, stack := range cfg.Stacks {
 		out = append(out, runStack(cfg, stack, qs, dbs)...)

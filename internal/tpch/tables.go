@@ -218,12 +218,16 @@ func ScaleFor(sf float64) Scale {
 // Generate builds `parts` partition DBs at the given scale factor.
 // Orders (with their lineitems) are assigned to partition okey%parts;
 // partsupp rows to pkey%parts; dimension tables are replicated.
-func Generate(sf float64, parts int, seed int64) []*DB {
+//
+// The RNG is caller-supplied so every random draw in the simulation is
+// explicitly seeded (simdet: DES-scheduled packages never mint their
+// own sources). Thread sim.Env.Rand() or rand.New(rand.NewSource(seed))
+// built outside the DES packages.
+func Generate(sf float64, parts int, rng *rand.Rand) []*DB {
 	if parts < 1 {
 		parts = 1
 	}
 	sc := ScaleFor(sf)
-	rng := rand.New(rand.NewSource(seed))
 	dbs := make([]*DB, parts)
 	for i := range dbs {
 		dbs[i] = &DB{}

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"hatrpc/internal/sim"
 )
 
 func TestDateArithmetic(t *testing.T) {
@@ -28,7 +30,7 @@ func TestDateArithmetic(t *testing.T) {
 }
 
 func TestGenerateCardinalities(t *testing.T) {
-	dbs := Generate(0.01, 3, 1)
+	dbs := Generate(0.01, 3, sim.NewRand(1))
 	if len(dbs) != 3 {
 		t.Fatalf("partitions = %d", len(dbs))
 	}
@@ -56,7 +58,7 @@ func TestGenerateCardinalities(t *testing.T) {
 }
 
 func TestOrdersColocatedWithLineitems(t *testing.T) {
-	dbs := Generate(0.005, 4, 2)
+	dbs := Generate(0.005, 4, sim.NewRand(2))
 	for i, db := range dbs {
 		okeys := map[int32]bool{}
 		for _, o := range db.Orders {
@@ -74,7 +76,7 @@ func TestOrdersColocatedWithLineitems(t *testing.T) {
 }
 
 func TestPartialEncodingRoundTrip(t *testing.T) {
-	dbs := Generate(0.004, 2, 3)
+	dbs := Generate(0.004, 2, sim.NewRand(3))
 	for _, q := range Queries {
 		partial, rows := q.Fragment(dbs[0])
 		if rows <= 0 {
@@ -117,8 +119,8 @@ func numsClose(t *testing.T, qn int, a, b [][]string) {
 // TestDistributedMatchesSingleNode executes every query both on one
 // partition holding all data and on 5 partitions, comparing results.
 func TestDistributedMatchesSingleNode(t *testing.T) {
-	single := Generate(0.01, 1, 7)
-	multi := Generate(0.01, 5, 7)
+	single := Generate(0.01, 1, sim.NewRand(7))
+	multi := Generate(0.01, 5, sim.NewRand(7))
 	for _, q := range Queries {
 		q := q
 		t.Run(fmt.Sprintf("Q%d", q.Num()), func(t *testing.T) {
@@ -137,7 +139,7 @@ func TestDistributedMatchesSingleNode(t *testing.T) {
 }
 
 func TestQueriesProduceResults(t *testing.T) {
-	dbs := Generate(0.01, 2, 11)
+	dbs := Generate(0.01, 2, sim.NewRand(11))
 	nonEmpty := 0
 	for _, q := range Queries {
 		var partials []any
@@ -158,7 +160,7 @@ func TestQueriesProduceResults(t *testing.T) {
 }
 
 func TestQ1AggregatesConsistent(t *testing.T) {
-	dbs := Generate(0.005, 1, 13)
+	dbs := Generate(0.005, 1, sim.NewRand(13))
 	p, _ := q1{}.Fragment(dbs[0])
 	rows := q1{}.Merge(dbs[0], []any{p})
 	if len(rows) == 0 {
@@ -220,7 +222,7 @@ func TestStacksAgreeOnResults(t *testing.T) {
 		t.Skip("cluster run")
 	}
 	cfg := BenchConfig{SF: 0.004, Workers: 3, Seed: 19}
-	dbs := Generate(cfg.SF, cfg.Workers, cfg.Seed)
+	dbs := Generate(cfg.SF, cfg.Workers, sim.NewRand(cfg.Seed))
 	qs := []int{3, 10, 18}
 	_, rowsIP := ExecuteQueries(cfg, StackIPoIB, qs, dbs)
 	_, rowsFn := ExecuteQueries(cfg, StackHatFunction, qs, dbs)
@@ -241,7 +243,7 @@ func TestScaleFor(t *testing.T) {
 }
 
 func TestCommentKeywordsPresent(t *testing.T) {
-	dbs := Generate(0.01, 1, 23)
+	dbs := Generate(0.01, 1, sim.NewRand(23))
 	special := 0
 	for _, o := range dbs[0].Orders {
 		if strings.Contains(o.Comment, "special requests") {

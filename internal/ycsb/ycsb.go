@@ -4,6 +4,12 @@
 // MultiGET/MultiPUT operations, and a runner that drives HatKV and the
 // four emulated comparator systems (AR-gRPC, HERD, Pilaf, RFP) over the
 // simulated cluster.
+//
+// Determinism: nothing in this package owns randomness. Every sampling
+// entry point (ChooseOp, Zipfian.Next, NextScrambled) takes an explicit
+// *rand.Rand threaded from the simulation environment (sim.Env.Rand) or
+// a kernel-minted source (sim.NewRand) — the simdet analyzer forbids
+// the global math/rand state here.
 package ycsb
 
 import (
