@@ -6,6 +6,13 @@
 //
 //	atb -bench latency-protocols|throughput-protocols|latency-hints|throughput-hints|mix [-size N]
 //	    [-metrics] [-trace FILE] [-faults] [-loss P] [-jitter NS] [-deadline NS]
+//	atb -bench crash [-sync full|meta|none] [-uptimes NS,NS,...] [-crash-horizon NS]
+//
+// -bench crash sweeps the chaos soak harness (DESIGN.md §12) over mean
+// server uptimes: each point crashes and reboots the HatKV server on a
+// seeded schedule while sessions reconnect and replay, and reports
+// acked-write goodput, loss, and the crash→first-ack recovery-time
+// distribution. -sync selects the store's durability mode.
 //
 // -metrics prints the obs counter/histogram/gauge tables accumulated
 // across every simulation of the sweep; -trace writes a deterministic
@@ -30,13 +37,14 @@ import (
 
 	"hatrpc/internal/atb"
 	"hatrpc/internal/engine"
+	"hatrpc/internal/lmdb"
 	"hatrpc/internal/obs"
 	"hatrpc/internal/simnet"
 	"hatrpc/internal/stats"
 )
 
 func main() {
-	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix, overload")
+	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix, overload, crash")
 	size := flag.Int("size", 512, "payload size for the mix benchmark")
 	offeredLoad := flag.String("offered-load", "", "overload bench: comma-separated offered loads in Kops/s (default 70,140,210,280)")
 	admitLimit := flag.Int("admit-limit", 28, "overload bench: max concurrent handlers before the admission policy kicks in")
@@ -48,6 +56,9 @@ func main() {
 	loss := flag.Float64("loss", 0, "per-hop drop probability, e.g. 0.05 (implies -faults)")
 	jitter := flag.Int64("jitter", 0, "max per-hop latency jitter in ns (implies -faults)")
 	deadline := flag.Int64("deadline", 2_000_000, "per-call deadline in ns for fault runs (0 disables retries)")
+	syncMode := flag.String("sync", "full", "crash bench: store durability mode: full, meta, none")
+	uptimes := flag.String("uptimes", "", "crash bench: comma-separated mean uptimes in ns (default 4000000,2000000,1000000,500000)")
+	crashHorizon := flag.Int64("crash-horizon", 0, "crash bench: schedule horizon in ns (default 30000000)")
 	flag.Parse()
 
 	if *faults || *loss > 0 || *jitter > 0 {
@@ -155,6 +166,43 @@ func main() {
 				fmt.Sprintf("%.0f", p.DeadlineOps+p.BreakerOps),
 				stats.FormatNs(p.AvgNs), stats.FormatNs(p.P99Ns),
 				p.RnrNaks, p.RnrFailures, p.CreditStalls)
+		}
+		fmt.Print(tb)
+	case "crash":
+		cfg := atb.DefaultCrashBenchConfig()
+		switch *syncMode {
+		case "full":
+			cfg.Sync = lmdb.SyncFull
+		case "meta":
+			cfg.Sync = lmdb.SyncMeta
+		case "none":
+			cfg.Sync = lmdb.NoSync
+		default:
+			fmt.Fprintf(os.Stderr, "atb: bad -sync %q (want full, meta or none)\n", *syncMode)
+			os.Exit(2)
+		}
+		if *crashHorizon > 0 {
+			cfg.HorizonNs = *crashHorizon
+		}
+		if *uptimes != "" {
+			cfg.MeanUptimes = nil
+			for _, s := range strings.Split(*uptimes, ",") {
+				ns, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+				if err != nil || ns <= 0 {
+					fmt.Fprintf(os.Stderr, "atb: bad -uptimes %q: %v\n", s, err)
+					os.Exit(2)
+				}
+				cfg.MeanUptimes = append(cfg.MeanUptimes, ns)
+			}
+		}
+		pts := atb.RunCrash(cfg)
+		tb := stats.NewTable("mean-uptime", "crashes", "acked", "lost", "goodput Kops/s",
+			"recov avg", "recov p99", "replays", "reconnects")
+		for _, p := range pts {
+			tb.Row(stats.FormatNs(float64(p.MeanUptimeNs)), p.Crashes, p.Acked, p.Lost,
+				fmt.Sprintf("%.1f", p.GoodputOps/1000),
+				stats.FormatNs(p.RecovAvgNs), stats.FormatNs(p.RecovP99Ns),
+				p.Replays, p.Connects)
 		}
 		fmt.Print(tb)
 	default:

@@ -8,5 +8,5 @@ import (
 )
 
 func TestNogoroutine(t *testing.T) {
-	analysistest.Run(t, "testdata", nogoroutine.Analyzer, "engine", "sim")
+	analysistest.Run(t, "testdata", nogoroutine.Analyzer, "engine", "sim", "chaos")
 }

@@ -1,0 +1,29 @@
+// Fixture: the chaos soak harness drives the crash–restart lifecycle
+// from inside sim processes — real concurrency primitives are just as
+// forbidden there as in the engine.
+package chaos
+
+import "sync"
+
+func soakWorkers() {
+	go func() {}() // want `go statement`
+}
+
+func ackPipe() {
+	acks := make(chan uint64, 8) // want `make\(chan\)`
+	acks <- 1                    // want `channel send`
+	<-acks                       // want `channel receive`
+	select {                     // want `select statement`
+	default:
+	}
+}
+
+var auditMu sync.Mutex // want `use of sync.Mutex`
+
+func audit() {
+	auditMu.Lock()         // want `use of sync.Lock`
+	defer auditMu.Unlock() // want `use of sync.Unlock`
+}
+
+// plain accounting is fine.
+func bound(lost, rolledBack int) bool { return lost <= rolledBack }

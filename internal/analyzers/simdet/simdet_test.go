@@ -8,5 +8,5 @@ import (
 )
 
 func TestSimdet(t *testing.T) {
-	analysistest.Run(t, "testdata", simdet.Analyzer, "sim", "engine", "other")
+	analysistest.Run(t, "testdata", simdet.Analyzer, "sim", "engine", "other", "chaos")
 }

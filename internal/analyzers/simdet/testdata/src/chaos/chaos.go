@@ -1,0 +1,25 @@
+// Fixture: the chaos soak harness is DES-scheduled — crash schedules
+// and workloads must replay byte-identically from a seed, so wall
+// clocks, the global rand state and private RNG minting are forbidden.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stampCrash() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}
+
+func jitterRestart() {
+	time.Sleep(time.Microsecond) // want `time.Sleep`
+	_ = rand.Int63n(60_000)      // want `global rand.Int63n`
+}
+
+func privateSchedule(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand.New` `rand.NewSource`
+}
+
+// drawing from a caller-supplied (sim.Env) RNG is the sanctioned shape.
+func scheduled(rng *rand.Rand, mean float64) float64 { return rng.ExpFloat64() * mean }

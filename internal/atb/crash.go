@@ -1,0 +1,104 @@
+package atb
+
+// Crash benchmark: a goodput-and-recovery-vs-crash-rate sweep over the
+// chaos soak harness. Each point runs the full crash–restart lifecycle
+// — seeded CrashPlan, session reconnection, HatKV crash-consistent
+// recovery — at one mean uptime, and reports the acked-write goodput
+// plus the distribution of client-visible recovery times (crash to
+// first post-crash ack).
+
+import (
+	"hatrpc/internal/chaos"
+	"hatrpc/internal/lmdb"
+	"hatrpc/internal/simnet"
+	"hatrpc/internal/stats"
+)
+
+// CrashBenchConfig parameterizes one crash-rate sweep.
+type CrashBenchConfig struct {
+	Seed           int64
+	Sync           lmdb.SyncMode
+	Workers        int
+	HorizonNs      int64   // crash schedule horizon (≈ measured window)
+	RestartDelayNs int64   // reboot time per crash
+	MeanUptimes    []int64 // mean uptimes to sweep, high (rare crashes) to low
+}
+
+// DefaultCrashBenchConfig sweeps from one crash every ~4ms down to one
+// every ~500µs over a 30ms window.
+func DefaultCrashBenchConfig() CrashBenchConfig {
+	return CrashBenchConfig{
+		Seed:           131,
+		Sync:           lmdb.SyncFull,
+		Workers:        3,
+		HorizonNs:      30_000_000,
+		RestartDelayNs: 120_000,
+		MeanUptimes:    []int64{4_000_000, 2_000_000, 1_000_000, 500_000},
+	}
+}
+
+// CrashPoint is one crash-rate measurement.
+type CrashPoint struct {
+	MeanUptimeNs int64
+	Crashes      int     // executed crash–restart cycles
+	Acked        int     // acknowledged writes
+	Lost         int     // acked writes lost (0 under SyncFull)
+	GoodputOps   float64 // acked writes per second of virtual time
+	RecovAvgNs   float64 // mean crash → first-subsequent-ack time
+	RecovP99Ns   float64
+	Replays      int64 // idempotent calls replayed across reconnects
+	Connects     int64 // session (re)connects
+	LostTxns     uint64
+}
+
+// RunCrash sweeps the configured mean uptimes, one independent seeded
+// soak per point.
+func RunCrash(cfg CrashBenchConfig) []CrashPoint {
+	out := make([]CrashPoint, 0, len(cfg.MeanUptimes))
+	for _, up := range cfg.MeanUptimes {
+		res := chaos.Soak(chaos.Config{
+			Seed:            cfg.Seed,
+			Sync:            cfg.Sync,
+			Workers:         cfg.Workers,
+			WritesPerWorker: int(cfg.HorizonNs / 200_000),
+			WritePaceNs:     220_000,
+			KeepaliveNs:     300_000,
+			Crash: simnet.CrashConfig{
+				Nodes:           []int{0},
+				MeanUptimeNs:    up,
+				MinUptimeNs:     150_000,
+				RestartDelayNs:  cfg.RestartDelayNs,
+				RestartJitterNs: 60_000,
+				HorizonNs:       cfg.HorizonNs,
+			},
+		})
+		var dur int64
+		for _, w := range res.Writes {
+			if int64(w.AckAt) > dur {
+				dur = int64(w.AckAt)
+			}
+		}
+		pt := CrashPoint{
+			MeanUptimeNs: up,
+			Crashes:      len(res.Crashes),
+			Acked:        res.Acked,
+			Lost:         res.Lost,
+			Replays:      res.SessionReplays,
+			Connects:     res.SessionConnects,
+			LostTxns:     res.StoreLostTxns,
+		}
+		if dur > 0 {
+			pt.GoodputOps = float64(res.Acked) / (float64(dur) / 1e9)
+		}
+		rec := &stats.Sample{}
+		for _, o := range res.Outages() {
+			rec.Add(float64(o))
+		}
+		if rec.N() > 0 {
+			pt.RecovAvgNs = rec.Mean()
+			pt.RecovP99Ns = rec.Percentile(99)
+		}
+		out = append(out, pt)
+	}
+	return out
+}

@@ -93,7 +93,7 @@ func (c *Conn) breakerObserve(p *sim.Proc, err error) {
 		}
 		return
 	}
-	if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDeadline) && !errors.Is(err, ErrPeerDown) {
+	if !IsUnavailable(err) {
 		return
 	}
 	b.fails++

@@ -32,6 +32,13 @@ type CallOpts struct {
 	// credits — the peer's RECV ring is full as far as this endpoint
 	// knows. No-op when flow control is off.
 	NoWait bool
+	// Idempotent marks the call safe to replay on a fresh connection
+	// after a session reconnect (Session.Call). The engine already
+	// executes at-most-once per connection via seq dedup; replaying
+	// across connections re-executes, and only the application knows
+	// whether that is safe. Non-idempotent calls interrupted by a
+	// reconnect fail with ErrSessionReset instead.
+	Idempotent bool
 }
 
 // hybridSwitch resolves a hybrid protocol against the rendezvous

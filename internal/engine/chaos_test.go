@@ -158,9 +158,9 @@ func TestChaosDeadlineExceededTyped(t *testing.T) {
 			env.Spawn("client", func(p *sim.Proc) {
 				c := cliEng.Dial(p, srvEng.Node(), "svc")
 				_, err := c.Call(p, 1, make([]byte, 64), CallOpts{Proto: proto, Busy: true})
-				switch err {
-				case ErrDeadline, ErrPeerDown:
-				default:
+				// Typed errors arrive wrapped with per-call context; only
+				// errors.Is (here via IsUnavailable) matches them.
+				if !IsUnavailable(err) {
 					t.Errorf("err = %v, want ErrDeadline or ErrPeerDown", err)
 				}
 				if p.Now() < 300_000 {
@@ -195,7 +195,7 @@ func TestChaosDeadlineNoServer(t *testing.T) {
 	env.Spawn("client", func(p *sim.Proc) {
 		c := cliEng.Dial(p, srvEng.Node(), "svc")
 		_, err := c.Call(p, 1, []byte("hello?"), CallOpts{Proto: EagerSendRecv, Busy: true, Deadline: 500_000})
-		if err != ErrDeadline {
+		if !errors.Is(err, ErrDeadline) {
 			t.Errorf("err = %v, want ErrDeadline", err)
 		}
 		env.Stop()

@@ -783,6 +783,31 @@ func (e *Engine) Dial(p *sim.Proc, target *simnet.Node, port string) *Conn {
 	return c
 }
 
+// TryDial is Dial with a bounded handshake: connecting to a down (or
+// just-rebooting) node fails with a wrapped ErrPeerDown instead of
+// blocking forever. until bounds the whole handshake in virtual time.
+// A fresh dial registers fresh MRs and exchanges fresh rkeys, so
+// re-dialing after a peer crash naturally re-registers everything the
+// old epoch invalidated. The half-built connection is closed on
+// failure so nothing leaks.
+func (e *Engine) TryDial(p *sim.Proc, target *simnet.Node, port string, until sim.Time) (*Conn, error) {
+	ep, err := e.node.TryConnect(p, target, port)
+	if err != nil {
+		return nil, fmt.Errorf("engine: dial node %d: %v: %w", target.ID(), err, ErrPeerDown)
+	}
+	c := e.newConn(false, &connShared{rndv: make(map[uint64]verbs.RKey)})
+	ep.Send(p, c.helloFor(), 256)
+	raw, ok := ep.RecvUntil(p, until)
+	if !ok {
+		// The server crashed (or the hello was addressed to a previous
+		// boot) before answering.
+		c.Close()
+		return nil, fmt.Errorf("engine: dial node %d: handshake timeout: %w", target.ID(), ErrPeerDown)
+	}
+	c.applyHello(raw.(*hello))
+	return c, nil
+}
+
 // ---------------------------------------------------------------------------
 // Event pump
 

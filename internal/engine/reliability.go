@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 
 	"hatrpc/internal/obs"
 	"hatrpc/internal/sim"
@@ -9,7 +10,9 @@ import (
 )
 
 // Typed call failures. A deadline-bounded call always returns one of
-// these (or succeeds); it never blocks forever.
+// these (or succeeds); it never blocks forever. The reliability layer
+// wraps these sentinels with per-call context, so callers must match
+// them with errors.Is (or IsUnavailable) — never with ==.
 var (
 	// ErrDeadline: the call's deadline expired before a response arrived.
 	// The transport looked healthy at expiry — the request or response
@@ -17,9 +20,19 @@ var (
 	ErrDeadline = errors.New("engine: call deadline exceeded")
 	// ErrPeerDown: the deadline expired with the connection's QP in the
 	// error state — the transport to the peer was failing at expiry
-	// (link flap, partition), not merely slow.
+	// (link flap, partition, peer crash), not merely slow.
 	ErrPeerDown = errors.New("engine: peer unreachable")
 )
+
+// IsUnavailable reports whether err is an availability-class failure —
+// ErrDeadline, ErrPeerDown or ErrOverloaded, wrapped or bare. These are
+// the errors that say "the peer, or the path to it, is unhealthy right
+// now": the circuit breaker counts them toward its trip threshold and
+// the session layer reacts to them; validation and typed application
+// errors are not in the class.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrPeerDown) || errors.Is(err, ErrOverloaded)
+}
 
 // Retry pacing. The backoff starts comfortably above the RC retry
 // timeout (so a dropped message has erred its QP before the first
@@ -170,9 +183,9 @@ func (c *Conn) failCall(seq uint32) error {
 		m.deadlineExceeded.Inc()
 	}
 	if c.qp.Errored() {
-		return ErrPeerDown
+		return fmt.Errorf("engine: seq %d: %w", seq, ErrPeerDown)
 	}
-	return ErrDeadline
+	return fmt.Errorf("engine: seq %d: %w", seq, ErrDeadline)
 }
 
 // abortCall reclaims the per-seq control state of a call that died

@@ -13,6 +13,11 @@ import (
 // charged explicitly via the process (e.g. node.CPU.Compute).
 type Handler func(p *sim.Proc, fn uint32, req []byte) []byte
 
+// FnKeepalive is the reserved function id session keepalive probes use.
+// Servers answer it header-only, bypassing dedup, admission control and
+// the application handler; applications must not use it.
+const FnKeepalive uint32 = 0xFFFFFFFF
+
 // ErrOverloaded is the typed failure a client receives when the server's
 // admission control shed its request. The rejection is header-only and
 // costs the server ~no CPU — the point of load shedding is that saying
@@ -157,10 +162,12 @@ type Server struct {
 }
 
 // Serve starts accepting connections for the named port, dispatching each
-// on its own simulation process.
+// on its own simulation process. The accept loop and dispatchers are
+// node-owned processes: they die (running their deferred cleanup) when
+// the node crashes, like any software on a machine losing power.
 func (e *Engine) Serve(port string, h Handler) *Server {
 	s := &Server{eng: e, ln: e.Listen(port), handler: h}
-	e.env.Spawn(fmt.Sprintf("engsrv-%d-%s", e.node.ID(), port), s.acceptLoop)
+	e.node.Spawn(fmt.Sprintf("engsrv-%d-%s", e.node.ID(), port), s.acceptLoop)
 	return s
 }
 
@@ -169,7 +176,7 @@ func (s *Server) acceptLoop(p *sim.Proc) {
 		c := s.ln.Accept(p)
 		c.SetNUMABound(s.NUMABind)
 		s.conns = append(s.conns, c)
-		s.eng.env.Spawn(fmt.Sprintf("%s-disp%d", p.Name(), i), func(dp *sim.Proc) {
+		s.eng.node.Spawn(fmt.Sprintf("%s-disp%d", p.Name(), i), func(dp *sim.Proc) {
 			s.dispatch(dp, c)
 		})
 	}
@@ -180,6 +187,16 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 	for {
 		a := c.NextArrival(p, s.Busy)
 		if a.Kind != kReq {
+			continue
+		}
+		if a.Fn == FnKeepalive {
+			// Session keepalive probe: answered header-only before dedup
+			// and admission — a probe must never be shed, and must not
+			// disturb the cached response of the last real request. The
+			// handler never sees it.
+			if a.RespProto != ProtoAuto {
+				c.SendResponse(p, a, nil, s.Busy)
+			}
 			continue
 		}
 		if c.dedupValid && a.Seq == c.dedupSeq {

@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"hatrpc/internal/obs"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// ErrSessionReset is returned by Session.Call when a reconnect
+// interrupted a non-idempotent call. The request may or may not have
+// executed on the server (the old connection died before the response
+// arrived), and replaying it on the fresh connection could execute it
+// twice — only the application knows whether that is safe, so it must
+// opt in per call with CallOpts.Idempotent.
+var ErrSessionReset = errors.New("engine: session reset (call may have executed)")
+
+// Session defaults, in virtual nanoseconds.
+const (
+	// DefaultSessionCallDeadline is applied to a session call when
+	// neither the call nor the engine configures a deadline: a session
+	// call must always fail typed, never block forever — the session's
+	// whole reason to exist is reacting to those typed failures.
+	DefaultSessionCallDeadline = sim.Duration(2_000_000)
+	// DefaultKeepaliveDeadline bounds one keepalive probe.
+	DefaultKeepaliveDeadline = sim.Duration(500_000)
+	// DefaultRedialBackoff paces reconnect attempts (doubling, capped).
+	DefaultRedialBackoff = sim.Duration(100_000)
+	redialBackoffCapNs   = sim.Duration(5_000_000)
+	// DefaultMaxRedials bounds one outage's reconnect attempts before
+	// Call gives up with ErrPeerDown.
+	DefaultMaxRedials = 10
+	// sessionHandshakeTimeoutNs bounds the hello exchange of one dial
+	// attempt (a server that crashed mid-handshake must not wedge the
+	// redial loop).
+	sessionHandshakeTimeoutNs = sim.Duration(1_000_000)
+)
+
+// SessionConfig tunes a Session. The zero value gets the defaults
+// above with keepalive probing disabled.
+type SessionConfig struct {
+	// KeepaliveInterval spaces idle-session liveness probes (reserved
+	// function FnKeepalive). Zero disables the prober; calls still
+	// detect peer death through their own typed failures.
+	KeepaliveInterval sim.Duration
+	// KeepaliveDeadline bounds one probe (default DefaultKeepaliveDeadline).
+	KeepaliveDeadline sim.Duration
+	// RedialBackoff is the initial wait between reconnect attempts,
+	// doubling up to an internal cap (default DefaultRedialBackoff).
+	RedialBackoff sim.Duration
+	// MaxRedials bounds reconnect attempts per outage (default
+	// DefaultMaxRedials).
+	MaxRedials int
+	// CallDeadline overrides DefaultSessionCallDeadline as the fallback
+	// per-call deadline.
+	CallDeadline sim.Duration
+}
+
+// SessionStats counts a session's lifecycle events.
+type SessionStats struct {
+	Connects int64 // successful dials (first connect included)
+	Replays  int64 // idempotent calls replayed on a fresh connection
+	Resets   int64 // non-idempotent calls failed with ErrSessionReset
+	Probes   int64 // keepalive probes issued
+}
+
+// Session is an epoch-numbered reconnecting RPC channel above Conn.
+// Where a Conn is one connection — dead the moment its peer crashes —
+// a Session survives peer restarts: a call failing with ErrPeerDown
+// tears the connection down and re-dials (fresh QPs, fresh MRs, fresh
+// rkeys against the peer's new boot epoch, a fresh closed breaker),
+// replaying the interrupted call if it was marked Idempotent and
+// failing it with ErrSessionReset otherwise. An optional keepalive
+// prober detects peer death on idle sessions and re-establishes
+// eagerly so the next call finds a live connection.
+//
+// A Session serializes its connection use with a simulation mutex
+// (Conn carries one outstanding call); concurrency comes from many
+// sessions, exactly as it comes from many conns.
+type Session struct {
+	eng    *Engine
+	target *simnet.Node
+	port   string
+	cfg    SessionConfig
+
+	mu    *sim.Mutex
+	conn  *Conn
+	epoch int64 // increments on every successful (re)connect
+	down  bool  // connection known dead; next use reconnects
+	shut  bool
+
+	stats SessionStats
+}
+
+// NewSession dials target:port and wraps the connection in a Session.
+// The initial dial runs through the same bounded redial loop as
+// reconnection, so dialing a currently-down node fails typed with
+// ErrPeerDown instead of blocking.
+func (e *Engine) NewSession(p *sim.Proc, target *simnet.Node, port string, cfg SessionConfig) (*Session, error) {
+	s := &Session{eng: e, target: target, port: port, cfg: cfg, mu: sim.NewMutex(e.env)}
+	s.mu.Lock(p)
+	err := s.ensureConn(p)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.startKeepalive()
+	return s, nil
+}
+
+// Epoch returns the session epoch: how many times the session has
+// (re)connected. The first successful dial is epoch 1.
+func (s *Session) Epoch() int64 { return s.epoch }
+
+// Stats returns the session's lifecycle counters.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// Conn exposes the current connection (nil between teardown and the
+// next reconnect) for inspection.
+func (s *Session) Conn() *Conn { return s.conn }
+
+// Close shuts the session down: the keepalive prober stops at its next
+// tick and the connection is released.
+func (s *Session) Close() {
+	s.shut = true
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	s.down = true
+}
+
+// Call performs one RPC over the session. On ErrPeerDown the session
+// tears the connection down and reconnects; the call is then replayed
+// if opts.Idempotent, and failed with ErrSessionReset otherwise. All
+// other outcomes (success, ErrOverloaded, ErrCircuitOpen, ErrDeadline,
+// validation errors) pass through unchanged — in particular a breaker
+// half-open probe that fails with ErrPeerDown is what converts the
+// breaker's recovery attempt into a session reconnect attempt.
+func (s *Session) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, error) {
+	if s.shut {
+		return nil, fmt.Errorf("engine: session to node %d: closed", s.target.ID())
+	}
+	if opts.Deadline == 0 && s.eng.cfg.CallDeadline == 0 {
+		// A session call must always fail typed rather than block
+		// forever on a dead peer.
+		if opts.Deadline = s.cfg.CallDeadline; opts.Deadline <= 0 {
+			opts.Deadline = DefaultSessionCallDeadline
+		}
+	}
+	s.mu.Lock(p)
+	defer s.mu.Unlock()
+	for {
+		if err := s.ensureConn(p); err != nil {
+			return nil, err
+		}
+		out, err := s.conn.Call(p, fn, req, opts)
+		if err == nil || !errors.Is(err, ErrPeerDown) {
+			return out, err
+		}
+		s.teardown(p)
+		if !opts.Idempotent {
+			s.stats.Resets++
+			return nil, fmt.Errorf("engine: session to node %d epoch %d: %v: %w",
+				s.target.ID(), s.epoch, err, ErrSessionReset)
+		}
+		s.stats.Replays++
+		s.eng.trc.Instant("session", "replay", s.eng.node.ID(), s.target.ID(),
+			int64(p.Now()), obs.Arg{K: "fn", V: fn}, obs.Arg{K: "epoch", V: s.epoch})
+	}
+}
+
+// ensureConn re-establishes the connection if it is down, pacing
+// attempts with doubling backoff. Called with s.mu held.
+func (s *Session) ensureConn(p *sim.Proc) error {
+	if s.conn != nil && !s.down {
+		return nil
+	}
+	backoff := s.cfg.RedialBackoff
+	if backoff <= 0 {
+		backoff = DefaultRedialBackoff
+	}
+	max := s.cfg.MaxRedials
+	if max <= 0 {
+		max = DefaultMaxRedials
+	}
+	var lastErr error
+	for i := 0; i < max; i++ {
+		if i > 0 {
+			p.Sleep(backoff)
+			backoff *= 2
+			if backoff > redialBackoffCapNs {
+				backoff = redialBackoffCapNs
+			}
+		}
+		c, err := s.eng.TryDial(p, s.target, s.port, p.Now()+sim.Time(sessionHandshakeTimeoutNs))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s.conn = c
+		s.down = false
+		s.epoch++
+		s.stats.Connects++
+		s.eng.trc.Instant("session", "connect", s.eng.node.ID(), s.target.ID(),
+			int64(p.Now()), obs.Arg{K: "epoch", V: s.epoch})
+		return nil
+	}
+	return fmt.Errorf("engine: session to node %d: %d redials failed (%v): %w",
+		s.target.ID(), max, lastErr, ErrPeerDown)
+}
+
+// teardown discards a connection whose peer is unreachable. Called
+// with s.mu held.
+func (s *Session) teardown(p *sim.Proc) {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	s.down = true
+	s.eng.trc.Instant("session", "teardown", s.eng.node.ID(), s.target.ID(),
+		int64(p.Now()), obs.Arg{K: "epoch", V: s.epoch})
+}
+
+// startKeepalive launches the liveness prober as a node-owned process
+// (it dies with the client node, like the session's user would). Each
+// tick sends one reserved-function probe when the session is idle; a
+// probe failing with ErrPeerDown tears the connection down and
+// immediately attempts to re-establish, so an idle session is usually
+// live again before its next real call.
+func (s *Session) startKeepalive() {
+	ivl := s.cfg.KeepaliveInterval
+	if ivl <= 0 {
+		return
+	}
+	dl := s.cfg.KeepaliveDeadline
+	if dl <= 0 {
+		dl = DefaultKeepaliveDeadline
+	}
+	s.eng.node.Spawn(fmt.Sprintf("session-ka-%d-%s", s.target.ID(), s.port), func(p *sim.Proc) {
+		for {
+			p.Sleep(ivl)
+			if s.shut {
+				return
+			}
+			if !s.mu.TryLock() {
+				continue // a call is in flight; it is its own liveness probe
+			}
+			if s.conn != nil && !s.down {
+				s.stats.Probes++
+				_, err := s.conn.Call(p, FnKeepalive, nil, CallOpts{Proto: EagerSendRecv, Deadline: dl})
+				if err != nil && errors.Is(err, ErrPeerDown) {
+					s.teardown(p)
+				}
+			}
+			if s.down && !s.shut {
+				// Eager re-establishment; failure leaves the session down
+				// for the next tick (or the next call) to retry.
+				_ = s.ensureConn(p) //nolint:errcheck
+			}
+			s.mu.Unlock()
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"hatrpc/internal/obs"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// sessionCluster builds a 2-node cluster whose server node re-creates
+// its engine and service from a restart hook — the full crash–restart
+// lifecycle a Session is built to survive. The returned getter yields
+// the server engine of the current boot.
+func sessionCluster(seed int64) (*sim.Env, *simnet.Cluster, *Engine, func() *Engine) {
+	env := sim.NewEnv(seed)
+	cl := simnet.NewCluster(env, simnet.Config{
+		Nodes: 2, Cores: 28, Sockets: 2, LinkGbps: 100, PropDelayNs: 600, NUMAPenalty: 1.25,
+	})
+	srvEng := New(cl.Node(0), DefaultConfig())
+	srvEng.Serve("svc", echoHandler)
+	cur := srvEng
+	cl.Node(0).SetRestart(func(p *sim.Proc) {
+		cur = New(cl.Node(0), DefaultConfig())
+		cur.Serve("svc", echoHandler)
+	})
+	cliEng := New(cl.Node(1), DefaultConfig())
+	return env, cl, cliEng, func() *Engine { return cur }
+}
+
+// TestSessionIdempotentReplayAcrossRestart is the lifecycle tentpole
+// test: a call interrupted by the server crashing is replayed on a
+// fresh connection to the server's next boot, invisibly to the caller.
+func TestSessionIdempotentReplayAcrossRestart(t *testing.T) {
+	env, cl, cliEng, _ := sessionCluster(101)
+	env.At(500_000, cl.Node(0).Crash)
+	env.At(700_000, cl.Node(0).Restart)
+	var s *Session
+	env.Spawn("client", func(p *sim.Proc) {
+		var err error
+		s, err = cliEng.NewSession(p, cl.Node(0).Cluster().Node(0), "svc", SessionConfig{})
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		resp, err := s.Call(p, 1, []byte("before"), CallOpts{Proto: EagerSendRecv, Busy: true, Idempotent: true})
+		if err != nil || string(resp) != "ECHObefore" {
+			t.Fatalf("pre-crash call: %q, %v", resp, err)
+		}
+		p.Sleep(800_000) // past the crash and the restart
+		resp, err = s.Call(p, 2, []byte("after"), CallOpts{Proto: EagerSendRecv, Busy: true, Idempotent: true})
+		if err != nil || string(resp) != "ECHOafter" {
+			t.Fatalf("post-restart call: %q, %v", resp, err)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if s.Epoch() != 2 {
+		t.Errorf("session epoch = %d, want 2 (one reconnect)", s.Epoch())
+	}
+	st := s.Stats()
+	if st.Connects != 2 || st.Replays == 0 || st.Resets != 0 {
+		t.Errorf("stats = %+v, want 2 connects, >0 replays, 0 resets", st)
+	}
+}
+
+// TestSessionNonIdempotentFailsReset: without the Idempotent opt-in a
+// reconnect-interrupted call must fail typed with ErrSessionReset — the
+// session does not know whether the old server executed it.
+func TestSessionNonIdempotentFailsReset(t *testing.T) {
+	env, cl, cliEng, _ := sessionCluster(103)
+	env.At(500_000, cl.Node(0).Crash)
+	env.At(700_000, cl.Node(0).Restart)
+	var s *Session
+	env.Spawn("client", func(p *sim.Proc) {
+		var err error
+		s, err = cliEng.NewSession(p, cl.Node(0), "svc", SessionConfig{})
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		p.Sleep(800_000)
+		_, err = s.Call(p, 1, []byte("transfer"), CallOpts{Proto: EagerSendRecv, Busy: true})
+		if !errors.Is(err, ErrSessionReset) {
+			t.Fatalf("err = %v, want ErrSessionReset", err)
+		}
+		// The session itself recovered: the next call runs on the fresh
+		// connection.
+		resp, err := s.Call(p, 2, []byte("again"), CallOpts{Proto: EagerSendRecv, Busy: true})
+		if err != nil || string(resp) != "ECHOagain" {
+			t.Fatalf("post-reset call: %q, %v", resp, err)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if st := s.Stats(); st.Resets != 1 || st.Replays != 0 {
+		t.Errorf("stats = %+v, want 1 reset, 0 replays", st)
+	}
+}
+
+// TestSessionKeepaliveReestablishesIdle: with probing enabled an idle
+// session detects the peer's crash and reconnects on its own — the
+// first call after a long idle period finds a live connection and
+// needs no replay.
+func TestSessionKeepaliveReestablishesIdle(t *testing.T) {
+	env, cl, cliEng, _ := sessionCluster(107)
+	env.At(1_000_000, cl.Node(0).Crash)
+	env.At(1_100_000, cl.Node(0).Restart)
+	var s *Session
+	env.Spawn("client", func(p *sim.Proc) {
+		var err error
+		s, err = cliEng.NewSession(p, cl.Node(0), "svc", SessionConfig{KeepaliveInterval: 200_000})
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		p.Sleep(4_000_000) // idle across the crash; the prober does the work
+		if s.Epoch() != 2 {
+			t.Errorf("epoch after idle recovery = %d, want 2", s.Epoch())
+		}
+		resp, err := s.Call(p, 1, []byte("hello"), CallOpts{Proto: EagerSendRecv, Busy: true})
+		if err != nil || string(resp) != "ECHOhello" {
+			t.Fatalf("post-recovery call: %q, %v", resp, err)
+		}
+		s.Close()
+		env.Stop()
+	})
+	env.Run()
+	st := s.Stats()
+	if st.Probes == 0 {
+		t.Error("keepalive prober never probed")
+	}
+	if st.Replays != 0 || st.Resets != 0 {
+		t.Errorf("idle recovery replayed/reset calls: %+v", st)
+	}
+	if st.Connects != 2 {
+		t.Errorf("connects = %d, want 2", st.Connects)
+	}
+}
+
+// TestSessionDialDownNodeFailsTyped: dialing a down node burns the
+// bounded redial budget and fails with ErrPeerDown instead of blocking
+// forever.
+func TestSessionDialDownNodeFailsTyped(t *testing.T) {
+	env, cl, cliEng, _ := sessionCluster(109)
+	env.At(100, cl.Node(0).Crash)
+	env.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(1000)
+		s, err := cliEng.NewSession(p, cl.Node(0), "svc", SessionConfig{MaxRedials: 3})
+		if !errors.Is(err, ErrPeerDown) {
+			t.Errorf("NewSession to down node: %v, want ErrPeerDown", err)
+		}
+		if s != nil {
+			t.Error("NewSession returned a session despite failing")
+		}
+		env.Stop()
+	})
+	env.Run()
+}
+
+// TestSessionKeepaliveProbeServed: the reserved-function probe is
+// answered by any engine server without touching its dedup state or the
+// application handler.
+func TestSessionKeepaliveProbeServed(t *testing.T) {
+	env, cl, cliEng, srv := sessionCluster(113)
+	var s *Session
+	env.Spawn("client", func(p *sim.Proc) {
+		var err error
+		s, err = cliEng.NewSession(p, cl.Node(0), "svc", SessionConfig{KeepaliveInterval: 150_000})
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		p.Sleep(1_000_000) // several probe ticks against a healthy server
+		resp, err := s.Call(p, 5, []byte("real"), CallOpts{Proto: EagerSendRecv, Busy: true})
+		if err != nil || string(resp) != "ECHOreal" {
+			t.Fatalf("call after probes: %q, %v", resp, err)
+		}
+		s.Close()
+		env.Stop()
+	})
+	env.Run()
+	if st := s.Stats(); st.Probes < 3 {
+		t.Errorf("probes = %d, want several over 1ms at 150µs interval", st.Probes)
+	}
+	if s.Epoch() != 1 {
+		t.Errorf("probing a healthy server changed the epoch to %d", s.Epoch())
+	}
+	_ = srv
+}
+
+// TestBreakerHalfOpenProbeTimeout is the regression test for the
+// half-open → QP-recover path: when the breaker's half-open probe
+// itself times out, the gate must still have recovered the errored QP
+// before the attempt (so the probe really touched the wire), and the
+// failed probe must re-open the breaker with a doubled cooldown.
+func TestBreakerHalfOpenProbeTimeout(t *testing.T) {
+	env := sim.NewEnv(127)
+	cl := simnet.NewCluster(env, simnet.Config{
+		Nodes: 2, Cores: 28, Sockets: 2, LinkGbps: 100, PropDelayNs: 600, NUMAPenalty: 1.25,
+	})
+	cl.InstallFaults(simnet.FaultConfig{DropProb: 1.0}) // nothing gets through, ever
+	cfg := DefaultConfig()
+	cfg.CallDeadline = 300_000
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = 1_000_000
+	srvEng := New(cl.Node(0), cfg)
+	cliEng := New(cl.Node(1), cfg)
+	reg := obs.NewRegistry()
+	cliEng.SetObs(reg)
+	srvEng.Serve("svc", echoHandler)
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		// Two availability-class failures trip the threshold-2 breaker.
+		for i := 0; i < 2; i++ {
+			if _, err := c.Call(p, uint32(i), []byte("x"), CallOpts{Proto: EagerSendRecv, Busy: true}); !IsUnavailable(err) {
+				t.Fatalf("call %d: %v, want unavailable", i, err)
+			}
+		}
+		if c.brk.state != brkOpen {
+			t.Fatalf("breaker state = %d, want open", c.brk.state)
+		}
+		if _, err := c.Call(p, 2, []byte("x"), CallOpts{Proto: EagerSendRecv, Busy: true}); !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("open-state err = %v, want ErrCircuitOpen", err)
+		}
+		recovBefore := reg.Counter("engine.qp_recoveries").Value()
+		errored := c.qp.Errored()
+		p.Sleep(1_200_000) // past the cooldown: next call is the probe
+		_, err := c.Call(p, 3, []byte("probe"), CallOpts{Proto: EagerSendRecv, Busy: true})
+		if !IsUnavailable(err) {
+			t.Fatalf("probe err = %v, want unavailable (it was admitted, and it timed out)", err)
+		}
+		if errored && reg.Counter("engine.qp_recoveries").Value() <= recovBefore {
+			t.Error("half-open gate did not recover the errored QP before the probe")
+		}
+		// Failed probe: back to open with the cooldown doubled.
+		if c.brk.state != brkOpen {
+			t.Errorf("post-probe breaker state = %d, want open", c.brk.state)
+		}
+		if c.brk.cooldown != 2*c.brk.base {
+			t.Errorf("post-probe cooldown = %d, want doubled base %d", c.brk.cooldown, 2*c.brk.base)
+		}
+		if _, err := c.Call(p, 4, []byte("x"), CallOpts{Proto: EagerSendRecv, Busy: true}); !errors.Is(err, ErrCircuitOpen) {
+			t.Errorf("after failed probe: %v, want ErrCircuitOpen", err)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if got := cliEng.BreakerOpens(); got != 2 {
+		t.Errorf("BreakerOpens = %d, want 2 (trip + failed probe)", got)
+	}
+}

@@ -53,6 +53,12 @@ type Store struct {
 	writeMu *sim.Mutex
 	// Tuned records whether hint-driven backend tuning was applied.
 	Tuned bool
+
+	// Crash-recovery accounting (DESIGN.md §12): a Store is durable
+	// media — it survives its node's crashes, rolling back to the last
+	// fsynced root each time.
+	Recoveries int64  // node crashes survived
+	LostTxns   uint64 // cumulative committed transactions rolled back
 }
 
 var _ kvgen.HatKVHandler = (*Store)(nil)
@@ -87,13 +93,37 @@ func NewStore(node *simnet.Node, sh *trdma.ServiceHints, costs *BackendCosts) (*
 	if costs != nil {
 		c = *costs
 	}
-	return &Store{
+	s := &Store{
 		node:    node,
 		env:     env,
 		costs:   c,
 		writeMu: sim.NewMutex(node.Cluster().Env()),
 		Tuned:   tuned,
-	}, nil
+	}
+	// Durable media survives power loss: arm the crash hook that rolls
+	// the backend to its durable root when the node dies.
+	s.arm()
+	return s, nil
+}
+
+// arm registers the crash hook. Crash hooks are cleared each time they
+// run (per-boot state like the NIC registers fresh ones on restart);
+// the store re-arms itself from inside the hook so it survives every
+// subsequent life of the node.
+func (s *Store) arm() { s.node.OnCrash(s.crash) }
+
+// crash models what the storage medium experiences at power loss:
+// commits beyond the last fsynced meta root vanish, in-flight
+// transactions die with their processes, and the env reopens from the
+// durable root per the active SyncMode.
+func (s *Store) crash() {
+	s.LostTxns += s.env.CrashRecover()
+	s.Recoveries++
+	// Killed dispatchers ran their deferred Unlocks, but recreate the
+	// mutex anyway so no waiter from the previous life leaks into the
+	// next boot's serialization.
+	s.writeMu = sim.NewMutex(s.node.Cluster().Env())
+	s.arm()
 }
 
 // Env exposes the LMDB environment (for preloading and inspection).
@@ -135,23 +165,32 @@ func (s *Store) Get(p *sim.Proc, key string) ([]byte, error) {
 
 // Put implements HatKV.Put.
 func (s *Store) Put(p *sim.Proc, key string, value []byte) error {
+	_, err := s.PutTxn(p, key, value)
+	return err
+}
+
+// PutTxn is Put returning the id of the committing transaction, for
+// callers that must correlate an acknowledgement with the store version
+// containing it (the chaos soak's history checker: an acked SyncFull
+// write is lost exactly when a later crash rolls back past its txn id).
+func (s *Store) PutTxn(p *sim.Proc, key string, value []byte) (uint64, error) {
 	s.writeMu.Lock(p)
 	defer s.writeMu.Unlock()
 	s.charge(p, float64(s.costs.BeginTxnNs))
 	txn, err := s.env.BeginWrite()
 	if err != nil {
-		return &kvgen.KVError{Message: err.Error()}
+		return 0, &kvgen.KVError{Message: err.Error()}
 	}
 	if err := txn.Put([]byte(key), value); err != nil {
 		txn.Abort()
-		return &kvgen.KVError{Message: err.Error()}
+		return 0, &kvgen.KVError{Message: err.Error()}
 	}
 	s.charge(p, float64(s.costs.InsertNs)+float64(len(value))*s.costs.CopyPerByte)
 	if err := txn.Commit(); err != nil {
-		return &kvgen.KVError{Message: err.Error()}
+		return 0, &kvgen.KVError{Message: err.Error()}
 	}
 	s.commitCharge(p)
-	return nil
+	return txn.ID(), nil
 }
 
 // MultiGet implements HatKV.MultiGet: one snapshot for the whole batch.

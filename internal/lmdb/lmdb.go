@@ -61,6 +61,8 @@ type Stats struct {
 	SyncedCommits int64
 	PagesCopied   int64 // COW node copies (a proxy for write amplification)
 	Entries       int64
+	Flushes       int64 // explicit Flush calls
+	Recoveries    int64 // CrashRecover reopenings
 }
 
 // Env is a database environment.
@@ -72,6 +74,15 @@ type Env struct {
 	writer  bool
 	closed  bool
 	Stats   Stats
+
+	// The durable meta root: what a crash rolls back to. Under SyncFull
+	// every commit advances it; under SyncMeta it trails the live root
+	// by one commit (the meta page is synced but the data pages of the
+	// newest commit may still be in the page cache); under NoSync it
+	// stays wherever the last synced commit (or Flush) left it.
+	durableRoot    *node
+	durableTxnID   uint64
+	durableEntries int64
 }
 
 // Open creates an environment.
@@ -362,12 +373,22 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 	e.writer = false
+	prevRoot, prevTxnID, prevEntries := e.root, e.txnID, e.Stats.Entries
 	e.root = t.root
 	e.txnID = t.id
 	e.Stats.Commits++
 	e.Stats.Entries += t.size
-	if e.opt.Sync != NoSync {
+	switch e.opt.Sync {
+	case SyncFull:
 		e.Stats.SyncedCommits++
+		e.durableRoot, e.durableTxnID, e.durableEntries = e.root, e.txnID, e.Stats.Entries
+	case SyncMeta:
+		// Meta synced, data pages possibly not: the previous commit is
+		// the newest state guaranteed to survive a crash.
+		e.Stats.SyncedCommits++
+		if prevTxnID > e.durableTxnID {
+			e.durableRoot, e.durableTxnID, e.durableEntries = prevRoot, prevTxnID, prevEntries
+		}
 	}
 	return nil
 }
@@ -388,6 +409,43 @@ func (t *Txn) Abort() {
 
 // Entries returns the committed entry count.
 func (e *Env) Entries() int64 { return e.Stats.Entries }
+
+// TxnID returns the id of the last committed transaction.
+func (e *Env) TxnID() uint64 { return e.txnID }
+
+// DurableTxnID returns the id of the newest transaction guaranteed to
+// survive a crash (the fsynced meta root).
+func (e *Env) DurableTxnID() uint64 { return e.durableTxnID }
+
+// Flush forces a full sync regardless of the sync mode (LMDB's
+// mdb_env_sync): everything committed so far becomes durable.
+func (e *Env) Flush() error {
+	if e.closed {
+		return ErrEnvClosed
+	}
+	e.durableRoot, e.durableTxnID, e.durableEntries = e.root, e.txnID, e.Stats.Entries
+	e.Stats.Flushes++
+	return nil
+}
+
+// CrashRecover models abrupt process death plus reopen: commits beyond
+// the last fsynced meta root are lost (how many depends on the sync
+// mode in effect when they committed), live transactions vanish with
+// the process, and the environment reopens from the durable root. It
+// returns the number of committed transactions rolled back. Activity
+// counters in Stats are process-lifetime observability and are
+// deliberately not rolled back; Entries is state and is.
+func (e *Env) CrashRecover() (lostTxns uint64) {
+	lostTxns = e.txnID - e.durableTxnID
+	e.root = e.durableRoot
+	e.txnID = e.durableTxnID
+	e.Stats.Entries = e.durableEntries
+	e.readers = 0
+	e.writer = false
+	e.closed = false
+	e.Stats.Recoveries++
+	return lostTxns
+}
 
 // ---------------------------------------------------------------------------
 // Cursor

@@ -257,6 +257,28 @@ func (e *Env) RunUntil(limit Time) Time {
 // Stop halts the scheduler after the current event completes.
 func (e *Env) Stop() { e.stopped = true }
 
+// Kill terminates process p immediately: its goroutine unwinds under
+// Goexit (running its defers) and any pending timer wakeup is
+// cancelled. The caller — a scheduler callback or another process —
+// blocks until p has fully unwound, so the one-process-at-a-time
+// invariant holds through the teardown (this is the same join Shutdown
+// performs, for a single process mid-run). Killing an already-finished
+// process is a no-op; a process cannot kill itself.
+func (e *Env) Kill(p *Proc) {
+	if p == nil || p.done || e.shut {
+		return
+	}
+	if p == e.current {
+		panic("sim: process cannot Kill itself")
+	}
+	p.done = true
+	e.nprocs--
+	e.cancel(p.wake)
+	p.wake = nil
+	close(p.kill)
+	<-p.exited
+}
+
 // Shutdown terminates every goroutine still parked in the environment so
 // the simulation's memory can be reclaimed. Processes are torn down one
 // at a time: each goroutine is released, runs its deferred cleanup under
@@ -320,24 +342,70 @@ func (s *Signal) TryConsume() bool {
 	return false
 }
 
-// Fire wakes the oldest waiter, or records a pending fire if none waits.
-// It may be called from a process or from a scheduler callback.
-func (s *Signal) Fire() {
-	if len(s.waiters) == 0 {
-		s.pending++
-		return
+// WaitUntil parks the process until a Fire is delivered or virtual time
+// reaches the absolute deadline until, whichever comes first. It reports
+// whether a fire was consumed (false means timeout). Fire cancels the
+// waiter's deadline timer before waking it, so exactly one of the two
+// wakeup paths ever resumes the process.
+func (s *Signal) WaitUntil(p *Proc, until Time) bool {
+	if s.pending > 0 {
+		s.pending--
+		p.Yield()
+		return true
 	}
-	w := s.waiters[0]
-	s.waiters = s.waiters[1:]
-	s.env.schedule(s.env.now, w, nil)
+	if s.env.now >= until {
+		return false
+	}
+	s.waiters = append(s.waiters, p)
+	p.wake = s.env.schedule(until, p, nil)
+	p.park()
+	if p.wake == nil {
+		return true // Fire consumed the timer and woke us
+	}
+	p.wake = nil
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			break
+		}
+	}
+	return false
 }
 
-// Broadcast wakes every currently-waiting process (it does not add
+// Fire wakes the oldest live waiter, or records a pending fire if none
+// waits. It may be called from a process or from a scheduler callback.
+// Waiters killed while parked are skipped so a fire is never lost to a
+// dead process.
+func (s *Signal) Fire() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.done {
+			continue
+		}
+		if w.wake != nil { // timed waiter: disarm its deadline
+			s.env.cancel(w.wake)
+			w.wake = nil
+		}
+		s.env.schedule(s.env.now, w, nil)
+		return
+	}
+	s.pending++
+}
+
+// Broadcast wakes every currently-waiting live process (it does not add
 // pending fires).
 func (s *Signal) Broadcast() {
 	ws := s.waiters
 	s.waiters = nil
 	for _, w := range ws {
+		if w.done {
+			continue
+		}
+		if w.wake != nil {
+			s.env.cancel(w.wake)
+			w.wake = nil
+		}
 		s.env.schedule(s.env.now, w, nil)
 	}
 }
@@ -374,6 +442,21 @@ func (q *Queue[T]) Pop(p *Proc) T {
 	v := q.items[0]
 	q.items = q.items[1:]
 	return v
+}
+
+// PopUntil is Pop with a virtual-time bound: it removes and returns the
+// oldest item, or reports ok=false if the queue is still empty when the
+// clock reaches the absolute deadline until.
+func (q *Queue[T]) PopUntil(p *Proc, until Time) (T, bool) {
+	var zero T
+	for len(q.items) == 0 {
+		if !q.sig.WaitUntil(p, until) {
+			return zero, false
+		}
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
 }
 
 // TryPop removes the oldest item without blocking.

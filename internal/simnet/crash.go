@@ -1,0 +1,128 @@
+// Crash scheduling for the simulated cluster. A CrashPlan is a
+// deterministic, seeded crash–restart schedule installed on a Cluster:
+// each eligible node alternates exponentially-distributed uptime windows
+// with a (jittered) restart delay. At a crash time the node's processes
+// are killed, its in-flight messages dropped and its crash hooks run
+// (Node.Crash); after the restart delay its restart hook re-provisions
+// it (Node.Restart).
+//
+// Determinism: the whole schedule is drawn eagerly at InstallCrashes
+// from sim.Env.Rand() in node-ID order, so one seed yields one
+// reproducible sequence of CrashEvents and two same-seed runs are
+// byte-identical. A config that enables nothing draws nothing.
+package simnet
+
+import (
+	"math"
+
+	"hatrpc/internal/obs"
+	"hatrpc/internal/sim"
+)
+
+// CrashConfig describes the crash–restart schedule. The zero value
+// schedules nothing (and draws no randomness).
+type CrashConfig struct {
+	// Nodes lists the node IDs subject to crashes (empty = none).
+	Nodes []int
+	// MeanUptimeNs is the mean of the exponential uptime between a
+	// (re)boot and the next crash. Zero disables crashing.
+	MeanUptimeNs int64
+	// MinUptimeNs is added to every drawn uptime so a node always gets a
+	// minimum window to come back and make progress.
+	MinUptimeNs int64
+	// RestartDelayNs is the fixed reboot time; RestartJitterNs adds a
+	// uniform extra in [0, RestartJitterNs).
+	RestartDelayNs  int64
+	RestartJitterNs int64
+	// HorizonNs bounds the schedule: no crash is scheduled at or beyond
+	// this virtual time (restarts may land past it so no node stays dead
+	// forever). Required when crashing is enabled.
+	HorizonNs int64
+}
+
+// enabled reports whether the config schedules any crash at all.
+func (cfg CrashConfig) enabled() bool {
+	return cfg.MeanUptimeNs > 0 && cfg.HorizonNs > 0 && len(cfg.Nodes) > 0
+}
+
+// CrashEvent is one scheduled crash–restart cycle.
+type CrashEvent struct {
+	Node   int
+	At     sim.Time // crash instant
+	BackUp sim.Time // restart instant (At + delay + jitter)
+}
+
+// CrashPlan is an installed crash schedule. Obtain one with
+// Cluster.InstallCrashes; inspect the drawn schedule with Events.
+type CrashPlan struct {
+	env    *sim.Env
+	cfg    CrashConfig
+	events []CrashEvent
+
+	// Counters are nil-safe; SetObs attaches them.
+	crashes  *obs.Counter // crash events executed
+	restarts *obs.Counter // restart events executed
+}
+
+// InstallCrashes draws the full crash–restart schedule from the
+// environment's seeded RNG (per node, in the order given by cfg.Nodes)
+// and arms it on the scheduler. The returned plan reports the schedule
+// and execution counters; a disabled config returns an empty plan and
+// arms nothing.
+func (c *Cluster) InstallCrashes(cfg CrashConfig) *CrashPlan {
+	cp := &CrashPlan{env: c.env, cfg: cfg}
+	if !cfg.enabled() {
+		return cp
+	}
+	rng := c.env.Rand()
+	for _, id := range cfg.Nodes {
+		node := c.nodes[id]
+		t := int64(c.env.Now())
+		for {
+			up := cfg.MinUptimeNs + int64(rng.ExpFloat64()*float64(cfg.MeanUptimeNs))
+			if up < 1 || up > math.MaxInt64-t {
+				up = cfg.MeanUptimeNs + cfg.MinUptimeNs
+			}
+			t += up
+			if t >= cfg.HorizonNs {
+				break
+			}
+			delay := cfg.RestartDelayNs
+			if cfg.RestartJitterNs > 0 {
+				delay += rng.Int63n(cfg.RestartJitterNs)
+			}
+			ev := CrashEvent{Node: id, At: sim.Time(t), BackUp: sim.Time(t + delay)}
+			cp.events = append(cp.events, ev)
+			cp.arm(node, ev)
+			t += delay
+		}
+	}
+	return cp
+}
+
+// arm schedules one crash–restart cycle on the event loop.
+func (cp *CrashPlan) arm(node *Node, ev CrashEvent) {
+	cp.env.At(ev.At, func() {
+		node.Crash()
+		cp.crashes.Inc()
+	})
+	cp.env.At(ev.BackUp, func() {
+		node.Restart()
+		cp.restarts.Inc()
+	})
+}
+
+// Events returns the drawn schedule in arming order (per node, then
+// chronological within a node).
+func (cp *CrashPlan) Events() []CrashEvent { return cp.events }
+
+// SetObs attaches crash/restart counters (simnet.crashes,
+// simnet.restarts) to the plan. Pass nil to detach.
+func (cp *CrashPlan) SetObs(r *obs.Registry) {
+	if r == nil {
+		cp.crashes, cp.restarts = nil, nil
+		return
+	}
+	cp.crashes = r.Counter("simnet.crashes")
+	cp.restarts = r.Counter("simnet.restarts")
+}

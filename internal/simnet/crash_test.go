@@ -1,0 +1,203 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"hatrpc/internal/sim"
+)
+
+// TestCrashKillsNodeOwnedProcs: a crash kills exactly the node's
+// processes (their defers run) and leaves other nodes' processes alive.
+func TestCrashKillsNodeOwnedProcs(t *testing.T) {
+	env, cl := cluster(11)
+	n0, n1 := cl.Node(0), cl.Node(1)
+	var died, survived bool
+	n0.Spawn("victim", func(p *sim.Proc) {
+		defer func() { died = true }()
+		p.Sleep(1_000_000)
+	})
+	n1.Spawn("bystander", func(p *sim.Proc) {
+		p.Sleep(500)
+		survived = true
+	})
+	env.At(1000, n0.Crash)
+	env.Run()
+	if !died {
+		t.Error("node-owned process's defer did not run at crash")
+	}
+	if !survived {
+		t.Error("other node's process was killed")
+	}
+	if !n0.Down() || n0.Epoch() != 1 {
+		t.Errorf("after crash: down=%v epoch=%d, want true/1", n0.Down(), n0.Epoch())
+	}
+}
+
+// TestCrashRunsHooksAndAllowsRearm: crash hooks run in registration
+// order, are cleared, and a hook may re-register itself (durable media
+// surviving multiple crashes).
+func TestCrashRunsHooksAndAllowsRearm(t *testing.T) {
+	env, cl := cluster(12)
+	n := cl.Node(0)
+	var order []string
+	n.OnCrash(func() { order = append(order, "nic") })
+	var rearm func()
+	rearm = func() {
+		order = append(order, "store")
+		n.OnCrash(rearm)
+	}
+	n.OnCrash(rearm)
+	env.At(100, n.Crash)
+	env.At(200, n.Restart)
+	env.At(300, n.Crash)
+	env.Run()
+	want := fmt.Sprintf("%v", []string{"nic", "store", "store"})
+	if got := fmt.Sprintf("%v", order); got != want {
+		t.Errorf("hook order = %v, want %v", got, want)
+	}
+}
+
+// TestCrashDropsInFlightOOBMessages: a message sent before the crash
+// must not be delivered to the next boot of the node.
+func TestCrashDropsInFlightOOBMessages(t *testing.T) {
+	env, cl := cluster(13)
+	n0, n1 := cl.Node(0), cl.Node(1)
+	var got []any
+	n0.Spawn("server", func(p *sim.Proc) {
+		ln := n0.Listen("svc")
+		ep := ln.Accept(p)
+		for {
+			got = append(got, ep.Recv(p))
+		}
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		ep := n1.Connect(p, n0, "svc") // ~90µs handshake
+		ep.Send(p, "before", 64)       // delivered ~15µs later
+		p.Sleep(200_000)
+		ep.Send(p, "in-flight", 64) // crash lands while this is in the fabric
+	})
+	env.At(295_000, n0.Crash)
+	env.Run()
+	if len(got) != 1 || got[0] != "before" {
+		t.Errorf("delivered %v, want only [before]", got)
+	}
+}
+
+// TestTryConnectDownNode: connecting to a crashed node fails typed
+// (after paying the connect delay); after restart with a listener it
+// succeeds again.
+func TestTryConnectDownNode(t *testing.T) {
+	env, cl := cluster(14)
+	n0, n1 := cl.Node(0), cl.Node(1)
+	n0.Listen("svc")
+	n0.SetRestart(func(p *sim.Proc) {
+		ln := n0.Listen("svc")
+		ln.Accept(p)
+	})
+	env.At(50, n0.Crash)
+	env.At(200_000, n0.Restart)
+	var downErr, upErr error
+	env.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(100)
+		_, downErr = n1.TryConnect(p, n0, "svc") // ~90µs later: still down
+		p.Sleep(200_000)
+		_, upErr = n1.TryConnect(p, n0, "svc") // well past the restart
+		env.Stop()
+	})
+	env.Run()
+	if downErr != ErrNodeDown {
+		t.Errorf("connect to down node: %v, want ErrNodeDown", downErr)
+	}
+	if upErr != nil {
+		t.Errorf("connect after restart: %v, want success", upErr)
+	}
+}
+
+// TestCrashPlanDeterministic: two same-seed clusters draw byte-identical
+// crash schedules, and the counters report every armed event executed.
+func TestCrashPlanDeterministic(t *testing.T) {
+	draw := func(seed int64) ([]CrashEvent, int) {
+		env := sim.NewEnv(seed)
+		cl := NewCluster(env, DefaultConfig())
+		plan := cl.InstallCrashes(CrashConfig{
+			Nodes:           []int{0, 2, 4},
+			MeanUptimeNs:    2_000_000,
+			MinUptimeNs:     200_000,
+			RestartDelayNs:  300_000,
+			RestartJitterNs: 100_000,
+			HorizonNs:       20_000_000,
+		})
+		env.Spawn("horizon", func(p *sim.Proc) {
+			p.Sleep(25_000_000)
+			env.Stop()
+		})
+		env.Run()
+		return plan.Events(), len(plan.Events())
+	}
+	a, na := draw(99)
+	b, nb := draw(99)
+	if na == 0 {
+		t.Fatal("schedule drew no events")
+	}
+	if na != nb {
+		t.Fatalf("same seed drew %d vs %d events", na, nb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for _, ev := range a {
+		if ev.At >= sim.Time(20_000_000) {
+			t.Errorf("crash at %d beyond horizon", ev.At)
+		}
+		if ev.BackUp <= ev.At {
+			t.Errorf("restart %d not after crash %d", ev.BackUp, ev.At)
+		}
+	}
+}
+
+// TestCrashPlanDisabledDrawsNothing: a zero config must not consume
+// randomness (it would perturb every seeded run that merely links the
+// feature).
+func TestCrashPlanDisabledDrawsNothing(t *testing.T) {
+	env := sim.NewEnv(7)
+	cl := NewCluster(env, DefaultConfig())
+	before := env.Rand().Int63()
+	env2 := sim.NewEnv(7)
+	cl2 := NewCluster(env2, DefaultConfig())
+	plan := cl2.InstallCrashes(CrashConfig{})
+	if len(plan.Events()) != 0 {
+		t.Fatalf("disabled config drew %d events", len(plan.Events()))
+	}
+	after := env2.Rand().Int63()
+	if before != after {
+		t.Error("disabled InstallCrashes consumed randomness")
+	}
+	_ = cl
+}
+
+// TestRestartSpawnsHookAndClearsDown: Restart leaves the node usable
+// and runs the restart hook as a node-owned process (killed by the
+// next crash).
+func TestRestartSpawnsHookAndClearsDown(t *testing.T) {
+	env, cl := cluster(15)
+	n := cl.Node(0)
+	boots := 0
+	n.SetRestart(func(p *sim.Proc) {
+		boots++
+		p.Sleep(1_000_000) // still running at the next crash
+	})
+	env.At(100, n.Crash)
+	env.At(200, n.Restart)
+	env.At(300, n.Crash)
+	env.At(400, n.Restart)
+	env.Run()
+	if boots != 2 {
+		t.Errorf("restart hook ran %d times, want 2", boots)
+	}
+	if n.Down() || n.Epoch() != 2 {
+		t.Errorf("after two cycles: down=%v epoch=%d, want false/2", n.Down(), n.Epoch())
+	}
+}

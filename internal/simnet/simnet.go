@@ -11,10 +11,21 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 
 	"hatrpc/internal/sim"
 )
+
+// ErrNodeDown reports a connection attempt to a node that is currently
+// crashed (or whose listener vanished with a crash).
+var ErrNodeDown = errors.New("simnet: node is down")
+
+// ErrNoListener reports a connection attempt to a port nobody listens
+// on. On a healthy static cluster this is a configuration error (Connect
+// panics); during crash–restart churn it is an expected transient state
+// (TryConnect returns it).
+var ErrNoListener = errors.New("simnet: no listener on port")
 
 // Config describes the simulated cluster hardware. The defaults mirror
 // the paper's testbed (§5.1): 10 nodes, 28-core Skylake, ConnectX-5
@@ -98,6 +109,15 @@ type Node struct {
 	RX      *BandwidthGate // NIC receive serialization
 
 	listeners map[string]*sim.Queue[*Endpoint]
+
+	// Crash–restart lifecycle (DESIGN.md §12). epoch counts boots: it
+	// increments on every crash, so messages and rkeys minted in an
+	// earlier life of the node can be recognized as stale.
+	down    bool
+	epoch   uint64
+	procs   []*sim.Proc       // live processes owned by this node
+	onCrash []func()          // device/store teardown hooks, run in registration order
+	restart func(p *sim.Proc) // re-provisioning hook, run after the restart delay
 }
 
 // ID returns the node index.
@@ -105,6 +125,76 @@ func (n *Node) ID() int { return n.id }
 
 // Cluster returns the owning cluster.
 func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down }
+
+// Epoch returns the node's boot epoch (0 for the first life, incremented
+// by every crash).
+func (n *Node) Epoch() uint64 { return n.epoch }
+
+// Spawn starts fn as a simulation process owned by this node: when the
+// node crashes, the process is killed (its defers run). All processes
+// that model software running on a node must be spawned through this —
+// a bare env.Spawn survives the machine losing power, which no software
+// does.
+func (n *Node) Spawn(name string, fn func(p *sim.Proc)) *sim.Proc {
+	pr := n.cluster.env.Spawn(name, fn)
+	n.procs = append(n.procs, pr)
+	return pr
+}
+
+// OnCrash registers a teardown hook run when the node crashes, after its
+// processes have been killed. Hooks model hardware/state consequences of
+// power loss: the NIC invalidating its protection state, the store
+// rolling volatile pages back to the durable root.
+func (n *Node) OnCrash(fn func()) { n.onCrash = append(n.onCrash, fn) }
+
+// SetRestart installs the re-provisioning hook: it runs as a fresh
+// process once the restart delay elapses, and is expected to rebuild the
+// node's software stack (device, engine, server) from scratch.
+func (n *Node) SetRestart(fn func(p *sim.Proc)) { n.restart = fn }
+
+// Crash models an abrupt power loss: every node-owned process is killed
+// (deferred cleanup runs), crash hooks fire, and the node's listeners
+// vanish so in-flight and future connection attempts fail. Messages
+// already in the fabric addressed to (or sent by) this boot epoch are
+// dropped on delivery. Idempotent while down. Must not be called from a
+// process owned by this node (a process cannot kill itself).
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.epoch++
+	env := n.cluster.env
+	for _, pr := range n.procs {
+		env.Kill(pr)
+	}
+	n.procs = nil
+	// Snapshot-and-clear before running: hooks for per-boot state (the
+	// NIC) die with the boot, while durable media (a store) re-register
+	// themselves from inside their hook to survive into the next life.
+	hooks := n.onCrash
+	n.onCrash = nil
+	for _, fn := range hooks {
+		fn()
+	}
+	n.listeners = make(map[string]*sim.Queue[*Endpoint])
+}
+
+// Restart brings a crashed node back up and runs its restart hook (if
+// any) as a new node-owned process. A no-op if the node is not down.
+func (n *Node) Restart() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	if n.restart != nil {
+		fn := n.restart
+		n.Spawn(fmt.Sprintf("restart-%d", n.id), fn)
+	}
+}
 
 // NUMAWork scales a CPU work amount for NUMA placement: bound tasks run
 // at 1×, unbound tasks on a multi-socket node pay the remote-socket
@@ -264,18 +354,36 @@ func (l *Listener) Accept(p *sim.Proc) *Endpoint { return l.q.Pop(p) }
 
 // Connect establishes an OOB connection from node n to the named port on
 // the target node, blocking p for the handshake latency. It panics if the
-// port has no listener registered (a configuration error in tests).
+// target is down or the port has no listener registered (a configuration
+// error on a static cluster; crash-aware callers use TryConnect).
 func (n *Node) Connect(p *sim.Proc, target *Node, port string) *Endpoint {
+	ep, err := n.TryConnect(p, target, port)
+	if err != nil {
+		panic(fmt.Sprintf("simnet: connect to node %d port %q: %v", target.id, port, err))
+	}
+	return ep
+}
+
+// TryConnect is Connect for a fabric where the target may be crashed: it
+// returns ErrNodeDown or ErrNoListener instead of panicking. The
+// handshake latency is paid before the outcome is known (SYN goes out
+// either way), and a target that crashes mid-handshake orphans the
+// half-open connection — the pushed accept endpoint lands in a listener
+// queue that died with the node.
+func (n *Node) TryConnect(p *sim.Proc, target *Node, port string) (*Endpoint, error) {
+	p.Sleep(oobConnectDelay)
+	if target.down {
+		return nil, ErrNodeDown
+	}
 	q, ok := target.listeners[port]
 	if !ok {
-		panic(fmt.Sprintf("simnet: connect to node %d port %q: no listener", target.id, port))
+		return nil, ErrNoListener
 	}
 	client := &Endpoint{local: n, remote: target, in: sim.NewQueue[oobMsg](n.cluster.env)}
 	server := &Endpoint{local: target, remote: n, in: sim.NewQueue[oobMsg](n.cluster.env)}
 	client.peer, server.peer = server, client
-	p.Sleep(oobConnectDelay)
 	q.Push(server)
-	return client
+	return client, nil
 }
 
 // LocalNode returns the node this endpoint lives on.
@@ -295,14 +403,36 @@ func (ep *Endpoint) Send(p *sim.Proc, payload any, size int) {
 	wire := sim.Duration(oobBaseDelayNs + float64(size)/oobBytesPerNs)
 	peer := ep.peer
 	msg := oobMsg{payload: payload, size: size}
+	// A crash of either end while the message is in flight drops it: the
+	// receiver's sockets died with its boot epoch, and a sender reboot
+	// orphans connections from its previous life.
+	src, dst := ep.local, peer.local
+	srcEpoch, dstEpoch := src.epoch, dst.epoch
 	p.Sleep(2000) // sender syscall + copy
-	env.After(wire, func() { peer.in.Push(msg) })
+	env.After(wire, func() {
+		if src.epoch != srcEpoch || dst.epoch != dstEpoch || dst.down {
+			return
+		}
+		peer.in.Push(msg)
+	})
 }
 
 // Recv blocks until a payload arrives and returns it.
 func (ep *Endpoint) Recv(p *sim.Proc) any {
 	m := ep.in.Pop(p)
 	return m.payload
+}
+
+// RecvUntil blocks until a payload arrives or virtual time reaches the
+// absolute deadline until. ok is false on timeout. Handshakes with a
+// peer that may crash mid-exchange must use this instead of Recv, which
+// would park forever on a connection whose other end died.
+func (ep *Endpoint) RecvUntil(p *sim.Proc, until sim.Time) (any, bool) {
+	m, ok := ep.in.PopUntil(p, until)
+	if !ok {
+		return nil, false
+	}
+	return m.payload, true
 }
 
 // TryRecv returns a payload if one is queued.

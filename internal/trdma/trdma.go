@@ -255,11 +255,10 @@ func NewServer(eng *engine.Engine, sh *ServiceHints, proc Processor) *TServerRdm
 func (s *TServerRdma) serveTCP() {
 	node := s.eng.Node()
 	ln := ipoib.Listen(node, "hat:"+s.sh.ServiceName, nil)
-	env := node.Cluster().Env()
-	env.Spawn(fmt.Sprintf("hat-tcp-%s", s.sh.ServiceName), func(p *sim.Proc) {
+	node.Spawn(fmt.Sprintf("hat-tcp-%s", s.sh.ServiceName), func(p *sim.Proc) {
 		for i := 0; ; i++ {
 			conn := ln.Accept(p)
-			env.Spawn(fmt.Sprintf("hat-tcp-%s-%d", s.sh.ServiceName, i), func(cp *sim.Proc) {
+			node.Spawn(fmt.Sprintf("hat-tcp-%s-%d", s.sh.ServiceName, i), func(cp *sim.Proc) {
 				for {
 					req := conn.Recv(cp)
 					resp := s.proc.ProcessBytes(cp, 0, req)
@@ -307,11 +306,10 @@ func (t *TCPTransport) Close() error { return nil }
 // (goroutine-per-connection threaded server).
 func ServeTCP(node *simnet.Node, serviceName string, proc Processor) {
 	ln := ipoib.Listen(node, "thrift:"+serviceName, nil)
-	env := node.Cluster().Env()
-	env.Spawn(fmt.Sprintf("thrift-tcp-%s", serviceName), func(p *sim.Proc) {
+	node.Spawn(fmt.Sprintf("thrift-tcp-%s", serviceName), func(p *sim.Proc) {
 		for i := 0; ; i++ {
 			conn := ln.Accept(p)
-			env.Spawn(fmt.Sprintf("thrift-tcp-%s-%d", serviceName, i), func(cp *sim.Proc) {
+			node.Spawn(fmt.Sprintf("thrift-tcp-%s-%d", serviceName, i), func(cp *sim.Proc) {
 				for {
 					req := conn.Recv(cp)
 					resp := proc.ProcessBytes(cp, 0, req)

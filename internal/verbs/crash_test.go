@@ -1,0 +1,188 @@
+package verbs
+
+import (
+	"testing"
+
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// crashPair is testPair plus the cluster handle, for tests that crash
+// nodes.
+func crashPair(env *sim.Env) (cl *simnet.Cluster, a, b side) {
+	cl = simnet.NewCluster(env, simnet.Config{
+		Nodes: 2, Cores: 28, Sockets: 2, LinkGbps: 100, PropDelayNs: 600, NUMAPenalty: 1.25,
+	})
+	cm := DefaultCostModel()
+	da := OpenDevice(cl.Node(0), cm)
+	db := OpenDevice(cl.Node(1), cm)
+	a = side{dev: da, pd: da.AllocPD()}
+	b = side{dev: db, pd: db.AllocPD()}
+	a.cq = da.CreateCQ()
+	b.cq = db.CreateCQ()
+	a.qp = da.CreateQP(a.cq, a.cq)
+	b.qp = db.CreateQP(b.cq, b.cq)
+	a.qp.Connect(b.qp)
+	b.qp.Connect(a.qp)
+	return cl, a, b
+}
+
+// TestCrashFailsSurvivorSend: a SEND issued while the peer node is down
+// draws no ACK; the survivor's RC transport retries until the timeout
+// and completes the WR with WCRetryExceeded — never silently.
+func TestCrashFailsSurvivorSend(t *testing.T) {
+	env := sim.NewEnv(21)
+	cl, a, _ := crashPair(env)
+	env.At(100, cl.Node(1).Crash)
+	var wc WC
+	env.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(1000) // after the crash
+		smr := a.pd.RegisterMRNoCost(256)
+		a.qp.PostSend(p, &SendWR{WRID: 7, Op: OpSend, SGE: SGE{MR: smr, Len: 64}})
+		wc = a.cq.PollBusy(p)
+	})
+	env.Run()
+	if wc.WRID != 7 || wc.Status != WCRetryExceeded {
+		t.Errorf("wc = %+v, want wrid 7 WCRetryExceeded", wc)
+	}
+	if !a.qp.Errored() {
+		t.Error("survivor QP should be in the error state")
+	}
+}
+
+// TestCrashErrsLocalQPs: the crashed node's own device is dead — its
+// QPs are errored and a post after reboot-less recovery attempts fails
+// the WR immediately (the NIC lost its protection state with the power).
+func TestCrashErrsLocalQPs(t *testing.T) {
+	env := sim.NewEnv(22)
+	cl, _, b := crashPair(env)
+	env.At(100, cl.Node(1).Crash)
+	env.Spawn("watch", func(p *sim.Proc) { p.Sleep(1000) })
+	env.Run()
+	if !b.dev.Dead() {
+		t.Fatal("device on crashed node should be dead")
+	}
+	if !b.qp.Errored() {
+		t.Error("QPs on crashed device should be errored")
+	}
+}
+
+// TestRebootedNodeNaksOldQP: after the peer restarts, a SEND on a QP
+// connected to the *previous boot's* QP fails fast with WCRemoteInvalid
+// (the reborn NIC knows nothing of the old connection) instead of
+// burning the whole retry timeout.
+func TestRebootedNodeNaksOldQP(t *testing.T) {
+	env := sim.NewEnv(23)
+	cl, a, _ := crashPair(env)
+	env.At(100, cl.Node(1).Crash)
+	env.At(200, cl.Node(1).Restart)
+	var wc WC
+	var done sim.Time
+	env.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(1000) // after the restart
+		smr := a.pd.RegisterMRNoCost(256)
+		a.qp.PostSend(p, &SendWR{WRID: 8, Op: OpSend, SGE: SGE{MR: smr, Len: 64}})
+		wc = a.cq.PollBusy(p)
+		done = p.Now()
+	})
+	env.Run()
+	if wc.WRID != 8 || wc.Status != WCRemoteInvalid {
+		t.Errorf("wc = %+v, want wrid 8 WCRemoteInvalid", wc)
+	}
+	// Fast NAK: well under the 20µs retry timeout.
+	if done > 1000+sim.Time(DefaultCostModel().RetryTimeoutNs) {
+		t.Errorf("NAK took until %d — slower than the retry-timeout path", done)
+	}
+}
+
+// TestStaleRkeyAgainstRebootedDeviceFailsRemoteInvalid: an rkey minted
+// by the peer's previous boot must not grant access to the reborn
+// node's memory — one-sided WRITEs against it fail with
+// WCRemoteInvalid even though QPs to the new device work fine.
+func TestStaleRkeyAgainstRebootedDeviceFailsRemoteInvalid(t *testing.T) {
+	env := sim.NewEnv(24)
+	cl, a, b := crashPair(env)
+	staleRK := b.pd.RegisterMRNoCost(4096).RKey() // minted in boot epoch 0
+
+	var db2 *Device
+	var wcStale, wcFresh WC
+	cl.Node(1).SetRestart(func(p *sim.Proc) {
+		db2 = OpenDevice(cl.Node(1), DefaultCostModel())
+		pd2 := db2.AllocPD()
+		cq2 := db2.CreateCQ()
+		qp2 := db2.CreateQP(cq2, cq2)
+		// Reconnect both sides to the new boot.
+		qp2.Connect(a.qp)
+		a.qp.Connect(qp2)
+		a.qp.Recover(p)
+		freshRK := pd2.RegisterMRNoCost(4096).RKey()
+		// Stale-epoch rkey: NAKed. Posted unsignaled — the model
+		// completes signaled WRITEs locally at wire time, so only an
+		// unsignaled WR observes the NAK as its sole completion (the
+		// engine's one-sided WRITEs are all unsignaled).
+		smr := a.pd.RegisterMRNoCost(4096)
+		a.qp.PostSend(p, &SendWR{WRID: 1, Op: OpWrite, SGE: SGE{MR: smr, Len: 64}, Remote: staleRK, Unsignaled: true})
+		wcStale = a.cq.PollBusy(p)
+		a.qp.Recover(p)
+		// Fresh rkey from the new boot: works.
+		a.qp.PostSend(p, &SendWR{WRID: 2, Op: OpWrite, SGE: SGE{MR: smr, Len: 64}, Remote: freshRK})
+		wcFresh = a.cq.PollBusy(p)
+	})
+	env.At(100, cl.Node(1).Crash)
+	env.At(200, cl.Node(1).Restart)
+	env.Run()
+	if wcStale.Status != WCRemoteInvalid {
+		t.Errorf("stale-rkey WRITE: %+v, want WCRemoteInvalid", wcStale)
+	}
+	if wcFresh.Status != WCSuccess {
+		t.Errorf("fresh-rkey WRITE: %+v, want WCSuccess", wcFresh)
+	}
+	if db2.Epoch() != 1 {
+		t.Errorf("reborn device epoch = %d, want 1", db2.Epoch())
+	}
+}
+
+// TestReadAgainstDownNodeFailsTyped: a one-sided READ issued while the
+// target is down completes with WCRetryExceeded (silence), and against
+// a rebooted target with WCRemoteInvalid (NAK).
+func TestReadAgainstDownNodeFailsTyped(t *testing.T) {
+	env := sim.NewEnv(25)
+	cl, a, b := crashPair(env)
+	rk := b.pd.RegisterMRNoCost(4096).RKey()
+	var down, reborn WC
+	env.At(100, cl.Node(1).Crash)
+	env.At(400_000, cl.Node(1).Restart)
+	env.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(1000)
+		lmr := a.pd.RegisterMRNoCost(4096)
+		a.qp.PostSend(p, &SendWR{WRID: 1, Op: OpRead, SGE: SGE{MR: lmr, Len: 64}, Remote: rk})
+		down = a.cq.PollBusy(p)
+		p.Sleep(500_000) // past the restart
+		a.qp.Recover(p)
+		a.qp.PostSend(p, &SendWR{WRID: 2, Op: OpRead, SGE: SGE{MR: lmr, Len: 64}, Remote: rk})
+		reborn = a.cq.PollBusy(p)
+	})
+	env.Run()
+	if down.Status != WCRetryExceeded {
+		t.Errorf("READ while down: %+v, want WCRetryExceeded", down)
+	}
+	if reborn.Status != WCRemoteInvalid {
+		t.Errorf("READ after reboot: %+v, want WCRemoteInvalid", reborn)
+	}
+}
+
+// TestRKeyEpochTagging: RKey captures the minting device's boot epoch;
+// WCRemoteInvalid has a distinct wire spelling.
+func TestRKeyEpochTagging(t *testing.T) {
+	env := sim.NewEnv(26)
+	_, a, _ := crashPair(env)
+	env.Spawn("noop", func(p *sim.Proc) {})
+	env.Run()
+	rk := a.pd.RegisterMRNoCost(64).RKey()
+	if !a.dev.rkeyValid(rk) {
+		t.Error("fresh rkey should be valid at its own device")
+	}
+	if WCRemoteInvalid.String() != "REMOTE_INVALID" {
+		t.Errorf("WCRemoteInvalid.String() = %q", WCRemoteInvalid.String())
+	}
+}
