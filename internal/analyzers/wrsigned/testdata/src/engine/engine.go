@@ -53,3 +53,54 @@ func single(qp *verbs.QP) {
 func unknownChain(qp *verbs.QP, wr *verbs.SendWR) {
 	qp.PostSend(0, wr)
 }
+
+// dynamicChain builds the chain in a loop (the engine's doorbell-batch
+// shape): every literal unsignaled, head unresolvable, no drain.
+func dynamicChain(qp *verbs.QP, n int) {
+	var head, tail *verbs.SendWR
+	for i := 0; i < n; i++ {
+		wr := &verbs.SendWR{Unsignaled: true}
+		if tail == nil {
+			head = wr
+		} else {
+			tail.Next = wr
+		}
+		tail = wr
+	}
+	qp.PostSend(0, head) // want `loop-built WR chain with no signaled element`
+}
+
+// dynamicChainSignaled builds the chain in a loop but with a signaled
+// literal in the mix: slots reclaimed downstream. No diagnostic.
+func dynamicChainSignaled(qp *verbs.QP, n int) {
+	var head, tail *verbs.SendWR
+	for i := 0; i < n; i++ {
+		wr := &verbs.SendWR{}
+		if tail == nil {
+			head = wr
+		} else {
+			tail.Next = wr
+		}
+		tail = wr
+	}
+	qp.PostSend(0, head)
+}
+
+// dynamicChainDrains builds the chain in a loop and drains batched (the
+// PollN drain counts). No diagnostic.
+func dynamicChainDrains(qp *verbs.QP, cq *verbs.CQ, n int) {
+	var head, tail *verbs.SendWR
+	for i := 0; i < n; i++ {
+		wr := &verbs.SendWR{Unsignaled: true}
+		if tail == nil {
+			head = wr
+		} else {
+			tail.Next = wr
+		}
+		tail = wr
+	}
+	qp.PostSend(0, head)
+	var buf [4]verbs.CQE
+	for cq.PollN(buf[:]) > 0 {
+	}
+}

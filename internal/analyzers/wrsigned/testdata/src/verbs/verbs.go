@@ -21,3 +21,6 @@ type CQ struct{}
 
 // TryPoll drains one completion if available.
 func (c *CQ) TryPoll() (CQE, bool) { return CQE{}, false }
+
+// PollN drains up to len(out) completions.
+func (c *CQ) PollN(out []CQE) int { return 0 }

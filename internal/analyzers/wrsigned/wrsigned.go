@@ -6,13 +6,21 @@
 // assertNoLeaks helper catches only after the fact. This analyzer
 // reports it at compile time.
 //
-// The check is intraprocedural and conservative: a chain is reported
-// only when every element is statically known (composite literals
-// linked by Next fields or `x.Next = y` assignments in the same
-// function), every element sets Unsignaled: true, the chain has at
-// least two elements, and the function contains no CQ drain
-// (Poll/TryPoll/PollBusy/WaitEvent). Functions that intentionally rely
-// on a downstream signaled completion document it with
+// The check is intraprocedural and conservative. Two chain shapes are
+// recognised:
+//
+//   - Static chains: every element is statically known (composite
+//     literals linked by Next fields or `x.Next = y` assignments in the
+//     same function), every element sets Unsignaled: true, and the chain
+//     has at least two elements.
+//   - Dynamic chains: the chain is built in a loop (`tail.Next = wr`
+//     inside a for/range statement — the engine's doorbell-batching
+//     shape), the posted head is not statically resolvable, and every
+//     SendWR literal in the function is unsignaled.
+//
+// Either shape is reported only when the function contains no CQ drain
+// (Poll/TryPoll/PollN/PollBusy/WaitEvent). Functions that intentionally
+// rely on a downstream signaled completion document it with
 // //hatlint:allow wrsigned -- <reason>.
 package wrsigned
 
@@ -34,7 +42,7 @@ var Analyzer = &framework.Analyzer{
 
 // drainFuncs are the CQ methods that retire completions.
 var drainFuncs = map[string]bool{
-	"Poll": true, "TryPoll": true, "PollBusy": true, "WaitEvent": true,
+	"Poll": true, "TryPoll": true, "PollN": true, "PollBusy": true, "WaitEvent": true,
 }
 
 func run(pass *framework.Pass) (any, error) {
@@ -51,9 +59,11 @@ func run(pass *framework.Pass) (any, error) {
 }
 
 type funcFacts struct {
-	lits   map[types.Object]*ast.CompositeLit // var → its SendWR literal
-	next   map[types.Object]ast.Expr          // var → expr assigned to var.Next
-	drains bool
+	lits    map[types.Object]*ast.CompositeLit // var → its SendWR literal
+	next    map[types.Object]ast.Expr          // var → expr assigned to var.Next
+	allLits []*ast.CompositeLit                // every SendWR literal in the function
+	dynNext bool                               // a wr.Next assignment inside a loop
+	drains  bool
 }
 
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
@@ -90,6 +100,14 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 				lintutil.RecvPkgIs(fn, "verbs") && drainFuncs[fn.Name()] {
 				facts.drains = true
 			}
+		case *ast.CompositeLit:
+			if lit := wrLiteral(pass, st); lit != nil {
+				facts.allLits = append(facts.allLits, lit)
+			}
+		case *ast.ForStmt:
+			scanLoopNext(pass, facts, st.Body)
+		case *ast.RangeStmt:
+			scanLoopNext(pass, facts, st.Body)
 		}
 		return true
 	})
@@ -110,7 +128,20 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		chain, known := resolveChain(pass, facts, call.Args[len(call.Args)-1], 0)
-		if !known || len(chain) < 2 {
+		if !known {
+			// Dynamic-chain shape: the head is not statically resolvable,
+			// but the function links WRs in a loop (`tail.Next = wr`) and
+			// every SendWR literal it builds is unsignaled — the engine's
+			// doorbell-batching pattern, which exhausts the SQ just like a
+			// static all-unsignaled chain would.
+			if facts.dynNext && len(facts.allLits) > 0 && allUnsignaled(pass, facts.allLits) {
+				pass.Reportf(call.Pos(),
+					"PostSend of a loop-built WR chain with no signaled element and no CQ drain in this function: "+
+						"SQ slots are only reclaimed via signaled completions (leak shape caught at runtime by assertNoLeaks)")
+			}
+			return true
+		}
+		if len(chain) < 2 {
 			return true
 		}
 		for _, lit := range chain {
@@ -124,6 +155,35 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 			len(chain))
 		return true
 	})
+}
+
+// scanLoopNext records whether a loop body assigns to a SendWR's Next
+// field — the dynamic chain-building shape.
+func scanLoopNext(pass *framework.Pass, facts *funcFacts, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range st.Lhs {
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "Next" {
+				if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && isWRType(pass, base) {
+					facts.dynNext = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// allUnsignaled reports whether every literal sets Unsignaled: true.
+func allUnsignaled(pass *framework.Pass, lits []*ast.CompositeLit) bool {
+	for _, lit := range lits {
+		if !unsignaled(pass, lit) {
+			return false
+		}
+	}
+	return true
 }
 
 // resolveChain statically follows a WR expression through Next links,

@@ -1,0 +1,188 @@
+package atb
+
+import (
+	"fmt"
+
+	"hatrpc/internal/engine"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/stats"
+)
+
+// Hot-path smoke benchmark: the same workloads run twice — once on the
+// legacy engine configuration and once with every hot-path knob enabled
+// (batched CQ polling, doorbell-batched oneway bursts, payload arena) —
+// so cmd/atb can report the simulated-time improvement, and (by timing
+// the two sweeps on the host clock, outside this DES-scoped package)
+// the real wall-clock improvement from the allocation sweep.
+//
+// Two workload shapes:
+//   - call/<proto>: single-client round-trip latency (the Fig. 4 shape).
+//     The knobs are host-memory optimisations here, so simulated time
+//     must NOT change — the sweep doubles as a no-regression guard.
+//   - burst/<n>: a train of n small oneway eagers plus a closing sync
+//     call. DoorbellBatch collapses the train's doorbells into one, so
+//     simulated time improves.
+
+// HotpathPoint is one (workload, size) measurement of one side of the
+// comparison.
+type HotpathPoint struct {
+	Workload string
+	Size     int
+	AvgNs    float64
+	P99Ns    float64
+}
+
+// HotpathConfig parameterizes the hotpath sweep. Both sides run the
+// same workloads, sizes, iteration count and seed, so any simulated
+// delta is attributable to the knobs alone.
+type HotpathConfig struct {
+	Protos    []engine.Protocol
+	Sizes     []int
+	Burst     int // oneways per burst (0 skips the burst workload)
+	BurstSize int // payload bytes per burst message
+	Iters     int
+	Seed      int64
+}
+
+// DefaultHotpathConfig covers the send disciplines the knobs touch:
+// eager, WRITE-with-IMM (the fastest small-message path), rendezvous
+// (arena-copied large results) and the one-sided fetch protocols (paced
+// result polling), plus a 16-message oneway burst.
+func DefaultHotpathConfig() HotpathConfig {
+	return HotpathConfig{
+		Protos: []engine.Protocol{
+			engine.EagerSendRecv, engine.DirectWriteIMM,
+			engine.WriteRNDV, engine.RFP, engine.HERD,
+		},
+		Sizes:     []int{64, 512, 4096, 131072},
+		Burst:     16,
+		BurstSize: 64,
+		Iters:     400,
+		Seed:      42,
+	}
+}
+
+// HotEngineConfig is the benchmark's hot-path engine sizing: the legacy
+// sizing for the payload regime plus every hot-path knob.
+func HotEngineConfig(size int, fetch bool) engine.Config {
+	ecfg := engineConfigFor(size, fetch)
+	ecfg.PollBudget = 16
+	ecfg.DoorbellBatch = true
+	ecfg.ArenaPayloads = true
+	return ecfg
+}
+
+// RunHotpath measures one side of the comparison: hot=false is the
+// legacy configuration (the baseline), hot=true enables the knobs.
+// Both sides use busy polling so the delta isolates the knobs from the
+// polling discipline.
+func RunHotpath(cfg HotpathConfig, hot bool) []HotpathPoint {
+	var out []HotpathPoint
+	for _, proto := range cfg.Protos {
+		for _, size := range cfg.Sizes {
+			out = append(out, runOneHotpath(cfg.Seed, proto, size, cfg.Iters, hot))
+		}
+	}
+	if cfg.Burst > 0 {
+		out = append(out, runOneHotpathBurst(cfg.Seed, cfg.Burst, cfg.BurstSize, cfg.Iters, hot))
+	}
+	return out
+}
+
+func hotpathConfigFor(size int, fetch, hot bool) engine.Config {
+	if hot {
+		return HotEngineConfig(size, fetch)
+	}
+	return engineConfigFor(size, fetch)
+}
+
+func runOneHotpath(seed int64, proto engine.Protocol, size, iters int, hot bool) HotpathPoint {
+	f := NewFabricWith(seed, 2, hotpathConfigFor(size, needsFetch(proto), hot))
+	srv := f.Server.Serve("atb", func(p *sim.Proc, fn uint32, req []byte) []byte {
+		return req
+	})
+	srv.Busy = true
+	srv.NUMABind = true
+	var s stats.Sample
+	f.Env.Spawn("client", func(p *sim.Proc) {
+		c := f.Clients[0].Dial(p, f.Server.Node(), "atb")
+		c.SetNUMABound(true)
+		payload := make([]byte, size)
+		opts := engine.CallOpts{Proto: proto, Busy: true}
+		for i := 0; i < 3; i++ { // warmup (stocks the payload arena)
+			if resp, err := c.Call(p, 1, payload, opts); err == nil {
+				c.Recycle(resp)
+			}
+		}
+		for i := 0; i < iters; i++ {
+			start := p.Now()
+			resp, err := c.Call(p, 1, payload, opts)
+			if err != nil {
+				panic(err)
+			}
+			s.Add(float64(p.Now() - start))
+			c.Recycle(resp)
+		}
+		f.Env.Stop()
+	})
+	f.Env.Run()
+	f.Env.Shutdown()
+	return HotpathPoint{Workload: "call/" + proto.String(), Size: size,
+		AvgNs: s.Mean(), P99Ns: s.Percentile(99)}
+}
+
+// runOneHotpathBurst drives a sustained stream of oneway bursts (the
+// multi-call burst shape doorbell batching targets) and reports
+// per-message time. The stream must be sustained: in a one-shot burst
+// the chain defers all NIC work behind the full staging train and
+// batching loses, but back-to-back bursts overlap chain N's staging
+// with chain N-1's NIC processing, so the saved doorbells (client CPU)
+// and the batched CQ drain (server CPU, Config.PollBudget) both surface
+// as shorter per-message time. Flow credits run on both sides so the
+// stream self-paces instead of overrunning the RECV ring.
+func runOneHotpathBurst(seed int64, n, size, iters int, hot bool) HotpathPoint {
+	ecfg := hotpathConfigFor(size, false, hot)
+	ecfg.FlowCredits = 12
+	f := NewFabricWith(seed, 2, ecfg)
+	srv := f.Server.Serve("atb", func(p *sim.Proc, fn uint32, req []byte) []byte {
+		return req
+	})
+	srv.Busy = true
+	srv.NUMABind = true
+	var s stats.Sample
+	f.Env.Spawn("client", func(p *sim.Proc) {
+		c := f.Clients[0].Dial(p, f.Server.Node(), "atb")
+		c.SetNUMABound(true)
+		payloads := make([][]byte, n)
+		for i := range payloads {
+			payloads[i] = make([]byte, size)
+		}
+		opts := engine.CallOpts{Proto: engine.EagerSendRecv, Busy: true}
+		// Warmup: one burst plus sync settles connection state.
+		if err := c.OnewayBurst(p, 1, payloads, opts); err != nil {
+			panic(err)
+		}
+		if resp, err := c.Call(p, 2, make([]byte, size), opts); err == nil {
+			c.Recycle(resp)
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			if err := c.OnewayBurst(p, 1, payloads, opts); err != nil {
+				panic(err)
+			}
+		}
+		// The closing sync bounds the measurement at the server having
+		// consumed the whole stream.
+		resp, err := c.Call(p, 2, make([]byte, size), opts)
+		if err != nil {
+			panic(err)
+		}
+		c.Recycle(resp)
+		s.Add(float64(p.Now()-start) / float64(iters*n))
+		f.Env.Stop()
+	})
+	f.Env.Run()
+	f.Env.Shutdown()
+	return HotpathPoint{Workload: fmt.Sprintf("burst/%d-oneways", n), Size: size,
+		AvgNs: s.Mean(), P99Ns: s.Percentile(99)}
+}

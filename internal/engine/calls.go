@@ -19,6 +19,10 @@ type CallOpts struct {
 	RespProto Protocol
 	// Busy selects busy polling on the client side.
 	Busy bool
+	// Poll selects the completion-detection discipline explicitly
+	// (event, busy, or the adaptive spin-then-sleep hybrid). The zero
+	// value defers to Busy, keeping existing configurations identical.
+	Poll PollMode
 	// Oneway sends the request without waiting for any response.
 	Oneway bool
 	// Deadline bounds the whole call — including retransmissions — in
@@ -100,6 +104,7 @@ func (c *Conn) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, 
 
 func (c *Conn) doCall(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte, error) {
 	eng := c.eng
+	poll := resolvePoll(opts.Poll, opts.Busy)
 	c.stats.Calls++
 	c.stats.BytesSent += int64(len(req))
 	c.seq++
@@ -124,11 +129,11 @@ func (c *Conn) doCall(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte
 		}
 		h.respProto = ProtoAuto // marks "no response expected"
 		if dl > 0 {
-			if err := c.sendOnewayReliable(p, h, req, opts.Busy, p.Now()+sim.Time(dl)); err != nil {
+			if err := c.sendOnewayReliable(p, h, req, poll, p.Now()+sim.Time(dl)); err != nil {
 				return nil, err
 			}
 		} else {
-			c.sendMessage(p, h, req, opts.Busy)
+			c.sendMessage(p, h, req, poll)
 		}
 		eng.trc.Complete("rpc", "oneway."+reqProto.String(), eng.node.ID(), c.id,
 			start, int64(p.Now()),
@@ -140,29 +145,30 @@ func (c *Conn) doCall(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte
 		// Deadline-bounded path: seq-tagged retransmission with capped
 		// exponential backoff; see reliability.go.
 		var err error
-		out, err = c.callReliable(p, h, req, respProto, opts.Busy, p.Now()+sim.Time(dl))
+		out, err = c.callReliable(p, h, req, respProto, poll, p.Now()+sim.Time(dl))
 		if err != nil {
 			eng.trc.Instant("rpc", "call_failed."+reqProto.String(), eng.node.ID(), c.id,
 				int64(p.Now()), obs.Arg{K: "fn", V: fn}, obs.Arg{K: "seq", V: h.seq})
 			return nil, err
 		}
 	} else {
-		c.sendMessage(p, h, req, opts.Busy)
+		c.sendMessage(p, h, req, poll)
 
-		// Fetch-style responses are client-driven; the fetch loops spin on
-		// their READ completions regardless of the call's polling mode —
-		// short client-side spins are these designs' defining trait (RFP,
-		// Pilaf and FaRM all poll one-sided results).
+		// Fetch-style responses are client-driven: the fetch loops poll
+		// their READ completions, pacing the polls per the call's polling
+		// discipline (fetchPace) — busy calls keep the tight one-sided
+		// spin these designs are known for, event calls back off to the
+		// interrupt-wake granularity.
 		var err error
 		switch respProto {
 		case RFP:
-			out, _, err = c.fetchRFPUntil(p, true, 0)
+			out, _, err = c.fetchRFPUntil(p, poll, 0)
 		case Pilaf:
-			out, _, err = c.fetchKVUntil(p, 2, true, 0)
+			out, _, err = c.fetchKVUntil(p, 2, poll, 0)
 		case FaRM:
-			out, _, err = c.fetchKVUntil(p, 1, true, 0)
+			out, _, err = c.fetchKVUntil(p, 1, poll, 0)
 		default:
-			a := c.NextArrival(p, opts.Busy)
+			a := c.nextArrival(p, poll)
 			switch a.Kind {
 			case kResp:
 				out = a.Payload
@@ -190,8 +196,8 @@ func (c *Conn) doCall(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte
 
 // sendMessage ships [hdr|payload] using the wire protocol in h.proto.
 // It is used for requests (client) and two-sided responses (server).
-func (c *Conn) sendMessage(p *sim.Proc, h hdr, payload []byte, busy bool) {
-	c.sendMessageUntil(p, h, payload, busy, 0)
+func (c *Conn) sendMessage(p *sim.Proc, h hdr, payload []byte, poll PollMode) {
+	c.sendMessageUntil(p, h, payload, poll, 0)
 }
 
 // sendMessageUntil is sendMessage with a bound on protocol-internal
@@ -199,20 +205,20 @@ func (c *Conn) sendMessage(p *sim.Proc, h hdr, payload []byte, busy bool) {
 // whether the payload was handed to the fabric; false means a wait
 // timed out or the grant was withdrawn, and the caller's retry loop
 // should try again. until zero waits forever (the lossless fast path).
-func (c *Conn) sendMessageUntil(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
+func (c *Conn) sendMessageUntil(p *sim.Proc, h hdr, payload []byte, poll PollMode, until sim.Time) bool {
 	switch h.proto {
 	case EagerSendRecv:
-		return c.sendEager(p, h, payload, busy, until)
+		return c.sendEager(p, h, payload, poll, until)
 	case DirectWriteSend:
-		return c.sendDirectWrite(p, h, payload, false, busy, until)
+		return c.sendDirectWrite(p, h, payload, false, poll, until)
 	case ChainedWriteSend:
-		return c.sendDirectWrite(p, h, payload, true, busy, until)
+		return c.sendDirectWrite(p, h, payload, true, poll, until)
 	case DirectWriteIMM:
-		return c.sendWriteImm(p, h, payload, busy, until)
+		return c.sendWriteImm(p, h, payload, poll, until)
 	case WriteRNDV:
-		return c.sendWriteRNDV(p, h, payload, busy, until)
+		return c.sendWriteRNDV(p, h, payload, poll, until)
 	case ReadRNDV:
-		return c.sendReadRNDV(p, h, payload, busy, until)
+		return c.sendReadRNDV(p, h, payload, poll, until)
 	case RFP, HERD:
 		// Pure WRITE into the server's polled region: consumes no peer
 		// RECV, so no credit is needed.
@@ -221,7 +227,7 @@ func (c *Conn) sendMessageUntil(p *sim.Proc, h hdr, payload []byte, busy bool, u
 	case Pilaf, FaRM:
 		// Pilaf/FaRM requests travel eagerly (SEND); only the response
 		// path is server-bypass.
-		return c.sendEager(p, h, payload, busy, until)
+		return c.sendEager(p, h, payload, poll, until)
 	default:
 		panic("engine: sendMessage: unresolved protocol " + h.proto.String())
 	}
@@ -234,9 +240,9 @@ func (c *Conn) sendMessageUntil(p *sim.Proc, h hdr, payload []byte, busy bool, u
 // could exceed the peer's ring depth and deadlock. A credit timeout
 // mid-message abandons the remainder; the retry's full resend completes
 // reassembly (the receiver dedups fragments by offset).
-func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
-	cm := c.eng.dev.CostModel()
+func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte, poll PollMode, until sim.Time) bool {
 	slotCap := c.slotSize - hdrSize
+	cm := c.eng.dev.CostModel()
 	segmented := len(payload) > slotCap
 	off := 0
 	for {
@@ -244,7 +250,7 @@ func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte, busy bool, until si
 		if n > slotCap {
 			n = slotCap
 		}
-		if !c.waitCredit(p, h.proto, busy, until) {
+		if !c.waitCredit(p, h.proto, poll, until) {
 			return false
 		}
 		c.spend()
@@ -278,9 +284,9 @@ func (c *Conn) sendEager(p *sim.Proc, h hdr, payload []byte, busy bool, until si
 // buffer, then SENDs a notification. chained=false posts two work
 // requests (two doorbells, Fig. 3b); chained=true posts them as one
 // chain (one doorbell, Fig. 3c).
-func (c *Conn) sendDirectWrite(p *sim.Proc, h hdr, payload []byte, chained bool, busy bool, until sim.Time) bool {
+func (c *Conn) sendDirectWrite(p *sim.Proc, h hdr, payload []byte, chained bool, poll PollMode, until sim.Time) bool {
 	// The WRITE is one-sided; only the notify SEND consumes a peer RECV.
-	if !c.waitCredit(p, h.proto, busy, until) {
+	if !c.waitCredit(p, h.proto, poll, until) {
 		return false
 	}
 	c.spend()
@@ -312,14 +318,17 @@ func (c *Conn) sendDirectWrite(p *sim.Proc, h hdr, payload []byte, chained bool,
 	return true
 }
 
-// stageNotifyOff is the staging offset reserved for notify headers.
-func (c *Conn) stageNotifyOff() int { return c.eng.cfg.MaxMsgSize + hdrSize }
+// stageNotifyOff is the staging offset reserved for notify headers — the
+// last hdrSize bytes of the staging region. It doubles as the limit of
+// the fragment-staging area used by the doorbell-batched paths; with the
+// legacy staging size it evaluates to exactly MaxMsgSize+hdrSize.
+func (c *Conn) stageNotifyOff() int { return c.stageMR.Len() - hdrSize }
 
 // sendWriteImm WRITEs [hdr|payload] into the peer's direct buffer with an
 // immediate, completing delivery in a single work request (Fig. 3f).
 // The immediate consumes a zero-length peer RECV, so it costs a credit.
-func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
-	if !c.waitCredit(p, h.proto, busy, until) {
+func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte, poll PollMode, until sim.Time) bool {
+	if !c.waitCredit(p, h.proto, poll, until) {
 		return false
 	}
 	c.spend()
@@ -342,17 +351,17 @@ func (c *Conn) sendWriteImm(p *sim.Proc, h hdr, payload []byte, busy bool, until
 // (bounded by until) or the peer withdrew the grant mid-handshake — the
 // caller's retry (or the client's retransmission + server dedup)
 // recovers.
-func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
+func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, poll PollMode, until sim.Time) bool {
 	// One credit for the RTS (spent inside postSmall) and one for the
 	// final WRITE_IMM's zero-length RECV, acquired separately — holding
 	// both across the CTS wait would starve the peer's control traffic.
-	if !c.waitCredit(p, h.proto, busy, until) {
+	if !c.waitCredit(p, h.proto, poll, until) {
 		return false
 	}
 	rts := hdr{kind: kRTS, proto: WriteRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
 	c.postSmall(p, rts)
 	ctsStart := int64(p.Now())
-	if !c.waitCTSUntil(p, h.seq, busy, until) {
+	if !c.waitCTSUntil(p, h.seq, poll, until) {
 		return false
 	}
 	if m := c.eng.em; m != nil {
@@ -365,7 +374,7 @@ func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool, unti
 		// The granter aborted after sending CTS and withdrew the buffer.
 		return false
 	}
-	if !c.waitCredit(p, h.proto, busy, until) {
+	if !c.waitCredit(p, h.proto, poll, until) {
 		return false
 	}
 	c.spend()
@@ -387,10 +396,10 @@ func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, busy bool, unti
 // peer READs it and FINs (Fig. 3e). A retransmission (same seq, buffer
 // still exposed because no FIN arrived) reuses the existing exposure and
 // just resends the RTS.
-func (c *Conn) sendReadRNDV(p *sim.Proc, h hdr, payload []byte, busy bool, until sim.Time) bool {
+func (c *Conn) sendReadRNDV(p *sim.Proc, h hdr, payload []byte, poll PollMode, until sim.Time) bool {
 	// Only the RTS consumes a peer RECV (the peer READs the payload
 	// one-sided and its FIN spends from the peer's own budget).
-	if !c.waitCredit(p, h.proto, busy, until) {
+	if !c.waitCredit(p, h.proto, poll, until) {
 		return false
 	}
 	rts := hdr{kind: kRTS, proto: ReadRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
@@ -424,21 +433,18 @@ func (c *Conn) sendRfpWrite(p *sim.Proc, h hdr, payload []byte) {
 // readRemote issues one READ and blocks until it completes. ok=false
 // means the READ failed (lost in the fabric or flushed on an errored
 // QP); the returned bytes are then meaningless.
-func (c *Conn) readRemote(p *sim.Proc, rk verbs.RKey, off, n int, busy bool) ([]byte, bool) {
+func (c *Conn) readRemote(p *sim.Proc, rk verbs.RKey, off, n int, poll PollMode) ([]byte, bool) {
 	id := c.wrid()
 	c.qp.PostSend(p, &verbs.SendWR{
 		WRID: id, Op: verbs.OpRead,
 		SGE:    verbs.SGE{MR: c.directMR, Off: 0, Len: n},
 		Remote: rk, RemoteOff: off,
 	})
-	if !c.waitRead(p, id, busy) {
+	if !c.waitRead(p, id, poll) {
 		return nil, false
 	}
 	return c.directMR.Buf[:n], true
 }
-
-// retryDelay paces ready-flag polling loops.
-const retryDelay = 600 // ns between one-sided polls of a not-yet-ready result
 
 // fetchRFPUntil is the client half of RFP's remote fetching: READ the
 // server's response region until the sequence stamp matches, fetching
@@ -446,17 +452,26 @@ const retryDelay = 600 // ns between one-sided polls of a not-yet-ready result
 // chunk. A non-zero until bounds the polling (zero = forever); a failed
 // READ (loss) recovers the QP and keeps polling until the bound. A kErr
 // stamp for the current seq is the server's shed marker and surfaces as
-// a terminal ErrOverloaded.
-func (c *Conn) fetchRFPUntil(p *sim.Proc, busy bool, until sim.Time) ([]byte, bool, error) {
+// a terminal ErrOverloaded. Poll pacing follows the call's polling
+// discipline (fetchPace): busy calls keep the tight spin, event calls
+// back off to the interrupt-wake granularity, adaptive calls spin for
+// the connection's window and then back off.
+func (c *Conn) fetchRFPUntil(p *sim.Proc, poll PollMode, until sim.Time) ([]byte, bool, error) {
 	chunk := c.eng.cfg.RFPChunk
+	var spun sim.Duration
+	pace := func() {
+		d := c.fetchPace(poll, spun)
+		spun += d
+		p.Sleep(d)
+	}
 	for {
 		if until > 0 && p.Now() >= until {
 			return nil, false, nil
 		}
-		b, ok := c.readRemote(p, c.peerRfpOut, 0, chunk, busy)
+		b, ok := c.readRemote(p, c.peerRfpOut, 0, chunk, poll)
 		if !ok {
 			c.recoverQP(p)
-			p.Sleep(retryDelay)
+			pace()
 			continue
 		}
 		h := getHdr(b)
@@ -466,7 +481,7 @@ func (c *Conn) fetchRFPUntil(p *sim.Proc, busy bool, until sim.Time) ([]byte, bo
 		}
 		if h.seq != c.seq || h.kind != kResp {
 			c.noteReadRetry(p)
-			p.Sleep(retryDelay)
+			pace()
 			continue
 		}
 		c.noteCredits(h)
@@ -474,15 +489,15 @@ func (c *Conn) fetchRFPUntil(p *sim.Proc, busy bool, until sim.Time) ([]byte, bo
 		got := chunk - hdrSize
 		if n <= got {
 			c.stats.BytesRecvd += int64(n)
-			return append([]byte(nil), b[hdrSize:hdrSize+n]...), true, nil
+			return c.copyPayload(b[hdrSize : hdrSize+n]), true, nil
 		}
 		// Tail fetch for large responses.
-		out := make([]byte, n)
+		out := c.allocPayload(n)
 		copy(out, b[hdrSize:])
-		rest, ok := c.readRemote(p, c.peerRfpOut, chunk, n-got, busy)
+		rest, ok := c.readRemote(p, c.peerRfpOut, chunk, n-got, poll)
 		if !ok {
 			c.recoverQP(p)
-			p.Sleep(retryDelay)
+			pace()
 			continue
 		}
 		copy(out[got:], rest)
@@ -515,22 +530,28 @@ const kvShedLen = ^uint32(0)
 // forever); a failed READ (loss) recovers the QP and keeps polling
 // until the bound. The kvShedLen length marker is the server's shed
 // signal and surfaces as a terminal ErrOverloaded.
-func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, busy bool, until sim.Time) ([]byte, bool, error) {
+func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, poll PollMode, until sim.Time) ([]byte, bool, error) {
+	var spun sim.Duration
+	pace := func() {
+		d := c.fetchPace(poll, spun)
+		spun += d
+		p.Sleep(d)
+	}
 	for {
 		if until > 0 && p.Now() >= until {
 			return nil, false, nil
 		}
-		meta, ok := c.readRemote(p, c.peerKvMeta, 0, 16, busy)
+		meta, ok := c.readRemote(p, c.peerKvMeta, 0, 16, poll)
 		if !ok {
 			c.recoverQP(p)
-			p.Sleep(retryDelay)
+			pace()
 			continue
 		}
 		seq := binary.LittleEndian.Uint32(meta[0:])
 		rawLen := binary.LittleEndian.Uint32(meta[4:])
 		if seq != c.seq {
 			c.noteReadRetry(p)
-			p.Sleep(retryDelay)
+			pace()
 			continue
 		}
 		if rawLen == kvShedLen {
@@ -538,17 +559,127 @@ func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, busy bool, until sim.Tim
 		}
 		n := int(rawLen)
 		for i := 1; i < metaReads; i++ {
-			c.readRemote(p, c.peerKvMeta, 0, 16, busy)
+			c.readRemote(p, c.peerKvMeta, 0, 16, poll)
 		}
-		b, ok := c.readRemote(p, c.peerKvPay, 0, n, busy)
+		b, ok := c.readRemote(p, c.peerKvPay, 0, n, poll)
 		if !ok {
 			c.recoverQP(p)
-			p.Sleep(retryDelay)
+			pace()
 			continue
 		}
 		c.stats.BytesRecvd += int64(n)
-		return append([]byte(nil), b[:n]...), true, nil
+		return c.copyPayload(b[:n]), true, nil
 	}
+}
+
+// OnewayBurst ships a burst of oneway eager requests as chained WR
+// trains: each message is staged at its own offset and linked into a WR
+// chain, and the chain is flushed with a single PostSend — one doorbell
+// for the whole burst (Config.DoorbellBatch). It exists for the
+// multi-call burst shape doorbell batching targets: N small notifications
+// from one client in one scheduling quantum. Without DoorbellBatch (or
+// for non-eager protocols, or when a deadline/reliability bound is set)
+// it degrades to a loop of ordinary oneway Calls, so callers can use it
+// unconditionally.
+func (c *Conn) OnewayBurst(p *sim.Proc, fn uint32, payloads [][]byte, opts CallOpts) error {
+	if c.server {
+		return fmt.Errorf("engine: OnewayBurst on server-side connection")
+	}
+	eng := c.eng
+	proto := opts.Proto
+	if proto == ProtoAuto {
+		proto = EagerSendRecv
+	}
+	dl := opts.Deadline
+	if dl == 0 {
+		dl = eng.cfg.CallDeadline
+	}
+	slotCap := c.slotSize - hdrSize
+	batchable := eng.cfg.DoorbellBatch && proto == EagerSendRecv && dl == 0
+	if batchable {
+		for _, pl := range payloads {
+			if len(pl) > slotCap {
+				// A multi-fragment message breaks the one-WR-per-message
+				// chain shape; sendEager handles it on the ordinary path.
+				batchable = false
+				break
+			}
+		}
+	}
+	if !batchable {
+		o := opts
+		o.Oneway = true
+		for _, pl := range payloads {
+			if _, err := c.Call(p, fn, pl, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.breakerGate(p); err != nil {
+		return err
+	}
+	poll := resolvePoll(opts.Poll, opts.Busy)
+	cm := eng.dev.CostModel()
+	var head, tail *verbs.SendWR
+	stageOff := 0
+	flush := func() {
+		if head == nil {
+			return
+		}
+		//hatlint:allow wrsigned -- oneway eager SENDs are unsignaled by design; the cost model emits no CQE for unsignaled WRs, so there is nothing to drain
+		c.qp.PostSend(p, head)
+		head, tail = nil, nil
+		stageOff = 0
+	}
+	for _, pl := range payloads {
+		c.stats.Calls++
+		c.stats.Oneways++
+		c.stats.BytesSent += int64(len(pl))
+		c.seq++
+		if m := eng.em; m != nil {
+			m.calls[EagerSendRecv].Inc()
+			m.oneways.Inc()
+			m.bytesSent[EagerSendRecv].Add(int64(len(pl)))
+		}
+		if fc := c.fc; fc != nil && fc.avail <= 0 {
+			// Post what is staged first: delivering it is what lets the
+			// peer repost RECVs and grant the credits we are about to wait
+			// for.
+			flush()
+			if !c.waitCredit(p, EagerSendRecv, poll, 0) {
+				return ErrNoCredits
+			}
+		}
+		c.spend()
+		h := hdr{
+			kind: kReq, proto: EagerSendRecv, respProto: ProtoAuto,
+			fn: fn, length: uint32(len(pl)), seq: c.seq,
+		}
+		eng.node.CPU.Compute(p, eng.node.NUMAWork(sim.Duration(cm.EagerSlotMgmtNs), c.numaBound))
+		c.memcpyCharge(p, len(pl))
+		if stageOff+hdrSize+len(pl) > c.stageNotifyOff() {
+			flush()
+		}
+		base := stageOff
+		c.putHdrC(c.stageMR.Buf[base:], h)
+		copy(c.stageMR.Buf[base+hdrSize:], pl)
+		wr := &verbs.SendWR{
+			WRID: c.wrid(), Op: verbs.OpSend,
+			SGE:        verbs.SGE{MR: c.stageMR, Off: base, Len: hdrSize + len(pl)},
+			Inline:     hdrSize+len(pl) <= 256,
+			Unsignaled: true,
+		}
+		if tail == nil {
+			head = wr
+		} else {
+			tail.Next = wr
+		}
+		tail = wr
+		stageOff = base + hdrSize + len(pl)
+	}
+	flush()
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -557,6 +688,12 @@ func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, busy bool, until sim.Tim
 // SendResponse delivers resp for the request described by a, honouring
 // the client's requested response protocol.
 func (c *Conn) SendResponse(p *sim.Proc, a Arrival, resp []byte, busy bool) {
+	c.sendResponse(p, a, resp, boolMode(busy))
+}
+
+// sendResponse is SendResponse with an explicit polling discipline (the
+// Server dispatcher resolves Server.Poll/Busy once and passes it down).
+func (c *Conn) sendResponse(p *sim.Proc, a Arrival, resp []byte, poll PollMode) {
 	if !c.server {
 		panic("engine: SendResponse on client connection")
 	}
@@ -585,9 +722,9 @@ func (c *Conn) SendResponse(p *sim.Proc, a Arrival, resp []byte, busy bool) {
 		// HERD responds two-sided.
 		eh := h
 		eh.proto = HERD
-		c.sendEager(p, eh, resp, busy, until)
+		c.sendEager(p, eh, resp, poll, until)
 	default:
-		c.sendMessageUntil(p, h, resp, busy, until)
+		c.sendMessageUntil(p, h, resp, poll, until)
 	}
 }
 

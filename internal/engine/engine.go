@@ -68,6 +68,33 @@ type Config struct {
 	// half-open probing (doubling after each failed probe, capped at 16×).
 	// Zero means DefaultBreakerCooldown.
 	BreakerCooldown sim.Duration
+
+	// PollBudget batches CQ draining in the pump loops: one wakeup polls
+	// up to this many completions (CQ.PollN) and pays one detection
+	// charge for the whole batch. Zero or one keeps the legacy
+	// one-completion-per-poll behaviour, byte-identical to earlier
+	// builds.
+	PollBudget int
+	// DoorbellBatch coalesces multi-call oneway bursts (OnewayBurst)
+	// into a single chained PostSend — one doorbell per chain instead of
+	// one per message. Segmented single messages deliberately stay on
+	// the per-fragment path: chaining a whole fragment train would defer
+	// every fragment's NIC work until the last one is staged, losing the
+	// staging/transmit overlap that dominates large-message latency (a
+	// measured regression, not a saving). False keeps one doorbell per
+	// work request everywhere, byte-identical to earlier builds.
+	DoorbellBatch bool
+	// ArenaPayloads recycles delivered-payload buffers through a
+	// size-classed arena instead of allocating per message. It is pure
+	// host-memory reuse: no simulated cost changes, so virtual-time
+	// behaviour is identical with it on or off. Payload ownership
+	// tightens: a handler's request bytes are recycled after its
+	// response is sent, and callers may hand responses back via
+	// Conn.Recycle.
+	ArenaPayloads bool
+	// AdaptiveSpin is the PollAdaptiveMode spin window per wait entry.
+	// Zero means DefaultAdaptiveSpinNs.
+	AdaptiveSpin sim.Duration
 }
 
 // DefaultRnrRetry is the RNR retransmission budget applied when
@@ -114,7 +141,8 @@ type Engine struct {
 	cfg  Config
 	env  *sim.Env
 
-	rndvFree map[int][]*verbs.MR // size-class → free registered buffers
+	rndvFree    map[int][]*verbs.MR // size-class → free registered buffers
+	payloadFree map[int][][]byte    // size-class → recycled payload buffers (ArenaPayloads)
 
 	// Always-on resource accounting.
 	pinnedBytes int64
@@ -146,12 +174,13 @@ func New(node *simnet.Node, cfg Config) *Engine {
 	}
 	dev := verbs.OpenDevice(node, nil)
 	return &Engine{
-		node:     node,
-		dev:      dev,
-		pd:       dev.AllocPD(),
-		cfg:      cfg,
-		env:      node.Cluster().Env(),
-		rndvFree: make(map[int][]*verbs.MR),
+		node:        node,
+		dev:         dev,
+		pd:          dev.AllocPD(),
+		cfg:         cfg,
+		env:         node.Cluster().Env(),
+		rndvFree:    make(map[int][]*verbs.MR),
+		payloadFree: make(map[int][][]byte),
 	}
 }
 
@@ -544,6 +573,13 @@ type Conn struct {
 
 	busyLoaded bool
 	numaBound  bool
+
+	// Adaptive-poller state: the virtual time until which the current
+	// wait may keep spinning before demoting to the event path.
+	spinUntil sim.Time
+	// Batched-poll scratch (Config.PollBudget > 1); nil keeps the legacy
+	// one-completion-per-poll pumps.
+	wcBuf []verbs.WC
 }
 
 // Stats returns the connection's always-on counters.
@@ -582,6 +618,7 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 		orphanOut:    make(map[uint32]*verbs.MR),
 		ctsReady:     make(map[uint32]bool),
 		frags:        make(map[uint32]*fragState),
+		wcBuf:        wcBufFor(e.cfg),
 	}
 	e.nextConnID++
 	c.qp = e.dev.CreateQP(c.cq, c.cq)
@@ -601,8 +638,20 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 	}
 	c.eagerMR = e.pd.RegisterMRNoCost(c.slots * c.slotSize)
 	// Staging holds [hdr|payload] plus a dedicated tail region for notify
-	// headers so Direct-Write-Send chains never overlap the payload.
-	c.stageMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + 2*hdrSize)
+	// headers so Direct-Write-Send chains never overlap the payload. With
+	// doorbell batching every fragment of a chained eager train needs its
+	// own staged header, so the region grows by one header per possible
+	// fragment; without batching the sizing is exactly the legacy one.
+	stageLen := e.cfg.MaxMsgSize + 2*hdrSize
+	if e.cfg.DoorbellBatch {
+		slotCap := c.slotSize - hdrSize
+		maxFrags := (e.cfg.MaxMsgSize + slotCap - 1) / slotCap
+		if maxFrags < 1 {
+			maxFrags = 1
+		}
+		stageLen = e.cfg.MaxMsgSize + (maxFrags+1)*hdrSize
+	}
+	c.stageMR = e.pd.RegisterMRNoCost(stageLen)
 	c.directMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
 	if server && !e.cfg.NoFetchBufs {
 		c.rfpInMR = e.pd.RegisterMRNoCost(e.cfg.MaxMsgSize + hdrSize)
@@ -811,11 +860,14 @@ func (e *Engine) TryDial(p *sim.Proc, target *simnet.Node, port string, until si
 // ---------------------------------------------------------------------------
 // Event pump
 
-// chargeDetect applies the completion-detection cost for the configured
-// polling discipline.
-func (c *Conn) chargeDetect(p *sim.Proc, busy bool) {
+// chargeDetect applies the completion-detection cost for the polling
+// discipline. Adaptive waits still inside their spin window pay the
+// busy-poll detection cost; past the window (demoted to the event path)
+// they pay the interrupt wake.
+func (c *Conn) chargeDetect(p *sim.Proc, poll PollMode) {
 	cm := c.eng.dev.CostModel()
 	cpu := c.eng.node.CPU
+	busy := poll == PollBusyMode || (poll == PollAdaptiveMode && p.Now() < c.spinUntil)
 	if busy {
 		p.Sleep(sim.Duration(cm.BusyDetectNs(cpu.LoadFactor())))
 	} else {
@@ -824,10 +876,23 @@ func (c *Conn) chargeDetect(p *sim.Proc, busy bool) {
 }
 
 // enterWait registers the busy-poll CPU load for the duration of a wait.
-func (c *Conn) enterWait(busy bool) {
-	if busy && !c.busyLoaded {
-		c.eng.node.CPU.AddLoad(1)
-		c.busyLoaded = true
+// An adaptive wait spins like a busy poller for its spin window — the
+// load is registered and a demotion wake is armed at the window's end so
+// pumpWait can observe the expiry even with no completion traffic.
+func (c *Conn) enterWait(poll PollMode) {
+	switch poll {
+	case PollBusyMode:
+		if !c.busyLoaded {
+			c.eng.node.CPU.AddLoad(1)
+			c.busyLoaded = true
+		}
+	case PollAdaptiveMode:
+		c.spinUntil = c.eng.env.Now() + sim.Time(c.spinWindow())
+		if !c.busyLoaded {
+			c.eng.node.CPU.AddLoad(1)
+			c.busyLoaded = true
+		}
+		c.eng.env.At(c.spinUntil, c.sig.Fire)
 	}
 }
 
@@ -842,7 +907,11 @@ func (c *Conn) exitWait() {
 // arrives, processing protocol-internal control traffic (RTS/CTS/FIN)
 // along the way.
 func (c *Conn) NextArrival(p *sim.Proc, busy bool) Arrival {
-	c.enterWait(busy)
+	return c.nextArrival(p, boolMode(busy))
+}
+
+func (c *Conn) nextArrival(p *sim.Proc, poll PollMode) Arrival {
+	c.enterWait(poll)
 	defer c.exitWait()
 	for {
 		if n := len(c.respQueue); n > 0 {
@@ -851,9 +920,32 @@ func (c *Conn) NextArrival(p *sim.Proc, busy bool) Arrival {
 			c.stats.BytesRecvd += int64(len(a.Payload))
 			return a
 		}
-		if wc, ok := c.cq.TryPoll(); ok {
+		if len(c.wcBuf) > 0 {
+			// Batched drain: handle up to the poll budget in one pass,
+			// return the first finished arrival and queue the rest. One
+			// detection charge covers the whole batch.
+			if n := c.cq.PollN(c.wcBuf); n > 0 {
+				var first Arrival
+				have := false
+				for i := 0; i < n; i++ {
+					if a, done := c.handleWC(p, c.wcBuf[i]); done {
+						if !have {
+							first, have = a, true
+						} else {
+							c.respQueue = append(c.respQueue, a)
+						}
+					}
+				}
+				if have {
+					c.chargeDetect(p, poll)
+					c.stats.BytesRecvd += int64(len(first.Payload))
+					return first
+				}
+				continue
+			}
+		} else if wc, ok := c.cq.TryPoll(); ok {
 			if a, done := c.handleWC(p, wc); done {
-				c.chargeDetect(p, busy)
+				c.chargeDetect(p, poll)
 				c.stats.BytesRecvd += int64(len(a.Payload))
 				return a
 			}
@@ -863,12 +955,12 @@ func (c *Conn) NextArrival(p *sim.Proc, busy bool) Arrival {
 			c.rfpPending = false
 			h := getHdr(c.rfpInMR.Buf)
 			c.noteCredits(h)
-			payload := append([]byte(nil), c.rfpInMR.Buf[hdrSize:hdrSize+int(h.length)]...)
-			c.chargeDetect(p, busy)
+			payload := c.copyPayload(c.rfpInMR.Buf[hdrSize : hdrSize+int(h.length)])
+			c.chargeDetect(p, poll)
 			c.stats.BytesRecvd += int64(len(payload))
 			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}
 		}
-		c.sig.Wait(p)
+		c.pumpWait(p, poll)
 	}
 }
 
@@ -876,8 +968,8 @@ func (c *Conn) NextArrival(p *sim.Proc, busy bool) Arrival {
 // unrelated arrivals. A non-zero until bounds the wait (virtual time);
 // it returns false on timeout with the seq's CTS flag left unset so a
 // late CTS can still be consumed by a retry.
-func (c *Conn) waitCTSUntil(p *sim.Proc, seq uint32, busy bool, until sim.Time) bool {
-	c.enterWait(busy)
+func (c *Conn) waitCTSUntil(p *sim.Proc, seq uint32, poll PollMode, until sim.Time) bool {
+	c.enterWait(poll)
 	defer c.exitWait()
 	if until > 0 {
 		c.armWake(until)
@@ -886,30 +978,29 @@ func (c *Conn) waitCTSUntil(p *sim.Proc, seq uint32, busy bool, until sim.Time) 
 		if until > 0 && p.Now() >= until {
 			return false
 		}
-		if wc, ok := c.cq.TryPoll(); ok {
-			if a, done := c.handleWC(p, wc); done {
-				c.respQueue = append(c.respQueue, a)
-			}
+		if c.pumpCompletions(p) > 0 {
 			continue
 		}
-		c.sig.Wait(p)
+		c.pumpWait(p, poll)
 	}
 	delete(c.ctsReady, seq)
-	c.chargeDetect(p, busy)
+	c.chargeDetect(p, poll)
 	return true
 }
 
 // waitRead pumps until the READ with the given wrid completes, returning
 // whether it succeeded. (A READ always completes: success, retry
 // exhaustion after a drop, or a flush on an errored QP — so this wait
-// needs no deadline of its own.)
-func (c *Conn) waitRead(p *sim.Proc, wrid uint64, busy bool) bool {
-	c.enterWait(busy)
+// needs no deadline of its own.) The wait inspects completions one at a
+// time even under a poll budget: it returns on its own READ, so batching
+// ahead of it would only reorder the charge.
+func (c *Conn) waitRead(p *sim.Proc, wrid uint64, poll PollMode) bool {
+	c.enterWait(poll)
 	defer c.exitWait()
 	for {
 		if wc, ok := c.cq.TryPoll(); ok {
 			if wc.Op == verbs.OpRead && wc.WRID == wrid {
-				c.chargeDetect(p, busy)
+				c.chargeDetect(p, poll)
 				return wc.Status == verbs.WCSuccess
 			}
 			if a, done := c.handleWC(p, wc); done {
@@ -917,7 +1008,7 @@ func (c *Conn) waitRead(p *sim.Proc, wrid uint64, busy bool) bool {
 			}
 			continue
 		}
-		c.sig.Wait(p)
+		c.pumpWait(p, poll)
 	}
 }
 
@@ -977,7 +1068,7 @@ func (c *Conn) handleWC(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 			delete(c.rndvIn, rts.seq)
 			h := getHdr(buf.Buf)
 			c.noteCredits(h)
-			payload := append([]byte(nil), buf.Buf[hdrSize:hdrSize+int(h.length)]...)
+			payload := c.copyPayload(buf.Buf[hdrSize : hdrSize+int(h.length)])
 			c.eng.releaseRndv(buf)
 			c.postSmall(p, hdr{kind: kFin, proto: h.proto, seq: h.seq})
 			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true
@@ -1011,7 +1102,7 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	// to be (data, control, duplicate, or a request later shed by
 	// admission control) — the repost happens before the message is
 	// interpreted, so shedding can neither skip nor double it.
-	frag := append([]byte(nil), buf[hdrSize:wc.ByteLen]...)
+	frag := c.copyPayload(buf[hdrSize:wc.ByteLen])
 	c.qp.PostRecv(verbs.RecvWR{
 		WRID: wc.WRID,
 		SGE:  verbs.SGE{MR: c.eagerMR, Off: base, Len: c.slotSize},
@@ -1030,6 +1121,7 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 			// arrival (on the first fragment only) so the dispatcher's
 			// dedup path resends the cached response.
 			delete(c.frags, h.seq)
+			c.Recycle(frag)
 			if h.off == 0 {
 				return Arrival{Kind: kReq, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq}, true
 			}
@@ -1041,15 +1133,17 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 		// Segmented message: accumulate until complete.
 		st, ok := c.frags[h.seq]
 		if !ok {
-			st = &fragState{h: h, buf: make([]byte, h.length), seen: make(map[uint32]bool)}
+			st = &fragState{h: h, buf: c.allocPayload(int(h.length)), seen: make(map[uint32]bool)}
 			c.frags[h.seq] = st
 		}
 		if st.seen[h.off] {
+			c.Recycle(frag)
 			return Arrival{}, false // duplicate fragment from a retransmission
 		}
 		st.seen[h.off] = true
 		copy(st.buf[h.off:], frag)
 		st.got += len(frag)
+		c.Recycle(frag)
 		if st.got < int(h.length) {
 			return Arrival{}, false
 		}
@@ -1059,7 +1153,7 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 		// Direct-Write-Send: payload already written into directMR.
 		dh := getHdr(c.directMR.Buf)
 		c.noteCredits(dh)
-		payload := append([]byte(nil), c.directMR.Buf[hdrSize:hdrSize+int(dh.length)]...)
+		payload := c.copyPayload(c.directMR.Buf[hdrSize : hdrSize+int(dh.length)])
 		return Arrival{Kind: dh.kind, Proto: dh.proto, RespProto: dh.respProto, Fn: dh.fn, Seq: dh.seq, Payload: payload}, true
 	case kRTS:
 		return c.handleRTS(p, h)
@@ -1159,7 +1253,7 @@ func (c *Conn) handleWriteImm(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	if wc.Imm == immDirect {
 		h := getHdr(c.directMR.Buf)
 		c.noteCredits(h)
-		payload := append([]byte(nil), c.directMR.Buf[hdrSize:hdrSize+int(h.length)]...)
+		payload := c.copyPayload(c.directMR.Buf[hdrSize : hdrSize+int(h.length)])
 		return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true
 	}
 	seq := wc.Imm
@@ -1174,7 +1268,7 @@ func (c *Conn) handleWriteImm(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	delete(c.rndvIn, seq)
 	h := getHdr(buf.Buf)
 	c.noteCredits(h)
-	payload := append([]byte(nil), buf.Buf[hdrSize:hdrSize+int(h.length)]...)
+	payload := c.copyPayload(buf.Buf[hdrSize : hdrSize+int(h.length)])
 	delete(c.shared.rndv, rndvKey(seq, !c.server))
 	c.eng.releaseRndv(buf)
 	return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true

@@ -130,7 +130,7 @@ func (c *Conn) spend() {
 // keeping acquisition and spending distinct lets fragmented sends
 // acquire per fragment instead of needing the whole burst upfront
 // (which could exceed the ring and deadlock).
-func (c *Conn) waitCredit(p *sim.Proc, proto Protocol, busy bool, until sim.Time) bool {
+func (c *Conn) waitCredit(p *sim.Proc, proto Protocol, poll PollMode, until sim.Time) bool {
 	fc := c.fc
 	if fc == nil || fc.avail > 0 {
 		return true
@@ -142,7 +142,7 @@ func (c *Conn) waitCredit(p *sim.Proc, proto Protocol, busy bool, until sim.Time
 	}
 	eng.trc.Instant("engine", "credit_stall."+proto.String(), eng.node.ID(), c.id,
 		int64(p.Now()), obs.Arg{K: "avail", V: int64(fc.avail)})
-	c.enterWait(busy)
+	c.enterWait(poll)
 	defer c.exitWait()
 	if until > 0 {
 		c.armWake(until)
@@ -151,14 +151,11 @@ func (c *Conn) waitCredit(p *sim.Proc, proto Protocol, busy bool, until sim.Time
 		if until > 0 && p.Now() >= until {
 			return false
 		}
-		if wc, ok := c.cq.TryPoll(); ok {
-			if a, done := c.handleWC(p, wc); done {
-				c.respQueue = append(c.respQueue, a)
-			}
+		if c.pumpCompletions(p) > 0 {
 			continue
 		}
-		c.sig.Wait(p)
+		c.pumpWait(p, poll)
 	}
-	c.chargeDetect(p, busy)
+	c.chargeDetect(p, poll)
 	return true
 }

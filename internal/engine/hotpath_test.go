@@ -1,0 +1,481 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// hotConfig is DefaultConfig with every hot-path knob on: batched CQ
+// polling, doorbell-batched eager sends, and the payload arena.
+func hotConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PollBudget = 16
+	cfg.DoorbellBatch = true
+	cfg.ArenaPayloads = true
+	return cfg
+}
+
+// testClusterCfg is testCluster with an explicit engine config on both
+// endpoints.
+func testClusterCfg(seed int64, cfg Config) (*sim.Env, *Engine, *Engine) {
+	env := sim.NewEnv(seed)
+	cl := simnet.NewCluster(env, simnet.Config{
+		Nodes: 2, Cores: 28, Sockets: 2, LinkGbps: 100, PropDelayNs: 600, NUMAPenalty: 1.25,
+	})
+	srv := New(cl.Node(0), cfg)
+	cli := New(cl.Node(1), cfg)
+	return env, srv, cli
+}
+
+// TestAdaptivePollingRoundTrips runs the full protocol matrix with the
+// adaptive spin-then-sleep discipline on both endpoints (the
+// polling=adaptive hint path).
+func TestAdaptivePollingRoundTrips(t *testing.T) {
+	sizes := []int{0, 64, 4096, 131072}
+	for _, proto := range dataProtocols {
+		for _, size := range sizes {
+			t.Run(fmt.Sprintf("%s/size=%d", proto, size), func(t *testing.T) {
+				env, srvEng, cliEng := testCluster(11)
+				srv := srvEng.Serve("svc", echoHandler)
+				srv.Poll = PollAdaptiveMode
+				req := make([]byte, size)
+				for i := range req {
+					req[i] = byte(i * 5)
+				}
+				var resp []byte
+				var err error
+				env.Spawn("client", func(p *sim.Proc) {
+					c := cliEng.Dial(p, srvEng.Node(), "svc")
+					// Two calls back to back: the second lands inside the
+					// spin window opened by the first wait, exercising the
+					// spin-hit path as well as the demotion path.
+					if _, err = c.Call(p, 3, req, CallOpts{Proto: proto, Poll: PollAdaptiveMode}); err == nil {
+						resp, err = c.Call(p, 3, req, CallOpts{Proto: proto, Poll: PollAdaptiveMode})
+					}
+					env.Stop()
+				})
+				env.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := echoHandler(nil, 3, req)
+				if !bytes.Equal(resp, want) {
+					t.Fatalf("response mismatch: got %d bytes, want %d", len(resp), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestHotpathConfigRoundTrips runs the protocol matrix with every
+// hot-path knob enabled at once (PollBudget, DoorbellBatch,
+// ArenaPayloads) and sequential calls per connection, so arena buffers
+// are recycled and reused across ops.
+func TestHotpathConfigRoundTrips(t *testing.T) {
+	for _, proto := range dataProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			env, srvEng, cliEng := testClusterCfg(12, hotConfig())
+			srvEng.Serve("svc", echoHandler)
+			calls := 0
+			env.Spawn("client", func(p *sim.Proc) {
+				c := cliEng.Dial(p, srvEng.Node(), "svc")
+				for i := 0; i < 8; i++ {
+					req := []byte(fmt.Sprintf("hot-%s-%02d", proto, i))
+					resp, err := c.Call(p, uint32(i), req, CallOpts{Proto: proto, Busy: i%2 == 0})
+					if err != nil {
+						t.Errorf("call %d: %v", i, err)
+						break
+					}
+					if string(resp) != "ECHO"+string(req) {
+						t.Errorf("call %d: got %q", i, resp)
+						break
+					}
+					c.Recycle(resp)
+					calls++
+				}
+				env.Stop()
+			})
+			env.Run()
+			if calls != 8 {
+				t.Fatalf("completed %d calls, want 8", calls)
+			}
+		})
+	}
+}
+
+// TestPollBudgetDrainsConcurrentBurst pushes a fan-in burst through a
+// PollBudget-enabled server: many clients issue calls in the same
+// scheduling quantum, so the server pump sees several completions per
+// wakeup and must drain them all through PollN.
+func TestPollBudgetDrainsConcurrentBurst(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PollBudget = 16
+	env, srvEng, cliEng := testClusterCfg(13, cfg)
+	srv := srvEng.Serve("svc", echoHandler)
+	const N = 12
+	done := 0
+	for i := 0; i < N; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("client%d", i), func(p *sim.Proc) {
+			c := cliEng.Dial(p, srvEng.Node(), "svc")
+			for j := 0; j < 4; j++ {
+				req := []byte(fmt.Sprintf("c%d-m%d", i, j))
+				resp, err := c.Call(p, 1, req, CallOpts{Proto: EagerSendRecv})
+				if err != nil || string(resp) != "ECHO"+string(req) {
+					t.Errorf("client %d call %d: %q %v", i, j, resp, err)
+					return
+				}
+			}
+			done++
+			if done == N {
+				env.Stop()
+			}
+		})
+	}
+	env.Run()
+	if done != N {
+		t.Fatalf("%d/%d clients finished", done, N)
+	}
+	if srv.Served != N*4 {
+		t.Fatalf("server served %d, want %d", srv.Served, N*4)
+	}
+}
+
+// TestDoorbellBatchSegmentedNoOp pins the DoorbellBatch scope contract:
+// a segmented single message (payload larger than one slot) takes the
+// per-fragment path with the flag on or off — chaining a whole fragment
+// train would trade the staging/transmit overlap for doorbell savings
+// and lose. Responses AND virtual timings must be identical.
+func TestDoorbellBatchSegmentedNoOp(t *testing.T) {
+	req := make([]byte, 3*4096+123) // several fragments + a tail
+	for i := range req {
+		req[i] = byte(i * 13)
+	}
+	run := func(batch bool) ([]byte, sim.Time) {
+		cfg := DefaultConfig()
+		cfg.DoorbellBatch = batch
+		env, srvEng, cliEng := testClusterCfg(14, cfg)
+		srvEng.Serve("svc", echoHandler)
+		var resp []byte
+		var err error
+		env.Spawn("client", func(p *sim.Proc) {
+			c := cliEng.Dial(p, srvEng.Node(), "svc")
+			resp, err = c.Call(p, 9, req, CallOpts{Proto: EagerSendRecv, Busy: true})
+			env.Stop()
+		})
+		env.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, env.Now()
+	}
+	legacy, legacyEnd := run(false)
+	batched, batchedEnd := run(true)
+	if !bytes.Equal(legacy, batched) {
+		t.Fatalf("batched response differs from legacy: %d vs %d bytes", len(batched), len(legacy))
+	}
+	if batchedEnd != legacyEnd {
+		t.Fatalf("DoorbellBatch changed segmented-message timing: %d vs %d", batchedEnd, legacyEnd)
+	}
+	if want := echoHandler(nil, 9, req); !bytes.Equal(batched, want) {
+		t.Fatalf("batched response corrupt: got %d bytes, want %d", len(batched), len(want))
+	}
+}
+
+// TestArenaPayloadsRecycleReuse verifies the payload arena actually
+// cycles buffers: after a Recycle the class has stock, and a subsequent
+// same-shape call draws from it without corrupting the delivered bytes.
+func TestArenaPayloadsRecycleReuse(t *testing.T) {
+	env, srvEng, cliEng := testClusterCfg(15, hotConfig())
+	srvEng.Serve("svc", echoHandler)
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		req := bytes.Repeat([]byte("x"), 100)
+		resp1, err := c.Call(p, 1, req, CallOpts{Proto: EagerSendRecv, Busy: true})
+		if err != nil {
+			t.Error(err)
+			env.Stop()
+			return
+		}
+		saved := append([]byte(nil), resp1...)
+		c.Recycle(resp1)
+		cls := payloadClass(len(resp1))
+		if len(cliEng.payloadFree[cls]) == 0 {
+			t.Errorf("class %d empty after Recycle", cls)
+		}
+		resp2, err := c.Call(p, 1, req, CallOpts{Proto: EagerSendRecv, Busy: true})
+		if err != nil {
+			t.Error(err)
+		} else if !bytes.Equal(resp2, saved) {
+			t.Errorf("reused-buffer response differs: %q vs %q", resp2, saved)
+		}
+		env.Stop()
+	})
+	env.Run()
+}
+
+// TestOnewayBurstBatched drives the chained-WR burst path end to end:
+// all messages must be served, counted as oneways, and a trailing
+// regular call must still round-trip on the same connection.
+func TestOnewayBurstBatched(t *testing.T) {
+	env, srvEng, cliEng := testClusterCfg(16, hotConfig())
+	srv := srvEng.Serve("svc", echoHandler)
+	const B = 8
+	payloads := make([][]byte, B)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("burst-%02d", i))
+	}
+	var conn *Conn
+	env.Spawn("client", func(p *sim.Proc) {
+		conn = cliEng.Dial(p, srvEng.Node(), "svc")
+		if err := conn.OnewayBurst(p, 7, payloads, CallOpts{Proto: EagerSendRecv, Busy: true}); err != nil {
+			t.Error(err)
+		}
+		// The sync call flushes behind the burst: by the time its response
+		// arrives, every burst message has been dispatched in order.
+		resp, err := conn.Call(p, 8, []byte("sync"), CallOpts{Proto: EagerSendRecv, Busy: true})
+		if err != nil || string(resp) != "ECHOsync" {
+			t.Errorf("sync call: %q %v", resp, err)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if srv.Served != B+1 {
+		t.Fatalf("served %d, want %d", srv.Served, B+1)
+	}
+	st := conn.Stats()
+	if st.Oneways != B {
+		t.Fatalf("oneways %d, want %d", st.Oneways, B)
+	}
+	if st.Calls != B+1 {
+		t.Fatalf("calls %d, want %d", st.Calls, B+1)
+	}
+}
+
+// TestOnewayBurstFallback checks the degradation contract: without
+// DoorbellBatch (and with an oversize fragment) the burst becomes a loop
+// of ordinary oneway Calls with identical observable results.
+func TestOnewayBurstFallback(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		big  bool
+	}{
+		{"no-doorbell-batch", DefaultConfig(), false},
+		{"oversize-fragment", hotConfig(), true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env, srvEng, cliEng := testClusterCfg(17, tc.cfg)
+			srv := srvEng.Serve("svc", echoHandler)
+			payloads := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+			if tc.big {
+				payloads[1] = make([]byte, 8192) // > slot capacity: multi-fragment
+			}
+			env.Spawn("client", func(p *sim.Proc) {
+				c := cliEng.Dial(p, srvEng.Node(), "svc")
+				if err := c.OnewayBurst(p, 7, payloads, CallOpts{Proto: EagerSendRecv, Busy: true}); err != nil {
+					t.Error(err)
+				}
+				resp, err := c.Call(p, 8, []byte("sync"), CallOpts{Proto: EagerSendRecv, Busy: true})
+				if err != nil || string(resp) != "ECHOsync" {
+					t.Errorf("sync call: %q %v", resp, err)
+				}
+				env.Stop()
+			})
+			env.Run()
+			if srv.Served != int64(len(payloads))+1 {
+				t.Fatalf("served %d, want %d", srv.Served, len(payloads)+1)
+			}
+		})
+	}
+}
+
+// TestFetchPaceDisciplines pins the one-sided result-poll pacing table:
+// busy spins at the legacy 600 ns pace until the RC retry budget, event
+// paces at the interrupt-wake granularity from the first retry, and
+// adaptive spins only for the connection's spin window.
+func TestFetchPaceDisciplines(t *testing.T) {
+	env, srvEng, cliEng := testCluster(18)
+	srvEng.Serve("svc", echoHandler)
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		cm := c.eng.dev.CostModel()
+		spin := sim.Duration(fetchSpinPaceMult * cm.PollGranularityNs)
+		slow := sim.Duration(cm.InterruptWakeNs)
+		for _, tc := range []struct {
+			poll PollMode
+			spun sim.Duration
+			want sim.Duration
+		}{
+			{PollBusyMode, 0, spin},
+			{PollBusyMode, sim.Duration(cm.RetryTimeoutNs) - 1, spin},
+			{PollBusyMode, sim.Duration(cm.RetryTimeoutNs), slow},
+			{PollEventMode, 0, slow},
+			{PollAdaptiveMode, 0, spin},
+			{PollAdaptiveMode, c.spinWindow() - 1, spin},
+			{PollAdaptiveMode, c.spinWindow(), slow},
+		} {
+			if got := c.fetchPace(tc.poll, tc.spun); got != tc.want {
+				t.Errorf("fetchPace(%v, spun=%d) = %d, want %d", tc.poll, tc.spun, got, tc.want)
+			}
+		}
+		env.Stop()
+	})
+	env.Run()
+}
+
+// TestHotpathKnobsDeterministic runs the same mixed workload twice under
+// the full hot-path config and requires identical virtual end times —
+// the new knobs are host-memory optimisations plus modelled disciplines,
+// both deterministic.
+func TestHotpathKnobsDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		env, srvEng, cliEng := testClusterCfg(19, hotConfig())
+		srv := srvEng.Serve("svc", echoHandler)
+		srv.Poll = PollAdaptiveMode
+		env.Spawn("client", func(p *sim.Proc) {
+			c := cliEng.Dial(p, srvEng.Node(), "svc")
+			var bl [][]byte
+			for i := 0; i < 6; i++ {
+				bl = append(bl, []byte(fmt.Sprintf("b%d", i)))
+			}
+			if err := c.OnewayBurst(p, 2, bl, CallOpts{Proto: EagerSendRecv}); err != nil {
+				t.Error(err)
+			}
+			for i, proto := range dataProtocols {
+				req := []byte(fmt.Sprintf("det-%02d", i))
+				resp, err := c.Call(p, uint32(i), req, CallOpts{Proto: proto, Poll: PollAdaptiveMode})
+				if err != nil || string(resp) != "ECHO"+string(req) {
+					t.Errorf("call %d (%s): %q %v", i, proto, resp, err)
+					return
+				}
+				c.Recycle(resp)
+			}
+			env.Stop()
+		})
+		env.Run()
+		return env.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("virtual end time differs across runs: %d vs %d", a, b)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks: allocs/op on the eager-path Call for every protocol.
+
+// benchCall measures b.N round-trip Calls on one connection inside one
+// simulation run, with allocation accounting.
+func benchCall(b *testing.B, cfg Config, size int, opts CallOpts, srvPoll PollMode) {
+	env, srvEng, cliEng := testClusterCfg(21, cfg)
+	srv := srvEng.Serve("svc", benchEchoHandler)
+	srv.Poll = srvPoll
+	req := make([]byte, size)
+	for i := range req {
+		req[i] = byte(i)
+	}
+	b.ReportAllocs()
+	var failed error
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc")
+		// Warm connection state and the payload arena outside the timer.
+		for i := 0; i < 3; i++ {
+			if resp, err := c.Call(p, 1, req, opts); err != nil {
+				failed = err
+				env.Stop()
+				return
+			} else {
+				c.Recycle(resp)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := c.Call(p, 1, req, opts)
+			if err != nil {
+				failed = err
+				break
+			}
+			c.Recycle(resp)
+		}
+		b.StopTimer()
+		env.Stop()
+	})
+	env.Run()
+	if failed != nil {
+		b.Fatal(failed)
+	}
+}
+
+// benchEchoHandler echoes the request slice itself — no per-op handler
+// allocation, so the benchmark isolates the engine's own hot path.
+func benchEchoHandler(p *sim.Proc, fn uint32, req []byte) []byte { return req }
+
+// BenchmarkEagerPathCall reports ns/op (host) and allocs/op for a small
+// round-trip Call on every protocol under the default config.
+func BenchmarkEagerPathCall(b *testing.B) {
+	for _, proto := range dataProtocols {
+		b.Run(proto.String(), func(b *testing.B) {
+			benchCall(b, DefaultConfig(), 64, CallOpts{Proto: proto, Busy: true}, PollFromBusy)
+		})
+	}
+}
+
+// BenchmarkEagerPathCallHotpath is the same workload with every hot-path
+// knob on — the before/after pair for the allocation sweep.
+func BenchmarkEagerPathCallHotpath(b *testing.B) {
+	for _, proto := range dataProtocols {
+		b.Run(proto.String(), func(b *testing.B) {
+			benchCall(b, hotConfig(), 64, CallOpts{Proto: proto, Poll: PollAdaptiveMode}, PollAdaptiveMode)
+		})
+	}
+}
+
+// BenchmarkOnewayBurst compares the chained-doorbell burst against the
+// equivalent loop of oneway Calls.
+func BenchmarkOnewayBurst(b *testing.B) {
+	payloads := make([][]byte, 8)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte(i)}, 64)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"batched", hotConfig()},
+		{"loop", DefaultConfig()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			env, srvEng, cliEng := testClusterCfg(22, tc.cfg)
+			srvEng.Serve("svc", benchEchoHandler)
+			b.ReportAllocs()
+			var failed error
+			env.Spawn("client", func(p *sim.Proc) {
+				c := cliEng.Dial(p, srvEng.Node(), "svc")
+				opts := CallOpts{Proto: EagerSendRecv, Busy: true}
+				if err := c.OnewayBurst(p, 1, payloads, opts); err != nil {
+					failed = err
+					env.Stop()
+					return
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.OnewayBurst(p, 1, payloads, opts); err != nil {
+						failed = err
+						break
+					}
+				}
+				b.StopTimer()
+				env.Stop()
+			})
+			env.Run()
+			if failed != nil {
+				b.Fatal(failed)
+			}
+		})
+	}
+}

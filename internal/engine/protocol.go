@@ -103,7 +103,8 @@ var AllProtocols = []Protocol{
 // set: which protocol to use for a payload regime and how to poll.
 type Plan struct {
 	Proto Protocol
-	Busy  bool // busy polling (vs event-driven)
+	Busy  bool     // busy polling (vs event-driven)
+	Poll  PollMode // explicit discipline; zero defers to Busy
 }
 
 // DefaultRndvThreshold is the Hybrid-EagerRNDV switchover (§4.3): 4 KB.
@@ -148,6 +149,11 @@ func SelectPlan(r hints.Resolved, cores int, size int, threshold int) Plan {
 			plan.Busy = true
 		case hints.PollEvent:
 			plan.Busy = false
+		case hints.PollAdaptive:
+			// Hybrid spin-then-sleep: no standing busy load, but imminent
+			// completions are still caught at busy-poll latency.
+			plan.Busy = false
+			plan.Poll = PollAdaptiveMode
 		}
 		return plan
 	}
@@ -186,6 +192,9 @@ func SelectPlan(r hints.Resolved, cores int, size int, threshold int) Plan {
 		plan.Busy = true
 	case hints.PollEvent:
 		plan.Busy = false
+	case hints.PollAdaptive:
+		plan.Busy = false
+		plan.Poll = PollAdaptiveMode
 	}
 	return plan
 }

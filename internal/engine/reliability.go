@@ -82,7 +82,7 @@ func (c *Conn) armWake(until sim.Time) {
 // until the response arrives or the deadline expires. The server
 // deduplicates by seq, so a retransmitted request is executed at most
 // once; stale duplicate responses are discarded by seq filtering.
-func (c *Conn) callReliable(p *sim.Proc, h hdr, req []byte, respProto Protocol, busy bool, until sim.Time) ([]byte, error) {
+func (c *Conn) callReliable(p *sim.Proc, h hdr, req []byte, respProto Protocol, poll PollMode, until sim.Time) ([]byte, error) {
 	eng := c.eng
 	backoff := sim.Duration(retryBackoffBaseNs)
 	for attempt := 0; ; attempt++ {
@@ -98,19 +98,19 @@ func (c *Conn) callReliable(p *sim.Proc, h hdr, req []byte, respProto Protocol, 
 		if attemptUntil > until {
 			attemptUntil = until
 		}
-		if c.sendMessageUntil(p, h, req, busy, attemptUntil) {
+		if c.sendMessageUntil(p, h, req, poll, attemptUntil) {
 			var out []byte
 			var ok bool
 			var err error
 			switch respProto {
 			case RFP:
-				out, ok, err = c.fetchRFPUntil(p, true, attemptUntil)
+				out, ok, err = c.fetchRFPUntil(p, poll, attemptUntil)
 			case Pilaf:
-				out, ok, err = c.fetchKVUntil(p, 2, true, attemptUntil)
+				out, ok, err = c.fetchKVUntil(p, 2, poll, attemptUntil)
 			case FaRM:
-				out, ok, err = c.fetchKVUntil(p, 1, true, attemptUntil)
+				out, ok, err = c.fetchKVUntil(p, 1, poll, attemptUntil)
 			default:
-				out, ok, err = c.awaitResponse(p, h.seq, busy, attemptUntil)
+				out, ok, err = c.awaitResponse(p, h.seq, poll, attemptUntil)
 			}
 			if err != nil {
 				// Typed server rejection (shed): terminal — retrying into
@@ -121,7 +121,7 @@ func (c *Conn) callReliable(p *sim.Proc, h hdr, req []byte, respProto Protocol, 
 			if ok {
 				return out, nil
 			}
-		} else if out, ok, err := c.pollResponse(p, h.seq, busy); ok || err != nil {
+		} else if out, ok, err := c.pollResponse(p, h.seq, poll); ok || err != nil {
 			// The handshake timed out because the server already served
 			// this request (its dedup path answers a retransmitted RTS
 			// with the response, never a CTS) — and the response was
@@ -148,7 +148,7 @@ func (c *Conn) callReliable(p *sim.Proc, h hdr, req []byte, respProto Protocol, 
 // confirm delivery, but protocols with a handshake (Write-RNDV's
 // RTS/CTS) still need bounded waits and retransmission to get the
 // payload off the node.
-func (c *Conn) sendOnewayReliable(p *sim.Proc, h hdr, req []byte, busy bool, until sim.Time) error {
+func (c *Conn) sendOnewayReliable(p *sim.Proc, h hdr, req []byte, poll PollMode, until sim.Time) error {
 	eng := c.eng
 	backoff := sim.Duration(retryBackoffBaseNs)
 	for attempt := 0; ; attempt++ {
@@ -162,7 +162,7 @@ func (c *Conn) sendOnewayReliable(p *sim.Proc, h hdr, req []byte, busy bool, unt
 		if attemptUntil > until {
 			attemptUntil = until
 		}
-		if c.sendMessageUntil(p, h, req, busy, attemptUntil) {
+		if c.sendMessageUntil(p, h, req, poll, attemptUntil) {
 			return nil
 		}
 		if p.Now() >= until {
@@ -219,8 +219,8 @@ func (c *Conn) abortCall(seq uint32) {
 // guarantee means their payloads equal what the original call already
 // returned. A kErr arrival for seq is the server's shed rejection and
 // returns ErrOverloaded.
-func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, busy bool, until sim.Time) ([]byte, bool, error) {
-	c.enterWait(busy)
+func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, poll PollMode, until sim.Time) ([]byte, bool, error) {
+	c.enterWait(poll)
 	defer c.exitWait()
 	c.armWake(until)
 	for {
@@ -231,38 +231,35 @@ func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, busy bool, until sim.Time)
 				continue
 			}
 			if a.Kind == kResp {
-				c.chargeDetect(p, busy)
+				c.chargeDetect(p, poll)
 				c.stats.BytesRecvd += int64(len(a.Payload))
 				return a.Payload, true, nil
 			}
 			if a.Kind == kErr {
-				c.chargeDetect(p, busy)
+				c.chargeDetect(p, poll)
 				return nil, false, ErrOverloaded
 			}
 		}
 		if p.Now() >= until {
 			return nil, false, nil
 		}
-		if wc, ok := c.cq.TryPoll(); ok {
-			if a, done := c.handleWC(p, wc); done {
-				c.respQueue = append(c.respQueue, a)
-			}
+		if c.pumpCompletions(p) > 0 {
 			continue
 		}
-		c.sig.Wait(p)
+		c.pumpWait(p, poll)
 	}
 }
 
 // pollResponse scans the queued arrivals for the response (or shed
 // rejection) to seq without blocking, consuming it when present.
 // Non-matching entries are left for awaitResponse's drain to discard.
-func (c *Conn) pollResponse(p *sim.Proc, seq uint32, busy bool) ([]byte, bool, error) {
+func (c *Conn) pollResponse(p *sim.Proc, seq uint32, poll PollMode) ([]byte, bool, error) {
 	for i, a := range c.respQueue {
 		if a.Seq != seq || (a.Kind != kResp && a.Kind != kErr) {
 			continue
 		}
 		c.respQueue = append(c.respQueue[:i], c.respQueue[i+1:]...)
-		c.chargeDetect(p, busy)
+		c.chargeDetect(p, poll)
 		if a.Kind == kErr {
 			return nil, false, ErrOverloaded
 		}

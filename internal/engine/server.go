@@ -140,6 +140,10 @@ type Server struct {
 	// connections and busy polling, dispatchers oversubscribe the node's
 	// cores — the Figure 5 collapse.
 	Busy bool
+	// Poll selects the dispatcher polling discipline explicitly (event,
+	// busy, or adaptive spin-then-sleep). The zero value defers to Busy,
+	// keeping existing configurations identical.
+	Poll PollMode
 	// NUMABind pins dispatchers NIC-locally (no remote-socket penalty on
 	// copies/compute).
 	NUMABind bool
@@ -184,8 +188,9 @@ func (s *Server) acceptLoop(p *sim.Proc) {
 
 func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 	eng := s.eng
+	poll := resolvePoll(s.Poll, s.Busy)
 	for {
-		a := c.NextArrival(p, s.Busy)
+		a := c.nextArrival(p, poll)
 		if a.Kind != kReq {
 			continue
 		}
@@ -195,7 +200,7 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 			// disturb the cached response of the last real request. The
 			// handler never sees it.
 			if a.RespProto != ProtoAuto {
-				c.SendResponse(p, a, nil, s.Busy)
+				c.sendResponse(p, a, nil, poll)
 			}
 			continue
 		}
@@ -208,7 +213,7 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 				m.dupRequests.Inc()
 			}
 			if c.dedupArr.RespProto != ProtoAuto {
-				c.SendResponse(p, c.dedupArr, c.dedupResp, s.Busy)
+				c.sendResponse(p, c.dedupArr, c.dedupResp, poll)
 			}
 			continue
 		}
@@ -237,7 +242,7 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 		start := int64(p.Now())
 		resp := s.handler(p, a.Fn, a.Payload)
 		if a.RespProto != ProtoAuto { // ProtoAuto marks a oneway request
-			c.SendResponse(p, a, resp, s.Busy)
+			c.sendResponse(p, a, resp, poll)
 		}
 		if s.adm != nil {
 			s.adm.release()
@@ -245,6 +250,16 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 		c.dedupValid, c.dedupSeq, c.dedupResp = true, a.Seq, resp
 		c.dedupArr = a
 		c.dedupArr.Payload = nil // the request body is not needed for resends
+		if eng.cfg.ArenaPayloads && len(a.Payload) > 0 && (len(resp) == 0 || &resp[0] != &a.Payload[0]) {
+			// The request body has been copied onto the wire (or dropped);
+			// recycle it into the payload arena. The alias check covers
+			// echo handlers that return the request slice itself — only a
+			// response sharing the payload's backing array (same first
+			// element) keeps the buffer alive. Handlers returning an
+			// *offset* subslice of the request must copy; the dispatcher
+			// cannot see that aliasing.
+			c.Recycle(a.Payload)
+		}
 		s.Served++
 		if m := eng.em; m != nil && int(a.Proto) < nProtocols {
 			m.served[a.Proto].Inc()

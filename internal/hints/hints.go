@@ -27,7 +27,7 @@ const (
 	KeyPerfGoal    Key = "perf_goal"    // latency | throughput | res_util
 	KeyConcurrency Key = "concurrency"  // expected concurrent clients (int)
 	KeyPayloadSize Key = "payload_size" // typical payload bytes (int)
-	KeyPolling     Key = "polling"      // auto | busy | event
+	KeyPolling     Key = "polling"      // auto | busy | event | adaptive
 	KeyNUMA        Key = "numa"         // bind | none
 	KeyTransport   Key = "transport"    // rdma | tcp
 	KeyPriority    Key = "priority"     // high | low
@@ -46,11 +46,15 @@ const (
 // Polling is the value domain of KeyPolling.
 type Polling string
 
-// Polling-mechanism hint values.
+// Polling-mechanism hint values. PollAdaptive is the hybrid discipline:
+// spin briefly after each arm (catching back-to-back completions at
+// busy-poll latency) then fall back to the interrupt path — the tradeoff
+// RPCAcc and fabric-lib both land on for mixed-rate CQs.
 const (
-	PollAuto  Polling = "auto"
-	PollBusy  Polling = "busy"
-	PollEvent Polling = "event"
+	PollAuto     Polling = "auto"
+	PollBusy     Polling = "busy"
+	PollEvent    Polling = "event"
+	PollAdaptive Polling = "adaptive"
 )
 
 // Side distinguishes the lateral hint scopes.
@@ -79,7 +83,7 @@ var validators = map[Key]func(string) error{
 	KeyPerfGoal:    oneOf("latency", "throughput", "res_util"),
 	KeyConcurrency: positiveInt,
 	KeyPayloadSize: positiveInt,
-	KeyPolling:     oneOf("auto", "busy", "event"),
+	KeyPolling:     oneOf("auto", "busy", "event", "adaptive"),
 	KeyNUMA:        oneOf("bind", "none"),
 	KeyTransport:   oneOf("rdma", "tcp"),
 	KeyPriority:    oneOf("high", "low"),

@@ -1,0 +1,153 @@
+package thrift
+
+import (
+	"bytes"
+	"testing"
+)
+
+// codecRoundTrip writes a representative eager-path message body (every
+// fixed-width primitive plus a binary field) through prot/framed/mem and
+// reads it back, returning an error message on mismatch. It allocates
+// nothing once the transports and the arena are warm — the property
+// TestEagerPathZeroAllocs gates.
+func codecRoundTrip(mem *TMemoryBuffer, framed *TFramedTransport, w, r TProtocol, blob []byte) string {
+	mem.Reset()
+	w.WriteStructBegin("S")
+	w.WriteFieldBegin("b", BOOL, 1)
+	w.WriteBool(true)
+	w.WriteFieldBegin("i8", BYTE, 2)
+	w.WriteI8(-5)
+	w.WriteFieldBegin("i16", I16, 3)
+	w.WriteI16(-3000)
+	w.WriteFieldBegin("i32", I32, 4)
+	w.WriteI32(123456789)
+	w.WriteFieldBegin("i64", I64, 5)
+	w.WriteI64(-987654321012345)
+	w.WriteFieldBegin("d", DOUBLE, 6)
+	w.WriteDouble(3.14159)
+	w.WriteFieldBegin("bin", STRING, 7)
+	w.WriteBinary(blob)
+	w.WriteFieldStop()
+	w.WriteStructEnd()
+	if err := framed.Flush(); err != nil {
+		return "flush: " + err.Error()
+	}
+
+	if _, err := r.ReadStructBegin(); err != nil {
+		return "struct begin: " + err.Error()
+	}
+	for {
+		_, ft, id, err := r.ReadFieldBegin()
+		if err != nil {
+			return "read field: " + err.Error()
+		}
+		if ft == STOP {
+			break
+		}
+		switch id {
+		case 1:
+			if v, _ := r.ReadBool(); !v {
+				return "bool mismatch"
+			}
+		case 2:
+			if v, _ := r.ReadI8(); v != -5 {
+				return "i8 mismatch"
+			}
+		case 3:
+			if v, _ := r.ReadI16(); v != -3000 {
+				return "i16 mismatch"
+			}
+		case 4:
+			if v, _ := r.ReadI32(); v != 123456789 {
+				return "i32 mismatch"
+			}
+		case 5:
+			if v, _ := r.ReadI64(); v != -987654321012345 {
+				return "i64 mismatch"
+			}
+		case 6:
+			if v, _ := r.ReadDouble(); v != 3.14159 {
+				return "double mismatch"
+			}
+		case 7:
+			v, err := r.ReadBinary()
+			if err != nil || !bytes.Equal(v, blob) {
+				return "binary mismatch"
+			}
+			PutBuffer(v) // recycle — the eager path's ownership contract
+		}
+	}
+	if err := r.ReadStructEnd(); err != nil {
+		return "struct end: " + err.Error()
+	}
+	return ""
+}
+
+// codecPair builds a framed binary or compact codec over one memory
+// buffer: distinct writer/reader protocol instances (as on a real
+// connection) sharing one framed transport.
+func codecPair(compact bool) (*TMemoryBuffer, *TFramedTransport, TProtocol, TProtocol) {
+	mem := NewTMemoryBuffer()
+	framed := NewTFramedTransport(mem)
+	if compact {
+		return mem, framed, NewTCompactProtocol(framed), NewTCompactProtocol(framed)
+	}
+	return mem, framed, NewTBinaryProtocol(framed), NewTBinaryProtocol(framed)
+}
+
+// TestEagerPathZeroAllocs is the allocs/op regression gate for the
+// serialization hot path (CI runs it by name): once the transports and
+// the buffer arena are warm, a full write+read round trip of every
+// fixed-width primitive plus a binary field performs ZERO heap
+// allocations per op, for both wire protocols. String reads are excluded
+// by design — Go string conversion inherently allocates; generated code
+// that wants the zero-alloc path uses binary fields.
+func TestEagerPathZeroAllocs(t *testing.T) {
+	blob := []byte("0123456789abcdef0123456789abcdef")
+	for _, tc := range []struct {
+		name    string
+		compact bool
+	}{{"binary", false}, {"compact", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			mem, framed, w, r := codecPair(tc.compact)
+			// Warm: grows wbuf/rbuf/sbuf once and stocks the arena class.
+			for i := 0; i < 3; i++ {
+				if msg := codecRoundTrip(mem, framed, w, r, blob); msg != "" {
+					t.Fatal(msg)
+				}
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if msg := codecRoundTrip(mem, framed, w, r, blob); msg != "" {
+					t.Fatal(msg)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("eager-path codec round trip allocates %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkCodecRoundTrip reports allocs/op for the framed codec round
+// trip (the number the zero-alloc gate pins at 0).
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	blob := []byte("0123456789abcdef0123456789abcdef")
+	for _, tc := range []struct {
+		name    string
+		compact bool
+	}{{"binary", false}, {"compact", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			mem, framed, w, r := codecPair(tc.compact)
+			for i := 0; i < 3; i++ {
+				codecRoundTrip(mem, framed, w, r, blob)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if msg := codecRoundTrip(mem, framed, w, r, blob); msg != "" {
+					b.Fatal(msg)
+				}
+			}
+		})
+	}
+}

@@ -16,8 +16,16 @@ const (
 
 // TBinaryProtocol is the default Thrift wire protocol: fixed-width
 // big-endian integers, length-prefixed strings.
+//
+// The scratch fields make the fixed-width codec allocation-free: a
+// stack array passed through the TTransport interface escapes to the
+// heap on every call, so the per-protocol fields absorb that cost once
+// at protocol construction. Protocols are per-connection and not
+// goroutine-safe, as in upstream Thrift.
 type TBinaryProtocol struct {
-	trans TTransport
+	trans   TTransport
+	scratch [8]byte // fixed-width integer staging
+	sbuf    []byte  // grow-once string-write staging
 }
 
 var _ TProtocol = (*TBinaryProtocol)(nil)
@@ -120,28 +128,26 @@ func (p *TBinaryProtocol) WriteBool(v bool) error {
 
 // WriteI8 emits one byte.
 func (p *TBinaryProtocol) WriteI8(v int8) error {
-	return p.writeAll([]byte{byte(v)})
+	p.scratch[0] = byte(v)
+	return p.writeAll(p.scratch[:1])
 }
 
 // WriteI16 emits a big-endian int16.
 func (p *TBinaryProtocol) WriteI16(v int16) error {
-	var b [2]byte
-	binary.BigEndian.PutUint16(b[:], uint16(v))
-	return p.writeAll(b[:])
+	binary.BigEndian.PutUint16(p.scratch[:2], uint16(v))
+	return p.writeAll(p.scratch[:2])
 }
 
 // WriteI32 emits a big-endian int32.
 func (p *TBinaryProtocol) WriteI32(v int32) error {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], uint32(v))
-	return p.writeAll(b[:])
+	binary.BigEndian.PutUint32(p.scratch[:4], uint32(v))
+	return p.writeAll(p.scratch[:4])
 }
 
 // WriteI64 emits a big-endian int64.
 func (p *TBinaryProtocol) WriteI64(v int64) error {
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], uint64(v))
-	return p.writeAll(b[:])
+	binary.BigEndian.PutUint64(p.scratch[:8], uint64(v))
+	return p.writeAll(p.scratch[:8])
 }
 
 // WriteDouble emits an IEEE-754 double, big-endian.
@@ -149,12 +155,15 @@ func (p *TBinaryProtocol) WriteDouble(v float64) error {
 	return p.WriteI64(int64(math.Float64bits(v)))
 }
 
-// WriteString emits a length-prefixed string.
+// WriteString emits a length-prefixed string. The string bytes are
+// staged in the protocol's grow-once buffer instead of a per-call
+// []byte(v) conversion.
 func (p *TBinaryProtocol) WriteString(v string) error {
 	if err := p.WriteI32(int32(len(v))); err != nil {
 		return err
 	}
-	return p.writeAll([]byte(v))
+	p.sbuf = append(p.sbuf[:0], v...)
+	return p.writeAll(p.sbuf)
 }
 
 // WriteBinary emits a length-prefixed byte slice.
@@ -258,38 +267,34 @@ func (p *TBinaryProtocol) ReadBool() (bool, error) {
 
 // ReadI8 parses one byte.
 func (p *TBinaryProtocol) ReadI8() (int8, error) {
-	var b [1]byte
-	if err := p.readFull(b[:]); err != nil {
+	if err := p.readFull(p.scratch[:1]); err != nil {
 		return 0, err
 	}
-	return int8(b[0]), nil
+	return int8(p.scratch[0]), nil
 }
 
 // ReadI16 parses a big-endian int16.
 func (p *TBinaryProtocol) ReadI16() (int16, error) {
-	var b [2]byte
-	if err := p.readFull(b[:]); err != nil {
+	if err := p.readFull(p.scratch[:2]); err != nil {
 		return 0, err
 	}
-	return int16(binary.BigEndian.Uint16(b[:])), nil
+	return int16(binary.BigEndian.Uint16(p.scratch[:2])), nil
 }
 
 // ReadI32 parses a big-endian int32.
 func (p *TBinaryProtocol) ReadI32() (int32, error) {
-	var b [4]byte
-	if err := p.readFull(b[:]); err != nil {
+	if err := p.readFull(p.scratch[:4]); err != nil {
 		return 0, err
 	}
-	return int32(binary.BigEndian.Uint32(b[:])), nil
+	return int32(binary.BigEndian.Uint32(p.scratch[:4])), nil
 }
 
 // ReadI64 parses a big-endian int64.
 func (p *TBinaryProtocol) ReadI64() (int64, error) {
-	var b [8]byte
-	if err := p.readFull(b[:]); err != nil {
+	if err := p.readFull(p.scratch[:8]); err != nil {
 		return 0, err
 	}
-	return int64(binary.BigEndian.Uint64(b[:])), nil
+	return int64(binary.BigEndian.Uint64(p.scratch[:8])), nil
 }
 
 // ReadDouble parses an IEEE-754 double.
@@ -298,10 +303,13 @@ func (p *TBinaryProtocol) ReadDouble() (float64, error) {
 	return math.Float64frombits(uint64(v)), err
 }
 
-// ReadString parses a length-prefixed string.
+// ReadString parses a length-prefixed string. The intermediate byte
+// buffer goes back to the arena — the string conversion copies.
 func (p *TBinaryProtocol) ReadString() (string, error) {
 	b, err := p.ReadBinary()
-	return string(b), err
+	s := string(b)
+	PutBuffer(b)
+	return s, err
 }
 
 // ReadBinary parses a length-prefixed byte slice.

@@ -98,6 +98,11 @@ func fromCompactType(c byte) (TType, error) {
 type TCompactProtocol struct {
 	trans TTransport
 
+	// scratch/sbuf make the codec allocation-free: stack arrays escape
+	// through the TTransport interface (see TBinaryProtocol).
+	scratch [10]byte // varint staging (max 10 bytes) and fixed-width ints
+	sbuf    []byte   // grow-once string-write staging
+
 	lastFieldID int16
 	fieldStack  []int16
 
@@ -122,29 +127,28 @@ func (p *TCompactProtocol) Transport() TTransport { return p.trans }
 func (p *TCompactProtocol) Flush() error { return p.trans.Flush() }
 
 func (p *TCompactProtocol) writeByteRaw(b byte) error {
-	_, err := p.trans.Write([]byte{b})
+	p.scratch[0] = b
+	_, err := p.trans.Write(p.scratch[:1])
 	return err
 }
 
 func (p *TCompactProtocol) writeVarint(v uint64) error {
-	var buf [10]byte
-	n := binary.PutUvarint(buf[:], v)
-	_, err := p.trans.Write(buf[:n])
+	n := binary.PutUvarint(p.scratch[:], v)
+	_, err := p.trans.Write(p.scratch[:n])
 	return err
 }
 
 func (p *TCompactProtocol) readVarint() (uint64, error) {
-	return binary.ReadUvarint(byteReaderOf{p.trans})
+	return binary.ReadUvarint(byteReaderOf{p})
 }
 
-type byteReaderOf struct{ t TTransport }
+type byteReaderOf struct{ p *TCompactProtocol }
 
 func (r byteReaderOf) ReadByte() (byte, error) {
-	var b [1]byte
-	if _, err := io.ReadFull(r.t, b[:]); err != nil {
+	if _, err := io.ReadFull(r.p.trans, r.p.scratch[:1]); err != nil {
 		return 0, err
 	}
-	return b[0], nil
+	return r.p.scratch[0], nil
 }
 
 func zigzag32(v int32) uint64 { return uint64(uint32((v << 1) ^ (v >> 31))) }
@@ -286,9 +290,8 @@ func (p *TCompactProtocol) WriteI64(v int64) error { return p.writeVarint(zigzag
 
 // WriteDouble emits a little-endian IEEE-754 double.
 func (p *TCompactProtocol) WriteDouble(v float64) error {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-	_, err := p.trans.Write(b[:])
+	binary.LittleEndian.PutUint64(p.scratch[:8], math.Float64bits(v))
+	_, err := p.trans.Write(p.scratch[:8])
 	return err
 }
 
@@ -297,7 +300,8 @@ func (p *TCompactProtocol) WriteString(v string) error {
 	if err := p.writeVarint(uint64(len(v))); err != nil {
 		return err
 	}
-	_, err := p.trans.Write([]byte(v))
+	p.sbuf = append(p.sbuf[:0], v...)
+	_, err := p.trans.Write(p.sbuf)
 	return err
 }
 
@@ -339,11 +343,10 @@ func (p *TCompactProtocol) ReadMessageBegin() (string, TMessageType, int32, erro
 func (p *TCompactProtocol) ReadMessageEnd() error { return nil }
 
 func (p *TCompactProtocol) readByteRaw() (byte, error) {
-	var b [1]byte
-	if _, err := io.ReadFull(p.trans, b[:]); err != nil {
+	if _, err := io.ReadFull(p.trans, p.scratch[:1]); err != nil {
 		return 0, err
 	}
-	return b[0], nil
+	return p.scratch[0], nil
 }
 
 // ReadStructBegin pushes the field-id delta context.
@@ -500,17 +503,19 @@ func (p *TCompactProtocol) ReadI64() (int64, error) {
 
 // ReadDouble reads a little-endian IEEE-754 double.
 func (p *TCompactProtocol) ReadDouble() (float64, error) {
-	var b [8]byte
-	if _, err := io.ReadFull(p.trans, b[:]); err != nil {
+	if _, err := io.ReadFull(p.trans, p.scratch[:8]); err != nil {
 		return 0, err
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	return math.Float64frombits(binary.LittleEndian.Uint64(p.scratch[:8])), nil
 }
 
-// ReadString reads a varint-length-prefixed string.
+// ReadString reads a varint-length-prefixed string. The intermediate
+// byte buffer goes back to the arena — the string conversion copies.
 func (p *TCompactProtocol) ReadString() (string, error) {
 	b, err := p.ReadBinary()
-	return string(b), err
+	s := string(b)
+	PutBuffer(b)
+	return s, err
 }
 
 // ReadBinary reads a varint-length-prefixed byte slice.

@@ -245,8 +245,12 @@ func skip(p TProtocol, t TType, depth int) error {
 func readLenPrefixed(r io.Reader, n int) ([]byte, error) {
 	const chunk = 1 << 20
 	if n <= chunk {
-		b := make([]byte, n)
+		// Arena-backed: callers that are done with the bytes may recycle
+		// them with PutBuffer, making repeated binary-field reads
+		// allocation-free.
+		b := GetBuffer(n)
 		if _, err := io.ReadFull(r, b); err != nil {
+			PutBuffer(b)
 			return nil, err
 		}
 		return b, nil

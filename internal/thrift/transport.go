@@ -70,6 +70,9 @@ type TFramedTransport struct {
 	wbuf  []byte
 	rbuf  []byte
 	rpos  int
+	hdr   [4]byte // persistent frame-header scratch: a stack array would
+	// escape through the TTransport interface and cost one
+	// allocation per frame
 }
 
 // NewTFramedTransport wraps inner in frame encoding.
@@ -85,9 +88,8 @@ func (t *TFramedTransport) Write(p []byte) (int, error) {
 
 // Flush emits the accumulated frame with its length prefix.
 func (t *TFramedTransport) Flush() error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(t.wbuf)))
-	if _, err := t.inner.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(t.hdr[:], uint32(len(t.wbuf)))
+	if _, err := t.inner.Write(t.hdr[:]); err != nil {
 		return err
 	}
 	if _, err := t.inner.Write(t.wbuf); err != nil {
@@ -98,18 +100,36 @@ func (t *TFramedTransport) Flush() error {
 }
 
 func (t *TFramedTransport) refill() error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(readerOf(t.inner), hdr[:]); err != nil {
+	if _, err := io.ReadFull(readerOf(t.inner), t.hdr[:]); err != nil {
 		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(t.hdr[:])
 	if n > 1<<30 {
 		return fmt.Errorf("thrift: frame too large: %d", n)
 	}
-	t.rbuf = make([]byte, n)
+	// Reuse the frame buffer grow-once: a steady stream of same-shaped
+	// frames reads with zero per-frame allocations instead of one make
+	// per frame. The first fill (or a growth step) draws from the arena
+	// so a Reset can recycle it.
+	if cap(t.rbuf) < int(n) {
+		PutBuffer(t.rbuf)
+		t.rbuf = GetBuffer(int(n))
+	} else {
+		t.rbuf = t.rbuf[:n]
+	}
 	t.rpos = 0
 	_, err := io.ReadFull(readerOf(t.inner), t.rbuf)
 	return err
+}
+
+// Reset drops any buffered frame state and returns the transport's
+// buffers to the arena. Use it when parking a transport (connection
+// close, pool return); the transport remains usable and will re-acquire
+// buffers on demand.
+func (t *TFramedTransport) Reset() {
+	PutBuffer(t.rbuf)
+	PutBuffer(t.wbuf)
+	t.rbuf, t.wbuf, t.rpos = nil, nil, 0
 }
 
 // Read consumes from the current input frame, refilling as needed.
@@ -175,12 +195,18 @@ func (t *TBufferedTransport) Flush() error {
 	return t.inner.Flush()
 }
 
-// Read serves from the read buffer, refilling in bulk.
+// Read serves from the read buffer, refilling in bulk. The buffer is
+// allocated once (from the arena) and refilled in place — the previous
+// per-refill make was one allocation per rcap bytes of stream.
 func (t *TBufferedTransport) Read(p []byte) (int, error) {
 	if t.rpos >= len(t.rbuf) {
-		buf := make([]byte, t.rcap)
+		if cap(t.rbuf) < t.rcap {
+			t.rbuf = GetBuffer(t.rcap)
+		}
+		buf := t.rbuf[:t.rcap]
 		n, err := t.inner.Read(buf)
 		if n == 0 {
+			t.rbuf = buf[:0]
 			if err == nil {
 				err = io.EOF
 			}
@@ -192,6 +218,14 @@ func (t *TBufferedTransport) Read(p []byte) (int, error) {
 	n := copy(p, t.rbuf[t.rpos:])
 	t.rpos += n
 	return n, nil
+}
+
+// Reset drops buffered state and returns the transport's buffers to the
+// arena; the transport remains usable and re-acquires them on demand.
+func (t *TBufferedTransport) Reset() {
+	PutBuffer(t.rbuf)
+	PutBuffer(t.wbuf)
+	t.rbuf, t.wbuf, t.rpos = nil, nil, 0
 }
 
 // Close closes the inner transport.

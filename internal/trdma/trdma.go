@@ -143,7 +143,7 @@ func (t *TRdma) planFor(fn string) plan {
 		pl.useTCP = true
 	} else {
 		ep := engine.SelectPlan(r, t.cores, r.PayloadSize, t.thresh)
-		pl.opts = engine.CallOpts{Proto: ep.Proto, Busy: ep.Busy}
+		pl.opts = engine.CallOpts{Proto: ep.Proto, Busy: ep.Busy, Poll: ep.Poll}
 		// An asymmetric response regime (server payload hint differing
 		// from the client's) re-plans the response protocol.
 		rs := t.hintsT.Resolve(fn, hints.SideServer)
@@ -214,6 +214,7 @@ type TServerRdma struct {
 func NewServer(eng *engine.Engine, sh *ServiceHints, proc Processor) *TServerRdma {
 	s := &TServerRdma{eng: eng, sh: sh, proc: proc}
 	busy := false
+	adaptive := false
 	tcpToo := false
 	maxConc := 0
 	for fn := range sh.FnIDs {
@@ -229,11 +230,16 @@ func NewServer(eng *engine.Engine, sh *ServiceHints, proc Processor) *TServerRdm
 		if pl.Busy {
 			busy = true
 		}
+		if pl.Poll == engine.PollAdaptiveMode {
+			adaptive = true
+		}
 	}
 	// One dispatcher process serves each connection; spinning with more
 	// connections than cores would starve the handlers (the Fig. 5
 	// busy-polling collapse), so busy dispatch is only kept while the
-	// expected concurrency fits the machine.
+	// expected concurrency fits the machine. Adaptive polling survives
+	// the demotion: its spin window is bounded, so oversubscription costs
+	// at most one window per wait, not a standing spin.
 	if maxConc > eng.Cores() {
 		busy = false
 	}
@@ -242,6 +248,9 @@ func NewServer(eng *engine.Engine, sh *ServiceHints, proc Processor) *TServerRdm
 		return proc.ProcessBytes(p, fnID, req)
 	})
 	s.srv.Busy = busy
+	if adaptive {
+		s.srv.Poll = engine.PollAdaptiveMode
+	}
 	s.srv.NUMABind = svcServer.NUMABind
 	if tcpToo || svcServer.UseTCP {
 		s.serveTCP()

@@ -1,0 +1,128 @@
+package verbs
+
+import (
+	"testing"
+
+	"hatrpc/internal/sim"
+)
+
+// TestPollBusyQueuedCompletionIsFree pins the PollBusy cost-model fix: a
+// completion that already landed before the poller arrived is returned
+// with zero detection delay. BusyDetectNs models the gap between a CQE
+// landing and a *spinning* poller noticing it; when the CQE precedes the
+// poll there was no spin and no gap, so charging it double-counted the
+// detection cost on every back-to-back completion.
+func TestPollBusyQueuedCompletionIsFree(t *testing.T) {
+	env := sim.NewEnv(1)
+	a, b := testPair(env)
+	var elapsed sim.Time
+	env.Spawn("server", func(p *sim.Proc) {
+		rmr := b.pd.RegisterMRNoCost(256)
+		b.qp.PostRecv(RecvWR{WRID: 1, SGE: SGE{MR: rmr, Len: 256}})
+		p.Sleep(1_000_000) // CQE lands long before the poll
+		if b.cq.Depth() != 1 {
+			t.Errorf("CQ depth = %d before poll, want 1", b.cq.Depth())
+		}
+		start := p.Now()
+		wc := b.cq.PollBusy(p)
+		elapsed = p.Now() - start
+		if wc.Op != OpRecv || wc.Status != WCSuccess {
+			t.Errorf("wc = %+v, want successful RECV", wc)
+		}
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		smr := a.pd.RegisterMRNoCost(256)
+		a.qp.PostSend(p, &SendWR{WRID: 2, Op: OpSend, SGE: SGE{MR: smr, Len: 64}, Unsignaled: true})
+	})
+	env.Run()
+	if elapsed != 0 {
+		t.Fatalf("PollBusy on a non-empty CQ took %dns, want 0 (no spin occurred)", elapsed)
+	}
+}
+
+// TestPollBusyEmptyCQStillChargesDetect is the other half of the fix: a
+// poller that really spins on an empty CQ still pays the full
+// BusyDetectNs delay after the CQE lands.
+func TestPollBusyEmptyCQStillChargesDetect(t *testing.T) {
+	env := sim.NewEnv(1)
+	a, b := testPair(env)
+	const sendAt = 50_000
+	var done sim.Time
+	var lf float64
+	env.Spawn("server", func(p *sim.Proc) {
+		rmr := b.pd.RegisterMRNoCost(256)
+		b.qp.PostRecv(RecvWR{WRID: 1, SGE: SGE{MR: rmr, Len: 256}})
+		lf = b.dev.node.CPU.LoadFactor()
+		b.cq.PollBusy(p) // CQ empty: the poller spins until the send lands
+		done = p.Now()
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(sendAt)
+		smr := a.pd.RegisterMRNoCost(256)
+		a.qp.PostSend(p, &SendWR{WRID: 2, Op: OpSend, SGE: SGE{MR: smr, Len: 64}, Unsignaled: true})
+	})
+	env.Run()
+	// The spinner adds itself to the load before measuring, so the charged
+	// factor reflects one more runnable spinner than the idle snapshot.
+	cm := DefaultCostModel()
+	minDetect := sim.Time(cm.BusyDetectNs(lf))
+	if done < sendAt+minDetect {
+		t.Fatalf("spinning PollBusy finished at %dns, want >= %dns (send + detect)", done, sendAt+minDetect)
+	}
+}
+
+// TestPollNDrainsBudget covers the batched drain: PollN moves up to
+// len(out) queued completions in one call, charges no virtual time, never
+// blocks, and leaves the remainder queued in FIFO order.
+func TestPollNDrainsBudget(t *testing.T) {
+	env := sim.NewEnv(1)
+	a, b := testPair(env)
+	const msgs = 5
+	env.Spawn("server", func(p *sim.Proc) {
+		rmr := b.pd.RegisterMRNoCost(msgs * 256)
+		for i := 0; i < msgs; i++ {
+			b.qp.PostRecv(RecvWR{WRID: uint64(i), SGE: SGE{MR: rmr, Off: i * 256, Len: 256}})
+		}
+		p.Sleep(1_000_000) // let every CQE land
+		if b.cq.Depth() != msgs {
+			t.Errorf("CQ depth = %d, want %d", b.cq.Depth(), msgs)
+		}
+		start := p.Now()
+		var buf [3]WC
+		n := b.cq.PollN(buf[:])
+		if n != 3 {
+			t.Errorf("PollN(3) = %d, want 3", n)
+		}
+		for i := 0; i < n; i++ {
+			if buf[i].WRID != uint64(i) {
+				t.Errorf("buf[%d].WRID = %d, want %d (FIFO)", i, buf[i].WRID, i)
+			}
+		}
+		if b.cq.Depth() != msgs-3 {
+			t.Errorf("depth after PollN = %d, want %d", b.cq.Depth(), msgs-3)
+		}
+		n = b.cq.PollN(buf[:])
+		if n != msgs-3 {
+			t.Errorf("second PollN = %d, want %d", n, msgs-3)
+		}
+		if buf[0].WRID != 3 || buf[1].WRID != 4 {
+			t.Errorf("tail WRIDs = %d,%d, want 3,4", buf[0].WRID, buf[1].WRID)
+		}
+		if n := b.cq.PollN(buf[:]); n != 0 {
+			t.Errorf("PollN on empty CQ = %d, want 0", n)
+		}
+		if n := b.cq.PollN(nil); n != 0 {
+			t.Errorf("PollN(nil) = %d, want 0", n)
+		}
+		if p.Now() != start {
+			t.Errorf("PollN advanced time by %dns, want 0", p.Now()-start)
+		}
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		smr := a.pd.RegisterMRNoCost(256)
+		for i := 0; i < msgs; i++ {
+			a.qp.PostSend(p, &SendWR{WRID: uint64(10 + i), Op: OpSend, SGE: SGE{MR: smr, Len: 64}, Unsignaled: true})
+		}
+	})
+	env.Run()
+}
