@@ -7,6 +7,15 @@
 //	atb -bench latency-protocols|throughput-protocols|latency-hints|throughput-hints|mix [-size N]
 //	    [-metrics] [-trace FILE] [-faults] [-loss P] [-jitter NS] [-deadline NS]
 //	atb -bench crash [-sync full|meta|none] [-uptimes NS,NS,...] [-crash-horizon NS]
+//	atb -bench fanin [-vclients N,N,...] [-pools N,N,...] [-workers N] [-tenant-limit N]
+//
+// -bench fanin sweeps the connection-virtualization tier (DESIGN.md
+// §14): goodput and small-call p99 versus connected virtual-client
+// count (default 10k → 1M) across shared-QP pool sizes, run unhinted
+// and hinted. The unhinted rows show shared-QP head-of-line blocking
+// (bulk calls monopolize the FIFO borrow queue); the hinted rows show
+// the concurrency hint re-sizing the pool and the priority hint letting
+// small calls overtake bulk ones.
 //
 // -bench crash sweeps the chaos soak harness (DESIGN.md §12) over mean
 // server uptimes: each point crashes and reboots the HatKV server on a
@@ -45,8 +54,12 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix, overload, crash, hotpath")
+	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix, overload, crash, hotpath, fanin")
 	size := flag.Int("size", 512, "payload size for the mix benchmark")
+	vclients := flag.String("vclients", "", "fanin bench: comma-separated connected virtual-client counts (default 10000,100000,1000000)")
+	pools := flag.String("pools", "", "fanin bench: comma-separated physical shared-QP pool sizes (default 4,16)")
+	workers := flag.Int("workers", 0, "fanin bench: concurrent borrower procs (default 64)")
+	tenantLimit := flag.Int("tenant-limit", 0, "fanin bench: server-side per-tenant concurrent-handler cap (0 = off)")
 	offeredLoad := flag.String("offered-load", "", "overload bench: comma-separated offered loads in Kops/s (default 70,140,210,280)")
 	admitLimit := flag.Int("admit-limit", 28, "overload bench: max concurrent handlers before the admission policy kicks in")
 	shedPolicy := flag.String("shed-policy", "newest", "overload bench: admission policy: block, newest, oldest")
@@ -189,6 +202,35 @@ func main() {
 		fmt.Printf("\nwall-clock: baseline %.3fs, hotpath %.3fs (%.2fx)\n",
 			baseWall.Seconds(), hotWall.Seconds(), baseWall.Seconds()/hotWall.Seconds())
 		fmt.Println("(simulated columns are virtual time and deterministic; the wall-clock line is host time and varies run to run)")
+	case "fanin":
+		cfg := atb.DefaultFaninConfig()
+		if *vclients != "" {
+			cfg.VClients = nil
+			for _, s := range strings.Split(*vclients, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n <= 0 {
+					fmt.Fprintf(os.Stderr, "atb: bad -vclients %q: %v\n", s, err)
+					os.Exit(2)
+				}
+				cfg.VClients = append(cfg.VClients, n)
+			}
+		}
+		if *pools != "" {
+			cfg.Pools = nil
+			for _, s := range strings.Split(*pools, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n <= 0 {
+					fmt.Fprintf(os.Stderr, "atb: bad -pools %q: %v\n", s, err)
+					os.Exit(2)
+				}
+				cfg.Pools = append(cfg.Pools, n)
+			}
+		}
+		if *workers > 0 {
+			cfg.Workers = *workers
+		}
+		cfg.TenantLimit = *tenantLimit
+		fmt.Print(atb.FaninTable(atb.RunFanin(cfg)))
 	case "crash":
 		cfg := atb.DefaultCrashBenchConfig()
 		switch *syncMode {

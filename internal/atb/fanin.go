@@ -1,0 +1,270 @@
+package atb
+
+// Fan-in benchmark: goodput and tail latency versus *connected virtual
+// client* count (10^4 → 10^6) over the connection-virtualization tier
+// (DESIGN.md §14). Physical transport is a bounded shared-QP pool
+// backed by a server-side SRQ; virtual clients are plain VConn structs
+// multiplexed over it, so NIC state (QPs, receive rings, pinned memory)
+// stays constant while the session population grows two orders of
+// magnitude.
+//
+// The sweep makes shared-QP head-of-line blocking visible: a small
+// fraction of virtual clients are bulk senders (large payload, long
+// handler), and with a small pool and one FIFO borrow queue every
+// latency-sensitive call behind them eats their occupancy. The hinted
+// variant of each point shows the recovery path the paper's hint system
+// prescribes: a "concurrency" hint sizes the physical pool to the real
+// borrower concurrency (goodput), and a "priority" hint splits the
+// borrow queue into classes so small calls overtake bulk ones (p99).
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"hatrpc/internal/engine"
+	"hatrpc/internal/hints"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/stats"
+)
+
+// FaninConfig parameterizes one fan-in sweep.
+type FaninConfig struct {
+	VClients []int // connected virtual-connection counts to sweep
+	Pools    []int // physical shared-QP pool sizes (the unhinted baseline)
+	// MaxPool caps hint-driven pool growth — the stand-in for NIC
+	// QP-cache reach, past which more QPs stop helping.
+	MaxPool int
+	// Tenants spreads the small virtual clients over admission
+	// partitions 1..Tenants-1; tenant 0 is reserved for bulk clients.
+	Tenants int
+	// Workers is the number of borrower procs driving the virtual-client
+	// population — the actual concurrency the pool sees. Virtual clients
+	// are structs, not procs: each worker walks the population in
+	// stride, issuing one call per visit, so 10^6 connected clients cost
+	// memory but never 10^6 goroutines.
+	Workers int
+	// TenantLimit, when >0, is the server-side per-tenant concurrent
+	// handler cap (sheds typed past it).
+	TenantLimit int
+
+	Size         int   // latency-sensitive payload bytes
+	BigSize      int   // bulk payload bytes — the HOL aggressor
+	BigEvery     int   // every Nth virtual client is a bulk client (0 = none)
+	ServiceNs    int64 // handler CPU per small request
+	BigServiceNs int64 // handler CPU per bulk request
+
+	SRQSlots   int // shared server receive ring depth
+	WarmupNs   int64
+	DurationNs int64
+	Seed       int64
+}
+
+// DefaultFaninConfig sweeps 10k → 1M connected virtual clients over
+// shared pools of 4 and 16 QPs, with one bulk client per 64 and 64
+// concurrent borrowers (so the unhinted pool of 4 is heavily
+// oversubscribed).
+func DefaultFaninConfig() FaninConfig {
+	return FaninConfig{
+		VClients:     []int{10_000, 100_000, 1_000_000},
+		Pools:        []int{4, 16},
+		MaxPool:      16,
+		Tenants:      8,
+		Workers:      64,
+		TenantLimit:  0,
+		Size:         512,
+		BigSize:      131072,
+		BigEvery:     64,
+		ServiceNs:    2_000,
+		BigServiceNs: 500_000,
+		SRQSlots:     64,
+		WarmupNs:     2_000_000,
+		DurationNs:   20_000_000,
+		Seed:         131,
+	}
+}
+
+// FaninPoint is one (vclients, pool, hinted) measurement.
+type FaninPoint struct {
+	VClients int
+	Pool     int  // configured (unhinted) pool size
+	EffPool  int  // pool actually used (concurrency hint may grow it)
+	Hinted   bool // concurrency + priority hints applied
+
+	GoodputOps float64 // successful calls/s, small + bulk
+	AvgSmallNs float64 // mean latency of small calls
+	P99SmallNs float64 // tail of small calls — where HOL blocking shows
+	P99BulkNs  float64
+
+	Waits       int64 // pool borrows that parked on the queue
+	TenantSheds int64 // server per-tenant partition rejections
+	Sessions    int64 // virtual connections opened
+	PinnedKB    int64 // server pinned memory — flat as sessions grow
+	RnrNaks     int64 // shared-ring RNR NAKs on the server NIC
+}
+
+// isBulkClient fixes each virtual client's class by its index, so the
+// population is identical across hinted and unhinted runs.
+func (cfg *FaninConfig) isBulkClient(i int) bool {
+	return cfg.BigEvery > 0 && i%cfg.BigEvery == 0
+}
+
+// tenantOf spreads small clients over tenants 1..Tenants-1 and pins
+// bulk clients to tenant 0, the partition an operator would cap.
+func (cfg *FaninConfig) tenantOf(i int) uint32 {
+	if cfg.isBulkClient(i) || cfg.Tenants <= 1 {
+		return 0
+	}
+	return uint32(1 + i%(cfg.Tenants-1))
+}
+
+// RunFanin sweeps virtual-client counts × pool sizes, each point run
+// hinted and unhinted on a fresh fabric.
+func RunFanin(cfg FaninConfig) []FaninPoint {
+	var out []FaninPoint
+	for _, v := range cfg.VClients {
+		for _, pool := range cfg.Pools {
+			out = append(out, runOneFanin(cfg, v, pool, false))
+			out = append(out, runOneFanin(cfg, v, pool, true))
+		}
+	}
+	return out
+}
+
+func runOneFanin(cfg FaninConfig, vclients, pool int, hinted bool) FaninPoint {
+	size := cfg.Size
+	if cfg.BigSize > size {
+		size = cfg.BigSize
+	}
+	ecfg := engineConfigFor(size, false)
+	ecfg.SRQSlots = cfg.SRQSlots
+	ecfg.ModelRNR = true
+	ecfg.RnrRetry = 40
+	f := NewFabricWith(cfg.Seed, 2, ecfg)
+	srv := f.Server.Serve("atb", func(p *sim.Proc, fn uint32, req []byte) []byte {
+		cost := cfg.ServiceNs
+		if fn == 2 {
+			cost = cfg.BigServiceNs
+		}
+		f.Server.Node().CPU.Compute(p, sim.Duration(cost))
+		return req[:4]
+	})
+	srv.TenantLimit = cfg.TenantLimit
+
+	// The hints are the recovery levers: "concurrency" states the real
+	// borrower concurrency so the transport sizes the physical pool to
+	// it (clamped at QP-cache reach), and "priority" opens the two-class
+	// borrow queue. Unhinted runs take the configured pool as-is, FIFO.
+	eff := pool
+	pcfg := engine.VPoolConfig{Size: pool}
+	var bulkHints, smallHints hints.Resolved
+	if hinted {
+		shared := hints.TypeCheck(hints.Group{hints.KeyConcurrency: strconv.Itoa(cfg.Workers)})
+		eff = engine.HintedPoolSize(shared, pool, cfg.MaxPool)
+		pcfg = engine.VPoolConfig{Size: eff, Priority: true}
+		bulkHints = hints.TypeCheck(hints.Group{hints.KeyPriority: "low"})
+		smallHints = hints.TypeCheck(hints.Group{hints.KeyPriority: "high"})
+	}
+
+	warmup := sim.Time(cfg.WarmupNs)
+	end := warmup + sim.Time(cfg.DurationNs)
+	var succ, shed int
+	var latSmall, latBulk stats.Sample
+	var pl *engine.VPool
+	f.Env.Spawn("fanin", func(p *sim.Proc) {
+		pl = f.Clients[0].DialPool(p, f.Server.Node(), "atb", pcfg)
+		// The connected population: every virtual client exists for the
+		// whole run. Opening one is pure bookkeeping — this loop is the
+		// proof that 10^6 of them need no NIC state.
+		vcs := make([]*engine.VConn, vclients)
+		for i := range vcs {
+			h := smallHints
+			if cfg.isBulkClient(i) {
+				h = bulkHints
+			}
+			vcs[i] = pl.Open(cfg.tenantOf(i), h)
+		}
+		small := make([]byte, cfg.Size)
+		big := make([]byte, cfg.BigSize)
+		// Small calls ride the eager path; bulk goes rendezvous, whose
+		// RTS header also exercises sid-keyed dedup on the server.
+		smallOpts := engine.CallOpts{Proto: engine.EagerSendRecv, RespProto: engine.DirectWriteIMM, Busy: true}
+		bulkOpts := engine.CallOpts{Proto: engine.WriteRNDV, RespProto: engine.DirectWriteIMM, Busy: true}
+		running := cfg.Workers
+		for w := 0; w < cfg.Workers; w++ {
+			w := w
+			f.Env.Spawn(fmt.Sprintf("wk%d", w), func(wp *sim.Proc) {
+				cursor := w
+				for wp.Now() < end {
+					i := cursor % vclients
+					cursor += cfg.Workers
+					vc := vcs[i]
+					fn, payload, opts := uint32(1), small, smallOpts
+					if cfg.isBulkClient(i) {
+						fn, payload, opts = 2, big, bulkOpts
+					}
+					issued := wp.Now()
+					_, err := vc.Call(wp, fn, payload, opts)
+					if issued < warmup {
+						continue
+					}
+					switch {
+					case err == nil:
+						succ++
+						if fn == 2 {
+							latBulk.Add(float64(wp.Now() - issued))
+						} else {
+							latSmall.Add(float64(wp.Now() - issued))
+						}
+					case errors.Is(err, engine.ErrOverloaded):
+						shed++
+					default:
+						panic(err)
+					}
+				}
+				if running--; running == 0 {
+					f.Env.Stop()
+				}
+			})
+		}
+	})
+	f.Env.Run()
+	f.Env.Shutdown()
+
+	secs := float64(cfg.DurationNs) / 1e9
+	return FaninPoint{
+		VClients:    vclients,
+		Pool:        pool,
+		EffPool:     eff,
+		Hinted:      hinted,
+		GoodputOps:  float64(succ) / secs,
+		AvgSmallNs:  latSmall.Mean(),
+		P99SmallNs:  latSmall.Percentile(99),
+		P99BulkNs:   latBulk.Percentile(99),
+		Waits:       pl.Waits,
+		TenantSheds: srv.TenantShed,
+		Sessions:    pl.Sessions,
+		PinnedKB:    f.Server.PinnedBytes() / 1024,
+		RnrNaks:     f.Server.RnrNaks(),
+	}
+}
+
+// FaninTable renders the sweep the way cmd/atb prints it; the
+// determinism tests replay exactly this string.
+func FaninTable(pts []FaninPoint) string {
+	tb := stats.NewTable("vclients", "pool", "eff", "hints", "goodput Kops",
+		"small avg", "small p99", "bulk p99", "waits", "tenant-shed", "pinned KB", "rnr")
+	for _, pt := range pts {
+		hv := "off"
+		if pt.Hinted {
+			hv = "on"
+		}
+		tb.Row(pt.VClients, pt.Pool, pt.EffPool, hv,
+			fmt.Sprintf("%.1f", pt.GoodputOps/1e3),
+			fmt.Sprintf("%.0f", pt.AvgSmallNs),
+			fmt.Sprintf("%.0f", pt.P99SmallNs),
+			fmt.Sprintf("%.0f", pt.P99BulkNs),
+			pt.Waits, pt.TenantSheds, pt.PinnedKB, pt.RnrNaks)
+	}
+	return tb.String()
+}

@@ -43,6 +43,14 @@ type CallOpts struct {
 	// whether that is safe. Non-idempotent calls interrupted by a
 	// reconnect fail with ErrSessionReset instead.
 	Idempotent bool
+	// SID stamps the call with a virtual-connection session id (the wire
+	// header's sid field). The server keys retransmission dedup and
+	// per-tenant partitions on it, so interleaved virtual connections
+	// multiplexed onto one physical connection cannot evict each other's
+	// dedup state. Zero — the default — means no virtualization, and
+	// every header byte is identical to pre-virtualization builds.
+	// VConn.Call sets it; hand-rolled callers normally leave it zero.
+	SID uint32
 }
 
 // hybridSwitch resolves a hybrid protocol against the rendezvous
@@ -116,7 +124,7 @@ func (c *Conn) doCall(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte
 	start := int64(p.Now())
 	h := hdr{
 		kind: kReq, proto: reqProto, respProto: respProto,
-		fn: fn, length: uint32(len(req)), seq: c.seq,
+		fn: fn, length: uint32(len(req)), seq: c.seq, sid: opts.SID,
 	}
 	dl := opts.Deadline
 	if dl == 0 {
@@ -358,7 +366,7 @@ func (c *Conn) sendWriteRNDV(p *sim.Proc, h hdr, payload []byte, poll PollMode, 
 	if !c.waitCredit(p, h.proto, poll, until) {
 		return false
 	}
-	rts := hdr{kind: kRTS, proto: WriteRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
+	rts := hdr{kind: kRTS, proto: WriteRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq, sid: h.sid}
 	c.postSmall(p, rts)
 	ctsStart := int64(p.Now())
 	if !c.waitCTSUntil(p, h.seq, poll, until) {
@@ -402,7 +410,7 @@ func (c *Conn) sendReadRNDV(p *sim.Proc, h hdr, payload []byte, poll PollMode, u
 	if !c.waitCredit(p, h.proto, poll, until) {
 		return false
 	}
-	rts := hdr{kind: kRTS, proto: ReadRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq}
+	rts := hdr{kind: kRTS, proto: ReadRNDV, respProto: h.respProto, fn: h.fn, length: h.length, seq: h.seq, sid: h.sid}
 	if _, ok := c.rndvOut[h.seq]; ok {
 		c.postSmall(p, rts)
 		return true
@@ -654,7 +662,7 @@ func (c *Conn) OnewayBurst(p *sim.Proc, fn uint32, payloads [][]byte, opts CallO
 		c.spend()
 		h := hdr{
 			kind: kReq, proto: EagerSendRecv, respProto: ProtoAuto,
-			fn: fn, length: uint32(len(pl)), seq: c.seq,
+			fn: fn, length: uint32(len(pl)), seq: c.seq, sid: opts.SID,
 		}
 		eng.node.CPU.Compute(p, eng.node.NUMAWork(sim.Duration(cm.EagerSlotMgmtNs), c.numaBound))
 		c.memcpyCharge(p, len(pl))
@@ -704,7 +712,7 @@ func (c *Conn) sendResponse(p *sim.Proc, a Arrival, resp []byte, poll PollMode) 
 	// Same switch as the request path (hybridSwitch), applied to the
 	// *response* size.
 	respProto := hybridSwitch(a.RespProto, len(resp), c.eng.cfg.RndvThreshold)
-	h := hdr{kind: kResp, proto: respProto, respProto: respProto, fn: a.Fn, length: uint32(len(resp)), seq: a.Seq}
+	h := hdr{kind: kResp, proto: respProto, respProto: respProto, fn: a.Fn, length: uint32(len(resp)), seq: a.Seq, sid: a.SID}
 	// Under fault injection the protocol-internal waits (rendezvous CTS,
 	// credit stalls) are bounded so an aborted client cannot wedge this
 	// dispatcher; an abandoned response is recovered by the client's
@@ -743,7 +751,7 @@ func (c *Conn) publish(p *sim.Proc, mr *verbs.MR, h hdr, payload []byte) {
 func (c *Conn) sendOverloaded(p *sim.Proc, a Arrival, busy bool) {
 	c.recoverQP(p)
 	respProto := hybridSwitch(a.RespProto, 0, c.eng.cfg.RndvThreshold)
-	h := hdr{kind: kErr, proto: respProto, respProto: respProto, fn: a.Fn, seq: a.Seq}
+	h := hdr{kind: kErr, proto: respProto, respProto: respProto, fn: a.Fn, seq: a.Seq, sid: a.SID}
 	switch respProto {
 	case RFP:
 		c.putHdrC(c.rfpOutMR.Buf, h) // client's poll sees kErr at its seq

@@ -95,6 +95,25 @@ type Config struct {
 	// AdaptiveSpin is the PollAdaptiveMode spin window per wait entry.
 	// Zero means DefaultAdaptiveSpinNs.
 	AdaptiveSpin sim.Duration
+
+	// SRQSlots moves server-side connections onto one engine-wide shared
+	// receive queue: accepted connections' QPs drain a single ring of
+	// this many slots instead of each pre-posting EagerSlots private
+	// receives, so server receive memory scales with the aggregate
+	// arrival rate rather than the connection count. Per-connection flow
+	// credits still grant against EagerSlots, so many busy connections
+	// can overcommit the shared ring — arm ModelRNR to surface that as
+	// RNR NAK backoff instead of silent infinite buffering. Zero (the
+	// default) keeps private per-connection rings, byte-identical to
+	// earlier builds. Client-side (dialed) connections are unaffected.
+	SRQSlots int
+	// DedupSessions bounds the server-side dedup table: the number of
+	// distinct virtual-connection session ids whose last response a
+	// connection retains for retransmission absorption. Insertion-order
+	// eviction keeps the bound deterministic. Zero means
+	// DefaultDedupSessions. Legacy (sid-0) traffic uses exactly one
+	// entry regardless of the bound.
+	DedupSessions int
 }
 
 // DefaultRnrRetry is the RNR retransmission budget applied when
@@ -109,6 +128,13 @@ const DefaultBreakerCooldown = sim.Duration(1_000_000)
 // DefaultRndvPoolCap is the per-size-class free-list bound applied when
 // Config.RndvPoolCap is zero.
 const DefaultRndvPoolCap = 8
+
+// DefaultDedupSessions is the dedup-table bound applied when
+// Config.DedupSessions is zero: enough for every virtual connection
+// that can plausibly have a retransmission in flight on one physical
+// connection, small enough that a server with thousands of connections
+// stays bounded.
+const DefaultDedupSessions = 64
 
 // DefaultConfig returns the sizing used throughout the evaluation.
 func DefaultConfig() Config {
@@ -158,6 +184,12 @@ type Engine struct {
 	conns      []*Conn
 	nextConnID int
 	closed     bool
+
+	// Shared server receive ring (Config.SRQSlots > 0): one SRQ + slot
+	// region drained by every accepted connection's QP, created lazily
+	// on the first accept.
+	srq   *verbs.SRQ
+	srqMR *verbs.MR
 
 	obs *obs.Registry  // nil unless SetObs attached one
 	trc *obs.Tracer    // cached from obs; nil = tracing off
@@ -386,7 +418,7 @@ func (e *Engine) releaseRndv(mr *verbs.MR) {
 // ---------------------------------------------------------------------------
 // Wire header
 
-const hdrSize = 24
+const hdrSize = 28
 
 // Message kinds.
 const (
@@ -411,6 +443,7 @@ type hdr struct {
 	seq       uint32
 	off       uint32 // fragment offset (eager segmentation)
 	credits   uint32 // cumulative RECV-repost grant (flow control; 0 when off)
+	sid       uint32 // virtual-connection session id (0 = no virtualization)
 }
 
 func putHdr(b []byte, h hdr) {
@@ -423,6 +456,7 @@ func putHdr(b []byte, h hdr) {
 	binary.LittleEndian.PutUint32(b[12:], h.seq)
 	binary.LittleEndian.PutUint32(b[16:], h.off)
 	binary.LittleEndian.PutUint32(b[20:], h.credits)
+	binary.LittleEndian.PutUint32(b[24:], h.sid)
 }
 
 // decodeHdr is the bounds-checked variant of getHdr for buffers whose
@@ -447,6 +481,7 @@ func getHdr(b []byte) hdr {
 		seq:       binary.LittleEndian.Uint32(b[12:]),
 		off:       binary.LittleEndian.Uint32(b[16:]),
 		credits:   binary.LittleEndian.Uint32(b[20:]),
+		sid:       binary.LittleEndian.Uint32(b[24:]),
 	}
 }
 
@@ -468,6 +503,7 @@ type Arrival struct {
 	RespProto Protocol
 	Fn        uint32
 	Seq       uint32
+	SID       uint32 // originating virtual connection (0 = none)
 	Payload   []byte
 }
 
@@ -504,7 +540,13 @@ type Conn struct {
 	cq  *verbs.CQ
 	sig *sim.Signal
 
-	eagerMR  *verbs.MR // receive ring
+	// Shared-ring backing (server side, Config.SRQSlots > 0): the QP
+	// drains the engine's SRQ and slot WRIDs index srqMR instead of a
+	// private eager ring. Both nil on legacy connections.
+	srq   *verbs.SRQ
+	srqMR *verbs.MR
+
+	eagerMR  *verbs.MR // receive ring (nil when the shared ring is used)
 	slotSize int
 	slots    int
 	stageMR  *verbs.MR // outbound staging
@@ -550,14 +592,17 @@ type Conn struct {
 	orphanIn  map[uint32]*verbs.MR
 	orphanOut map[uint32]*verbs.MR
 
-	// Server-side idempotent dedup: the seq of the last executed request
-	// and its cached response. A retransmitted request (same seq)
-	// resends the cached response without re-running the handler. One
-	// entry suffices because a Conn carries one outstanding call.
-	dedupSeq   uint32
-	dedupResp  []byte
-	dedupArr   Arrival
-	dedupValid bool
+	// Server-side idempotent dedup, keyed by virtual-connection session
+	// id: for each sid (0 when virtualization is off) the seq of the
+	// last executed request and its cached response. A retransmitted
+	// request (same sid, same seq) resends the cached response without
+	// re-running the handler. One entry per sid suffices because each
+	// virtual connection carries one outstanding call; the table is
+	// bounded (Config.DedupSessions) with deterministic insertion-order
+	// eviction. Legacy traffic only ever populates sid 0, reproducing
+	// the historical single-slot behaviour exactly.
+	dedup      map[uint32]*dedupEntry
+	dedupOrder []uint32 // sid insertion order, oldest first
 
 	ctsReady  map[uint32]bool       // CTS seen for seq
 	frags     map[uint32]*fragState // eager reassembly by seq
@@ -580,6 +625,48 @@ type Conn struct {
 	// Batched-poll scratch (Config.PollBudget > 1); nil keeps the legacy
 	// one-completion-per-poll pumps.
 	wcBuf []verbs.WC
+}
+
+// dedupEntry caches the outcome of the last request a virtual
+// connection executed on this physical connection.
+type dedupEntry struct {
+	seq  uint32
+	resp []byte
+	arr  Arrival // response context, Payload stripped
+}
+
+// dedupLookup returns the cached entry for sid when it matches seq — a
+// retransmission of the request just served on that virtual connection.
+func (c *Conn) dedupLookup(sid, seq uint32) (*dedupEntry, bool) {
+	e, ok := c.dedup[sid]
+	if !ok || e.seq != seq {
+		return nil, false
+	}
+	return e, true
+}
+
+// dedupRecord caches a served request's response for its sid,
+// overwriting the sid's previous entry in place. A new sid beyond the
+// table bound evicts the oldest-inserted sid — deterministic, and safe
+// because an evicted virtual connection's retransmission merely
+// re-executes (the pre-virtualization behaviour for every conn).
+func (c *Conn) dedupRecord(a Arrival, resp []byte) {
+	a.Payload = nil
+	if e, ok := c.dedup[a.SID]; ok {
+		e.seq, e.resp, e.arr = a.Seq, resp, a
+		return
+	}
+	limit := c.eng.cfg.DedupSessions
+	if limit <= 0 {
+		limit = DefaultDedupSessions
+	}
+	if len(c.dedupOrder) >= limit {
+		oldest := c.dedupOrder[0]
+		c.dedupOrder = c.dedupOrder[1:]
+		delete(c.dedup, oldest)
+	}
+	c.dedup[a.SID] = &dedupEntry{seq: a.Seq, resp: resp, arr: a}
+	c.dedupOrder = append(c.dedupOrder, a.SID)
 }
 
 // Stats returns the connection's always-on counters.
@@ -618,12 +705,21 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 		orphanOut:    make(map[uint32]*verbs.MR),
 		ctsReady:     make(map[uint32]bool),
 		frags:        make(map[uint32]*fragState),
+		dedup:        make(map[uint32]*dedupEntry),
 		wcBuf:        wcBufFor(e.cfg),
 	}
 	e.nextConnID++
-	c.qp = e.dev.CreateQP(c.cq, c.cq)
+	if server && e.cfg.SRQSlots > 0 {
+		c.srq = e.serverSRQ()
+		c.srqMR = e.srqMR
+		c.qp = e.dev.CreateQPSRQ(c.cq, c.cq, c.srq)
+	} else {
+		c.qp = e.dev.CreateQP(c.cq, c.cq)
+	}
 	c.cq.SetNotify(c.sig.Fire)
-	if e.cfg.ModelRNR {
+	if e.cfg.ModelRNR && c.srq == nil {
+		// SRQ-backed QPs inherit the RNR discipline armed on the shared
+		// ring itself (serverSRQ).
 		retry := e.cfg.RnrRetry
 		if retry <= 0 {
 			retry = DefaultRnrRetry
@@ -636,7 +732,9 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 	if !server && e.cfg.BreakerThreshold > 0 {
 		c.brk = newBreaker(e.cfg.BreakerThreshold, e.cfg.BreakerCooldown)
 	}
-	c.eagerMR = e.pd.RegisterMRNoCost(c.slots * c.slotSize)
+	if c.srq == nil {
+		c.eagerMR = e.pd.RegisterMRNoCost(c.slots * c.slotSize)
+	}
 	// Staging holds [hdr|payload] plus a dedicated tail region for notify
 	// headers so Direct-Write-Send chains never overlap the payload. With
 	// doorbell batching every fragment of a chained eager train needs its
@@ -672,13 +770,55 @@ func (e *Engine) newConn(server bool, shared *connShared) *Conn {
 	}
 	e.pinnedBytes += c.pinned
 	e.conns = append(e.conns, c)
-	for i := 0; i < c.slots; i++ {
-		c.qp.PostRecv(verbs.RecvWR{
-			WRID: uint64(i),
-			SGE:  verbs.SGE{MR: c.eagerMR, Off: i * c.slotSize, Len: c.slotSize},
-		})
+	if c.srq == nil {
+		for i := 0; i < c.slots; i++ {
+			c.qp.PostRecv(verbs.RecvWR{
+				WRID: uint64(i),
+				SGE:  verbs.SGE{MR: c.eagerMR, Off: i * c.slotSize, Len: c.slotSize},
+			})
+		}
 	}
 	return c
+}
+
+// serverSRQ lazily creates the engine's shared server receive ring: one
+// SRQ whose Config.SRQSlots slots (sized like eager ring slots) are
+// posted once and thereafter recycled by whichever connection consumes
+// them. ModelRNR arms finite depth on the shared ring itself, so
+// overcommit by per-connection credit grants surfaces as RNR NAKs.
+func (e *Engine) serverSRQ() *verbs.SRQ {
+	if e.srq != nil {
+		return e.srq
+	}
+	slotSize := e.cfg.EagerSlotSize + hdrSize
+	e.srq = e.dev.CreateSRQ()
+	e.srqMR = e.pd.RegisterMRNoCost(e.cfg.SRQSlots * slotSize)
+	e.pinnedBytes += int64(e.srqMR.Len())
+	if e.cfg.ModelRNR {
+		retry := e.cfg.RnrRetry
+		if retry <= 0 {
+			retry = DefaultRnrRetry
+		}
+		e.srq.SetRNR(retry)
+	}
+	for i := 0; i < e.cfg.SRQSlots; i++ {
+		e.srq.PostRecv(verbs.RecvWR{
+			WRID: uint64(i),
+			SGE:  verbs.SGE{MR: e.srqMR, Off: i * slotSize, Len: slotSize},
+		})
+	}
+	return e.srq
+}
+
+// SRQDepth returns the posted-but-unconsumed slots in the shared server
+// receive ring, or -1 when no shared ring exists. Leak accounting over
+// SRQ-backed connections sums this with every accepted connection's
+// UnpolledRecvs and compares against Config.SRQSlots.
+func (e *Engine) SRQDepth() int {
+	if e.srq == nil {
+		return -1
+	}
+	return e.srq.Depth()
 }
 
 // sortedSeqs returns m's keys ascending, so map drains never depend on
@@ -723,7 +863,7 @@ func (c *Conn) Close() {
 	c.orphanIn, c.orphanOut = nil, nil
 	c.pendingReads, c.ctsReady, c.frags = nil, nil, nil
 	c.respQueue = nil
-	c.dedupResp, c.dedupValid = nil, false
+	c.dedup, c.dedupOrder = nil, nil
 	c.exitWait()
 	c.eng.pinnedBytes -= c.pinned
 	c.pinned = 0
@@ -753,6 +893,10 @@ func (e *Engine) Close() {
 		e.pinnedBytes -= int64(cls) * int64(len(e.rndvFree[cls]))
 	}
 	e.rndvFree = make(map[int][]*verbs.MR)
+	if e.srqMR != nil {
+		e.pinnedBytes -= int64(e.srqMR.Len())
+		e.srqMR, e.srq = nil, nil
+	}
 }
 
 func (c *Conn) helloFor() *hello {
@@ -767,7 +911,11 @@ func (c *Conn) helloFor() *hello {
 }
 
 func (c *Conn) applyHello(h *hello) {
-	c.qp.Connect(h.qp)
+	// A handshake always runs on a freshly created QP, so re-target
+	// refusal here means engine wiring is broken, not a runtime fault.
+	if err := c.qp.Connect(h.qp); err != nil {
+		panic("engine: handshake on a connected QP: " + err.Error())
+	}
 	c.peerDirect = h.direct
 	c.peerRfpIn = h.rfpIn
 	c.peerRfpOut = h.rfpOut
@@ -958,7 +1106,7 @@ func (c *Conn) nextArrival(p *sim.Proc, poll PollMode) Arrival {
 			payload := c.copyPayload(c.rfpInMR.Buf[hdrSize : hdrSize+int(h.length)])
 			c.chargeDetect(p, poll)
 			c.stats.BytesRecvd += int64(len(payload))
-			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}
+			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid, Payload: payload}
 		}
 		c.pumpWait(p, poll)
 	}
@@ -1071,7 +1219,7 @@ func (c *Conn) handleWC(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 			payload := c.copyPayload(buf.Buf[hdrSize : hdrSize+int(h.length)])
 			c.eng.releaseRndv(buf)
 			c.postSmall(p, hdr{kind: kFin, proto: h.proto, seq: h.seq})
-			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true
+			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid, Payload: payload}, true
 		}
 		return Arrival{}, false
 	default:
@@ -1090,11 +1238,38 @@ type fragState struct {
 	seen map[uint32]bool
 }
 
+// ringSlot returns the receive-ring buffer for a slot WRID: a window of
+// the engine's shared SRQ region when this connection drains the shared
+// ring, the private eager ring otherwise.
+func (c *Conn) ringSlot(slot int) []byte {
+	base := slot * c.slotSize
+	if c.srqMR != nil {
+		return c.srqMR.Buf[base : base+c.slotSize]
+	}
+	return c.eagerMR.Buf[base : base+c.slotSize]
+}
+
+// repostSlot recycles a consumed ring slot: back to the shared SRQ for
+// SRQ-backed connections, to the private QP ring otherwise.
+func (c *Conn) repostSlot(p *sim.Proc, wrid uint64) {
+	base := int(wrid) * c.slotSize
+	if c.srq != nil {
+		c.srq.PostRecv(verbs.RecvWR{
+			WRID: wrid,
+			SGE:  verbs.SGE{MR: c.srqMR, Off: base, Len: c.slotSize},
+		})
+	} else {
+		c.qp.PostRecv(verbs.RecvWR{
+			WRID: wrid,
+			SGE:  verbs.SGE{MR: c.eagerMR, Off: base, Len: c.slotSize},
+		})
+	}
+	c.noteRepost(p)
+}
+
 // handleRecvSlot processes a two-sided SEND landing in an eager ring slot.
 func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
-	slot := int(wc.WRID)
-	base := slot * c.slotSize
-	buf := c.eagerMR.Buf[base : base+c.slotSize]
+	buf := c.ringSlot(int(wc.WRID))
 	h := getHdr(buf)
 	c.noteCredits(h)
 	// Recycle the ring slot after extracting the fragment. This is the
@@ -1103,11 +1278,7 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	// admission control) — the repost happens before the message is
 	// interpreted, so shedding can neither skip nor double it.
 	frag := c.copyPayload(buf[hdrSize:wc.ByteLen])
-	c.qp.PostRecv(verbs.RecvWR{
-		WRID: wc.WRID,
-		SGE:  verbs.SGE{MR: c.eagerMR, Off: base, Len: c.slotSize},
-	})
-	c.noteRepost(p)
+	c.repostSlot(p, wc.WRID)
 	switch h.kind {
 	case kReq, kResp:
 		// Eager delivery: per-slot management cost plus the copy out of
@@ -1115,20 +1286,21 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 		cm := c.eng.dev.CostModel()
 		c.eng.node.CPU.Compute(p, c.eng.node.NUMAWork(sim.Duration(cm.EagerSlotMgmtNs), c.numaBound))
 		c.memcpyCharge(p, len(frag))
-		if c.dedupValid && h.kind == kReq && h.seq == c.dedupSeq {
-			// Retransmission of the request we just served (its response
-			// was lost). Drop any partial re-assembly and surface one dup
-			// arrival (on the first fragment only) so the dispatcher's
-			// dedup path resends the cached response.
+		if _, dup := c.dedupLookup(h.sid, h.seq); dup && h.kind == kReq {
+			// Retransmission of the request this virtual connection just
+			// had served (its response was lost). Drop any partial
+			// re-assembly and surface one dup arrival (on the first
+			// fragment only) so the dispatcher's dedup path resends the
+			// cached response.
 			delete(c.frags, h.seq)
 			c.Recycle(frag)
 			if h.off == 0 {
-				return Arrival{Kind: kReq, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq}, true
+				return Arrival{Kind: kReq, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid}, true
 			}
 			return Arrival{}, false
 		}
 		if int(h.length) == len(frag) && h.off == 0 {
-			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: frag}, true
+			return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid, Payload: frag}, true
 		}
 		// Segmented message: accumulate until complete.
 		st, ok := c.frags[h.seq]
@@ -1148,13 +1320,13 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 			return Arrival{}, false
 		}
 		delete(c.frags, h.seq)
-		return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: st.buf}, true
+		return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid, Payload: st.buf}, true
 	case kNotify:
 		// Direct-Write-Send: payload already written into directMR.
 		dh := getHdr(c.directMR.Buf)
 		c.noteCredits(dh)
 		payload := c.copyPayload(c.directMR.Buf[hdrSize : hdrSize+int(dh.length)])
-		return Arrival{Kind: dh.kind, Proto: dh.proto, RespProto: dh.respProto, Fn: dh.fn, Seq: dh.seq, Payload: payload}, true
+		return Arrival{Kind: dh.kind, Proto: dh.proto, RespProto: dh.respProto, Fn: dh.fn, Seq: dh.seq, SID: dh.sid, Payload: payload}, true
 	case kRTS:
 		return c.handleRTS(p, h)
 	case kCTS:
@@ -1167,7 +1339,7 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	case kErr:
 		// Typed overload rejection (header-only): surface it so the
 		// caller's response wait maps it to ErrOverloaded.
-		return Arrival{Kind: kErr, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq}, true
+		return Arrival{Kind: kErr, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid}, true
 	case kFin:
 		if buf, ok := c.rndvOut[h.seq]; ok {
 			delete(c.rndvOut, h.seq)
@@ -1196,8 +1368,8 @@ func (c *Conn) handleRTS(p *sim.Proc, h hdr) (Arrival, bool) {
 	// every response below would flush and the handshake could never make
 	// progress. No-op on a healthy QP.
 	c.recoverQP(p)
-	if c.dedupValid && c.server && h.seq == c.dedupSeq {
-		return Arrival{Kind: kReq, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq}, true
+	if _, dup := c.dedupLookup(h.sid, h.seq); dup && c.server {
+		return Arrival{Kind: kReq, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid}, true
 	}
 	switch h.proto {
 	case WriteRNDV, HybridEagerRNDV:
@@ -1243,18 +1415,12 @@ func (c *Conn) handleRTS(p *sim.Proc, h hdr) (Arrival, bool) {
 // buffer.
 func (c *Conn) handleWriteImm(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	// The consumed zero-length recv slot is recycled.
-	slot := int(wc.WRID)
-	base := slot * c.slotSize
-	c.qp.PostRecv(verbs.RecvWR{
-		WRID: wc.WRID,
-		SGE:  verbs.SGE{MR: c.eagerMR, Off: base, Len: c.slotSize},
-	})
-	c.noteRepost(p)
+	c.repostSlot(p, wc.WRID)
 	if wc.Imm == immDirect {
 		h := getHdr(c.directMR.Buf)
 		c.noteCredits(h)
 		payload := c.copyPayload(c.directMR.Buf[hdrSize : hdrSize+int(h.length)])
-		return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true
+		return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid, Payload: payload}, true
 	}
 	seq := wc.Imm
 	buf, ok := c.rndvIn[seq]
@@ -1271,7 +1437,7 @@ func (c *Conn) handleWriteImm(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 	payload := c.copyPayload(buf.Buf[hdrSize : hdrSize+int(h.length)])
 	delete(c.shared.rndv, rndvKey(seq, !c.server))
 	c.eng.releaseRndv(buf)
-	return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, Payload: payload}, true
+	return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid, Payload: payload}, true
 }
 
 // postSmall sends a header-only control message through the eager ring.

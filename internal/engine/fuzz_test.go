@@ -8,12 +8,12 @@ import (
 // FuzzHdrCodec checks the wire-header codec against arbitrary bytes:
 // decodeHdr must reject short or malformed buffers without panicking,
 // and every accepted header must re-encode to the exact input bytes
-// (the codec is bijective on its 24-byte domain — any lossy field would
+// (the codec is bijective on its 28-byte domain — any lossy field would
 // corrupt retransmitted or forwarded headers).
 func FuzzHdrCodec(f *testing.F) {
 	valid := make([]byte, hdrSize)
 	putHdr(valid, hdr{kind: kReq, proto: DirectWriteIMM, respProto: EagerSendRecv,
-		fn: 3, length: 512, seq: 99, off: 0, credits: 16})
+		fn: 3, length: 512, seq: 99, off: 0, credits: 16, sid: 0x00100007})
 	f.Add(valid)
 	f.Add([]byte{})
 	f.Add(make([]byte, hdrSize-1))

@@ -155,14 +155,27 @@ type Server struct {
 	AdmitLimit int
 	// Admit selects the over-limit policy (default AdmitBlock).
 	Admit AdmitPolicy
+	// TenantLimit partitions handler capacity between tenants of the
+	// virtualization tier: at most this many handlers run concurrently
+	// for any one tenant (derived from the arrival's session id via
+	// SIDTenant). Over-limit requests are shed with the typed
+	// ErrOverloaded rejection, so one tenant's fan-in burst cannot
+	// monopolize slots the global AdmitLimit would otherwise hand out
+	// first-come-first-served. Zero disables the partition; requests
+	// without a session id (sid 0 — virtualization off) are never
+	// subject to it.
+	TenantLimit int
 
 	// Served counts completed requests.
 	Served int64
 	// Shed counts requests rejected by admission control.
 	Shed int64
+	// TenantShed counts requests rejected by the per-tenant partition.
+	TenantShed int64
 
-	conns []*Conn
-	adm   *admitQueue
+	conns     []*Conn
+	adm       *admitQueue
+	tenantRun map[uint32]int // tenant → concurrently executing handlers
 }
 
 // Serve starts accepting connections for the named port, dispatching each
@@ -204,18 +217,42 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 			}
 			continue
 		}
-		if c.dedupValid && a.Seq == c.dedupSeq {
+		if e, ok := c.dedupLookup(a.SID, a.Seq); ok {
 			// Retransmitted request: the response (or the tail of the
 			// original delivery) was lost. Resend the cached response
 			// without re-executing the handler — at-most-once execution,
-			// idempotent from the application's point of view.
+			// idempotent from the application's point of view. The cache
+			// is keyed by session id, so interleaved virtual connections
+			// on this physical conn cannot evict each other's entry.
 			if m := eng.em; m != nil {
 				m.dupRequests.Inc()
 			}
-			if c.dedupArr.RespProto != ProtoAuto {
-				c.sendResponse(p, c.dedupArr, c.dedupResp, poll)
+			if e.arr.RespProto != ProtoAuto {
+				c.sendResponse(p, e.arr, e.resp, poll)
 			}
 			continue
+		}
+		var tenant uint32
+		tenantHeld := false
+		if s.TenantLimit > 0 && a.SID != 0 {
+			tenant = SIDTenant(a.SID)
+			if s.tenantRun == nil {
+				s.tenantRun = make(map[uint32]int)
+			}
+			if s.tenantRun[tenant] >= s.TenantLimit {
+				// This tenant's partition is full: shed typed, leaving the
+				// global admission slots for other tenants. No dedup entry
+				// is recorded (the handler never ran).
+				s.TenantShed++
+				eng.trc.Instant("rpc", "tenant_shed", eng.node.ID(), c.id,
+					int64(p.Now()), obs.Arg{K: "tenant", V: tenant}, obs.Arg{K: "seq", V: a.Seq})
+				if a.RespProto != ProtoAuto {
+					c.sendOverloaded(p, a, s.Busy)
+				}
+				continue
+			}
+			s.tenantRun[tenant]++
+			tenantHeld = true
 		}
 		if s.AdmitLimit > 0 {
 			if s.adm == nil {
@@ -227,6 +264,9 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 				// repost bookkeeping happens here — and no dedup entry is
 				// recorded: the handler never ran, and a retransmission of
 				// this seq deserves a fresh admission attempt.
+				if tenantHeld {
+					s.tenantRun[tenant]--
+				}
 				s.Shed++
 				if m := eng.em; m != nil && int(a.Proto) < nProtocols {
 					m.shed[a.Proto].Inc()
@@ -247,9 +287,10 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 		if s.adm != nil {
 			s.adm.release()
 		}
-		c.dedupValid, c.dedupSeq, c.dedupResp = true, a.Seq, resp
-		c.dedupArr = a
-		c.dedupArr.Payload = nil // the request body is not needed for resends
+		if tenantHeld {
+			s.tenantRun[tenant]--
+		}
+		c.dedupRecord(a, resp)
 		if eng.cfg.ArenaPayloads && len(a.Payload) > 0 && (len(resp) == 0 || &resp[0] != &a.Payload[0]) {
 			// The request body has been copied onto the wire (or dropped);
 			// recycle it into the payload arena. The alias check covers
