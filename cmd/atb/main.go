@@ -7,6 +7,7 @@
 //	atb -bench latency-protocols|throughput-protocols|latency-hints|throughput-hints|mix [-size N]
 //	    [-metrics] [-trace FILE] [-faults] [-loss P] [-jitter NS] [-deadline NS]
 //	atb -bench crash [-sync full|meta|none] [-uptimes NS,NS,...] [-crash-horizon NS]
+//	atb -bench cluster [-rf N,N,...] [-sync full|meta|none] [-uptimes NS,NS,...] [-crash-horizon NS]
 //	atb -bench fanin [-vclients N,N,...] [-pools N,N,...] [-workers N] [-tenant-limit N]
 //
 // -bench fanin sweeps the connection-virtualization tier (DESIGN.md
@@ -22,6 +23,14 @@
 // seeded schedule while sessions reconnect and replay, and reports
 // acked-write goodput, loss, and the crash→first-ack recovery-time
 // distribution. -sync selects the store's durability mode.
+//
+// -bench cluster sweeps the sharded, replicated HatKV tier (DESIGN.md
+// §15) over replication factor × crash rate: each point runs a 5-node
+// cluster under seeded primary kills and split-brain partitions, and
+// reports put-attempt availability, acked goodput, epoch-fenced
+// promotions, the zero-loss audit, and failover recovery times. The
+// same seed drives every point, so the crash schedule is held constant
+// while RF varies.
 //
 // -metrics prints the obs counter/histogram/gauge tables accumulated
 // across every simulation of the sweep; -trace writes a deterministic
@@ -54,7 +63,7 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix, overload, crash, hotpath, fanin")
+	bench := flag.String("bench", "latency-hints", "benchmark: latency-protocols, throughput-protocols, latency-hints, throughput-hints, mix, overload, crash, cluster, hotpath, fanin")
 	size := flag.Int("size", 512, "payload size for the mix benchmark")
 	vclients := flag.String("vclients", "", "fanin bench: comma-separated connected virtual-client counts (default 10000,100000,1000000)")
 	pools := flag.String("pools", "", "fanin bench: comma-separated physical shared-QP pool sizes (default 4,16)")
@@ -70,9 +79,10 @@ func main() {
 	loss := flag.Float64("loss", 0, "per-hop drop probability, e.g. 0.05 (implies -faults)")
 	jitter := flag.Int64("jitter", 0, "max per-hop latency jitter in ns (implies -faults)")
 	deadline := flag.Int64("deadline", 2_000_000, "per-call deadline in ns for fault runs (0 disables retries)")
-	syncMode := flag.String("sync", "full", "crash bench: store durability mode: full, meta, none")
-	uptimes := flag.String("uptimes", "", "crash bench: comma-separated mean uptimes in ns (default 4000000,2000000,1000000,500000)")
-	crashHorizon := flag.Int64("crash-horizon", 0, "crash bench: schedule horizon in ns (default 30000000)")
+	syncMode := flag.String("sync", "full", "crash/cluster bench: store durability mode: full, meta, none")
+	uptimes := flag.String("uptimes", "", "crash/cluster bench: comma-separated mean uptimes in ns")
+	crashHorizon := flag.Int64("crash-horizon", 0, "crash/cluster bench: schedule horizon in ns")
+	rfs := flag.String("rf", "", "cluster bench: comma-separated replication factors (default 1,2,3)")
 	flag.Parse()
 
 	if *faults || *loss > 0 || *jitter > 0 {
@@ -233,30 +243,12 @@ func main() {
 		fmt.Print(atb.FaninTable(atb.RunFanin(cfg)))
 	case "crash":
 		cfg := atb.DefaultCrashBenchConfig()
-		switch *syncMode {
-		case "full":
-			cfg.Sync = lmdb.SyncFull
-		case "meta":
-			cfg.Sync = lmdb.SyncMeta
-		case "none":
-			cfg.Sync = lmdb.NoSync
-		default:
-			fmt.Fprintf(os.Stderr, "atb: bad -sync %q (want full, meta or none)\n", *syncMode)
-			os.Exit(2)
-		}
+		cfg.Sync = parseSync(*syncMode)
 		if *crashHorizon > 0 {
 			cfg.HorizonNs = *crashHorizon
 		}
 		if *uptimes != "" {
-			cfg.MeanUptimes = nil
-			for _, s := range strings.Split(*uptimes, ",") {
-				ns, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-				if err != nil || ns <= 0 {
-					fmt.Fprintf(os.Stderr, "atb: bad -uptimes %q: %v\n", s, err)
-					os.Exit(2)
-				}
-				cfg.MeanUptimes = append(cfg.MeanUptimes, ns)
-			}
+			cfg.MeanUptimes = parseUptimes(*uptimes)
 		}
 		pts := atb.RunCrash(cfg)
 		tb := stats.NewTable("mean-uptime", "crashes", "acked", "lost", "goodput Kops/s",
@@ -266,6 +258,37 @@ func main() {
 				fmt.Sprintf("%.1f", p.GoodputOps/1000),
 				stats.FormatNs(p.RecovAvgNs), stats.FormatNs(p.RecovP99Ns),
 				p.Replays, p.Connects)
+		}
+		fmt.Print(tb)
+	case "cluster":
+		cfg := atb.DefaultClusterBenchConfig()
+		cfg.Sync = parseSync(*syncMode)
+		if *crashHorizon > 0 {
+			cfg.HorizonNs = *crashHorizon
+		}
+		if *uptimes != "" {
+			cfg.MeanUptimes = parseUptimes(*uptimes)
+		}
+		if *rfs != "" {
+			cfg.RFs = nil
+			for _, s := range strings.Split(*rfs, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n <= 0 {
+					fmt.Fprintf(os.Stderr, "atb: bad -rf %q: %v\n", s, err)
+					os.Exit(2)
+				}
+				cfg.RFs = append(cfg.RFs, n)
+			}
+		}
+		pts := atb.RunClusterBench(cfg)
+		tb := stats.NewTable("rf", "mean-uptime", "crashes", "acked", "lost", "avail",
+			"goodput Kops/s", "promotions", "stale-retries", "recov avg", "recov p99")
+		for _, p := range pts {
+			tb.Row(p.RF, stats.FormatNs(float64(p.MeanUptimeNs)), p.Crashes, p.Acked, p.Lost,
+				fmt.Sprintf("%.3f", p.Availability),
+				fmt.Sprintf("%.1f", p.GoodputOps/1000),
+				p.Promotions, p.StaleRetries,
+				stats.FormatNs(p.RecovAvgNs), stats.FormatNs(p.RecovP99Ns))
 		}
 		fmt.Print(tb)
 	default:
@@ -301,6 +324,37 @@ func main() {
 // never feeds the simulation — every fabric is seeded and virtual-timed.
 func hostNow() time.Time {
 	return time.Now() //hatlint:allow simdet -- the hotpath bench reports host wall-clock alongside virtual time by design; the value never enters the simulation
+}
+
+// parseSync maps the -sync flag to a store durability mode, exiting on
+// an unknown value.
+func parseSync(s string) lmdb.SyncMode {
+	switch s {
+	case "full":
+		return lmdb.SyncFull
+	case "meta":
+		return lmdb.SyncMeta
+	case "none":
+		return lmdb.NoSync
+	}
+	fmt.Fprintf(os.Stderr, "atb: bad -sync %q (want full, meta or none)\n", s)
+	os.Exit(2)
+	return lmdb.SyncFull
+}
+
+// parseUptimes parses the -uptimes flag's comma-separated ns list,
+// exiting on a malformed entry.
+func parseUptimes(arg string) []int64 {
+	var out []int64
+	for _, s := range strings.Split(arg, ",") {
+		ns, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil || ns <= 0 {
+			fmt.Fprintf(os.Stderr, "atb: bad -uptimes %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		out = append(out, ns)
+	}
+	return out
 }
 
 func poll(busy bool) string {

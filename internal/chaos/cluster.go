@@ -1,0 +1,276 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"hatrpc/internal/cluster"
+	"hatrpc/internal/engine"
+	"hatrpc/internal/hatkv"
+	"hatrpc/internal/lmdb"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// ClusterConfig parameterizes one cluster-wide soak: N server nodes
+// running the sharded, replicated HatKV tier (internal/cluster) plus
+// one client node, under a seeded crash schedule and (optionally) a
+// seeded partition/fault plan covering the servers.
+type ClusterConfig struct {
+	Seed    int64
+	Sync    lmdb.SyncMode
+	Servers int // cluster node count (≥3 for real failover at RF 3)
+	NShards int
+	RF      int
+
+	Workers         int
+	WritesPerWorker int
+	WritePaceNs     int64
+
+	Crash  simnet.CrashConfig // node ids are server indexes 0..Servers-1
+	Faults simnet.FaultConfig
+}
+
+// NodeCrash is one executed server crash.
+type NodeCrash struct {
+	Node int
+	At   sim.Time
+}
+
+// ClusterWrite is one acknowledged cluster write. Lost is filled by the
+// audit against the shard's authority replica.
+type ClusterWrite struct {
+	Key   string
+	AckAt sim.Time
+	Lost  bool
+}
+
+// ClusterResult is the audited outcome of a cluster soak.
+type ClusterResult struct {
+	Crashes []NodeCrash
+	Writes  []ClusterWrite
+
+	Acked int
+	Lost  int // acked writes absent from their shard's authority replica
+
+	GetChecks     int
+	GetMismatches int // read-backs returning wrong bytes — always a bug
+	FailedPuts    int64
+	Incomplete    int
+
+	// Cluster lifecycle, summed over every boot of every server.
+	Promotions   int64
+	Candidacies  int64
+	Resyncs      int64
+	StaleWrites  int64
+	FencedWrites int64
+
+	// Client routing, summed over the workers.
+	Refreshes    int64
+	StaleRetries int64
+
+	// Per-shard final durable position at the authority replica.
+	ShardEpochs []uint64
+	ShardSeqs   []uint64
+}
+
+// ClusterSoak runs one cluster soak to completion and audits it: every
+// worker write is retried until acked, and at the end every acked write
+// must be present at its shard's authority replica — the replica with
+// the maximum durable (epoch, seq). Under SyncFull and RF ≥ 2 the
+// epoch-fencing argument makes any loss a protocol bug, crashes and
+// partitions notwithstanding.
+func ClusterSoak(cfg ClusterConfig) *ClusterResult {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 5
+	}
+	if cfg.NShards <= 0 {
+		cfg.NShards = 8
+	}
+	if cfg.RF <= 0 {
+		cfg.RF = 3
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.WritesPerWorker <= 0 {
+		cfg.WritesPerWorker = 40
+	}
+	env := sim.NewEnv(cfg.Seed)
+	cl := simnet.NewCluster(env, simnet.Config{
+		Nodes: cfg.Servers + 1, Cores: 28, Sockets: 2, LinkGbps: 100, PropDelayNs: 600, NUMAPenalty: 1.25,
+	})
+
+	ccfg := cluster.Config{Seed: cfg.Seed, NShards: cfg.NShards, RF: cfg.RF}
+	ccfg.NodeIDs = make([]int, cfg.Servers)
+	for i := range ccfg.NodeIDs {
+		ccfg.NodeIDs[i] = i
+	}
+	roster := make([]*simnet.Node, cfg.Servers)
+	for i := range roster {
+		roster[i] = cl.Node(i)
+	}
+
+	res := &ClusterResult{}
+	ecfg := engine.DefaultConfig()
+	ecfg.BreakerThreshold = 4
+	ecfg.BreakerCooldown = 500_000
+
+	stores := make([]*hatkv.Store, cfg.Servers)
+	var allNodes []*cluster.Node // every boot's service, for stat summing
+	for i := 0; i < cfg.Servers; i++ {
+		i := i
+		node := cl.Node(i)
+		store, err := hatkv.NewStore(node, nil, nil)
+		if err != nil {
+			panic("chaos: " + err.Error()) // nil hints cannot fail
+		}
+		if err := store.Env().SetSync(cfg.Sync); err != nil {
+			panic("chaos: " + err.Error())
+		}
+		stores[i] = store
+		// Crash log, registered after the store so the backend has rolled
+		// back by the time it runs; re-arms itself across boots.
+		var logCrash func()
+		logCrash = func() {
+			res.Crashes = append(res.Crashes, NodeCrash{Node: i, At: env.Now()})
+			node.OnCrash(logCrash)
+		}
+		node.OnCrash(logCrash)
+		boot := func() {
+			allNodes = append(allNodes, cluster.NewNode(engine.New(node, ecfg), store, roster, i, ccfg))
+		}
+		boot()
+		node.SetRestart(func(p *sim.Proc) { boot() })
+	}
+	cl.InstallCrashes(cfg.Crash)
+	cl.InstallFaults(cfg.Faults)
+
+	cliEng := engine.New(cl.Node(cfg.Servers), ecfg)
+	var clients []*cluster.Client
+	done := 0
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		env.Spawn(fmt.Sprintf("cluster-worker-%d", w), func(p *sim.Proc) {
+			c := cluster.NewClient(cliEng, roster, ccfg)
+			clients = append(clients, c)
+			for i := 0; i < cfg.WritesPerWorker; i++ {
+				key := fmt.Sprintf("w%02d-%05d", w, i)
+				for {
+					if err := c.Put(p, key, []byte(key)); err == nil {
+						res.Writes = append(res.Writes, ClusterWrite{Key: key, AckAt: p.Now()})
+						break
+					}
+					res.FailedPuts++
+					p.Sleep(250_000) // outage in progress; back off and re-ack
+				}
+				if i%5 == 4 {
+					// Read-back: an answer must be the exact bytes written
+					// (acked writes never roll back under quorum replication).
+					res.GetChecks++
+					v, err := c.Get(p, key)
+					if err == nil && !bytes.Equal(v, []byte(key)) {
+						res.GetMismatches++
+					}
+				}
+				if cfg.WritePaceNs > 0 {
+					p.Sleep(sim.Duration(cfg.WritePaceNs))
+				}
+			}
+			done++
+			if done == cfg.Workers {
+				env.Stop()
+			}
+		})
+	}
+	if cfg.Crash.HorizonNs > 0 {
+		// Watchdog: the soak must terminate even if a worker wedges.
+		env.At(sim.Time(4*cfg.Crash.HorizonNs), env.Stop)
+	}
+	env.Run()
+
+	res.Incomplete = cfg.Workers - done
+	for _, n := range allNodes {
+		st := n.Stats()
+		res.Promotions += st.Promotions
+		res.Candidacies += st.Candidacies
+		res.Resyncs += st.Resyncs
+		res.StaleWrites += st.StaleWrites
+		res.FencedWrites += st.FencedWrites
+	}
+	for _, c := range clients {
+		st := c.Stats()
+		res.Refreshes += st.Refreshes
+		res.StaleRetries += st.StaleRetries
+	}
+	auditCluster(res, ccfg, stores)
+	return res
+}
+
+// auditCluster checks every acked write against its shard's authority
+// replica and records the final durable shard positions.
+func auditCluster(res *ClusterResult, ccfg cluster.Config, stores []*hatkv.Store) {
+	nshards := cluster.NumShards(ccfg)
+	auth := make([]int, nshards)
+	res.ShardEpochs = make([]uint64, nshards)
+	res.ShardSeqs = make([]uint64, nshards)
+	for s := 0; s < nshards; s++ {
+		auth[s] = cluster.ShardAuthority(ccfg, stores, s)
+		res.ShardEpochs[s], res.ShardSeqs[s] = cluster.ShardPosition(stores[auth[s]], s)
+	}
+	for i := range res.Writes {
+		w := &res.Writes[i]
+		res.Acked++
+		shard := cluster.ShardOf(w.Key, nshards)
+		if !cluster.StoreHas(stores[auth[shard]], shard, w.Key) {
+			w.Lost = true
+			res.Lost++
+		}
+	}
+}
+
+// Outages returns, per crash, the virtual time from the crash to the
+// first subsequent acked write anywhere in the cluster — the
+// client-visible recovery time. Crashes with no ack after them are
+// omitted.
+func (r *ClusterResult) Outages() []int64 {
+	var out []int64
+	for _, c := range r.Crashes {
+		for _, w := range r.Writes {
+			if w.AckAt > c.At {
+				out = append(out, int64(w.AckAt-c.At))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Report renders the audited outcome deterministically — two same-seed
+// soaks must produce byte-identical reports. The write log is folded
+// into an FNV-1a digest.
+func (r *ClusterResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster soak: acked=%d lost=%d incomplete=%d\n", r.Acked, r.Lost, r.Incomplete)
+	fmt.Fprintf(&b, "gets=%d mismatches=%d failed_puts=%d\n", r.GetChecks, r.GetMismatches, r.FailedPuts)
+	fmt.Fprintf(&b, "lifecycle: promotions=%d candidacies=%d resyncs=%d stale=%d fenced=%d\n",
+		r.Promotions, r.Candidacies, r.Resyncs, r.StaleWrites, r.FencedWrites)
+	fmt.Fprintf(&b, "clients: refreshes=%d stale_retries=%d\n", r.Refreshes, r.StaleRetries)
+	fmt.Fprintf(&b, "crashes: %d\n", len(r.Crashes))
+	for _, c := range r.Crashes {
+		fmt.Fprintf(&b, "  node=%d at=%d\n", c.Node, c.At)
+	}
+	fmt.Fprintf(&b, "shards:")
+	for s := range r.ShardEpochs {
+		fmt.Fprintf(&b, " e%d/s%d", r.ShardEpochs[s], r.ShardSeqs[s])
+	}
+	fmt.Fprintf(&b, "\n")
+	h := fnv.New64a()
+	for _, w := range r.Writes {
+		fmt.Fprintf(h, "%s|%d|%v\n", w.Key, w.AckAt, w.Lost)
+	}
+	fmt.Fprintf(&b, "writes_digest=%016x\n", h.Sum64())
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"hatrpc/internal/hatkv"
+)
+
+// Post-run audit helpers for soaks and benches. They read the durable
+// stores directly (no simulated I/O): after env.Run returns, each
+// surviving store is exactly what a cold restart would recover, so the
+// audit sees the cluster as the next boot would.
+
+// ShardPosition returns the durable (content epoch, seq) of one shard
+// at one store, or (0, 0) when the store never held the shard.
+func ShardPosition(store *hatkv.Store, shard int) (epoch, seq uint64) {
+	txn, err := store.Env().BeginRead()
+	if err != nil {
+		return 0, 0
+	}
+	defer txn.Abort()
+	raw, err := txn.Get([]byte(metaKey(shard)))
+	if err != nil {
+		return 0, 0
+	}
+	m, err := decodeShardMeta(raw)
+	if err != nil {
+		return 0, 0
+	}
+	return m.Epoch, m.Seq
+}
+
+// ShardAuthority picks the audit authority for a shard: among the
+// configured replicas' stores, the one whose durable content sits at
+// the maximum (epoch, seq) — ties broken by the lowest replica index.
+// By the quorum-intersection argument (DESIGN.md §15) every
+// acknowledged SyncFull write is present there, so "key absent from the
+// authority" == "acked write lost", cluster-wide. stores must be
+// indexed like cfg.NodeIDs.
+func ShardAuthority(cfg Config, stores []*hatkv.Store, shard int) int {
+	cfg = cfg.withDefaults()
+	reps := Replicas(cfg.Seed, cfg.NodeIDs, shard, cfg.RF)
+	best, bestE, bestS := reps[0], uint64(0), uint64(0)
+	for _, r := range reps {
+		e, s := ShardPosition(stores[r], shard)
+		if e > bestE || (e == bestE && s > bestS) {
+			best, bestE, bestS = r, e, s
+		}
+	}
+	return best
+}
+
+// StoreHas reports whether the store durably holds the shard's record
+// for key.
+func StoreHas(store *hatkv.Store, shard int, key string) bool {
+	txn, err := store.Env().BeginRead()
+	if err != nil {
+		return false
+	}
+	defer txn.Abort()
+	_, err = txn.Get([]byte(dataKey(shard, key)))
+	return err == nil
+}
+
+// NumShards exposes the defaulted shard count for a config, so harness
+// code can route audit keys the way clients do.
+func NumShards(cfg Config) int { return cfg.withDefaults().NShards }

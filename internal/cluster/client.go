@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"hatrpc/internal/engine"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// ErrNotFound is returned by Client.Get for a key no replica has.
+var ErrNotFound = errors.New("cluster: key not found")
+
+// ClientStats counts a client's routing behavior (deterministic under
+// one seed).
+type ClientStats struct {
+	Puts         int64 // acked writes
+	Gets         int64 // successful reads (found or typed not-found)
+	Refreshes    int64 // shard-map refresh sweeps
+	StaleRetries int64 // stStale answers (failover observed; rerouted)
+	Failures     int64 // operations that exhausted the attempt budget
+}
+
+// Client routes KV operations across the cluster: consistent-hash shard
+// selection, a locally cached shard map bootstrapped from the static
+// epoch-1 view, and the stale-epoch protocol — a replica answering
+// stStale hands back the fresher (epoch, primary), the client adopts it
+// and replays immediately; transport-level unavailability triggers a
+// full map refresh plus backoff. One Client serves one simulated
+// process's traffic (no internal locking beyond the session cache).
+type Client struct {
+	cfg    Config
+	eng    *engine.Engine
+	roster []*simnet.Node // cluster server nodes, by index
+
+	view *ShardMap
+
+	smu   *sim.Mutex
+	sess  map[int]*engine.Session
+	stats ClientStats
+}
+
+// NewClient builds a cluster client on the given (client-side) engine.
+// roster must list the server nodes in cfg.NodeIDs order.
+func NewClient(eng *engine.Engine, roster []*simnet.Node, cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:    cfg,
+		eng:    eng,
+		roster: roster,
+		view:   NewShardMap(cfg.Seed, cfg.NodeIDs, cfg.NShards, cfg.RF),
+		smu:    sim.NewMutex(eng.Node().Cluster().Env()),
+		sess:   make(map[int]*engine.Session),
+	}
+}
+
+// Stats returns the client's counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// View returns the client's current routing view (read-only use).
+func (c *Client) View() *ShardMap { return c.view }
+
+// call performs one idempotent RPC to a cluster node over a cached
+// session.
+func (c *Client) call(p *sim.Proc, peer int, fn uint32, req []byte) ([]byte, error) {
+	c.smu.Lock(p)
+	s := c.sess[peer]
+	if s == nil {
+		var err error
+		s, err = c.eng.NewSession(p, c.roster[peer], Port, engine.SessionConfig{
+			MaxRedials:    2,
+			RedialBackoff: 50_000,
+		})
+		if err != nil {
+			c.smu.Unlock()
+			return nil, err
+		}
+		c.sess[peer] = s
+	}
+	c.smu.Unlock()
+	return s.Call(p, fn, req, engine.CallOpts{
+		Proto:      engine.EagerSendRecv,
+		Idempotent: true,
+		Deadline:   sim.Duration(c.cfg.ClientDeadlineNs),
+	})
+}
+
+// adopt folds a stale-reply's fresher routing into the cached view.
+func (c *Client) adopt(shard int, epoch uint64, primary int32) {
+	if epoch > c.view.Shards[shard].Epoch {
+		c.view.Shards[shard].Epoch = epoch
+		c.view.Shards[shard].Primary = primary
+	}
+}
+
+// Refresh sweeps the roster for shard maps and merges them into the
+// cached view (per shard, the highest epoch wins — a shard's replicas
+// always know its freshest view, so merging across nodes converges on
+// truth even when most of the roster is down or partitioned away).
+func (c *Client) Refresh(p *sim.Proc) {
+	c.stats.Refreshes++
+	for i := range c.roster {
+		resp, err := c.call(p, i, FnShardMap, nil)
+		if err != nil || len(resp) < 1 || resp[0] != stOK {
+			continue
+		}
+		if m, derr := DecodeShardMap(resp[1:]); derr == nil {
+			c.view.Merge(m)
+		}
+	}
+}
+
+// Put writes key=value through the shard's primary, retrying across
+// failovers: stStale reroutes and replays immediately, unavailability
+// refreshes the map and backs off, fencing/quorum-loss backs off until
+// the new view lands. The final error after an exhausted budget wraps
+// the last typed cause (errors.Is(err, engine.ErrStaleShardEpoch) holds
+// if the budget died chasing a moving epoch).
+func (c *Client) Put(p *sim.Proc, key string, value []byte) error {
+	shard := ShardOf(key, c.cfg.NShards)
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.ClientAttempts; attempt++ {
+		info := c.view.Shards[shard]
+		resp, err := c.call(p, int(info.Primary), FnClusterPut,
+			encodePut(putReq{Shard: uint16(shard), Epoch: info.Epoch, Key: key, Value: value}))
+		st, cont := c.step(p, shard, resp, err, &lastErr)
+		if !cont {
+			if st == stOK {
+				c.stats.Puts++
+				return nil
+			}
+			break
+		}
+	}
+	c.stats.Failures++
+	if lastErr == nil {
+		lastErr = engine.ErrDeadline
+	}
+	return fmt.Errorf("cluster: put %q: %w", key, lastErr)
+}
+
+// Get reads key from the shard's primary with the same retry protocol
+// as Put. A missing key is the typed ErrNotFound (a successful read).
+func (c *Client) Get(p *sim.Proc, key string) ([]byte, error) {
+	shard := ShardOf(key, c.cfg.NShards)
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.ClientAttempts; attempt++ {
+		info := c.view.Shards[shard]
+		resp, err := c.call(p, int(info.Primary), FnClusterGet,
+			encodeGet(getReq{Shard: uint16(shard), Epoch: info.Epoch, Key: key}))
+		st, cont := c.step(p, shard, resp, err, &lastErr)
+		if !cont {
+			if st == stOK {
+				c.stats.Gets++
+				if len(resp) < 2 || resp[1] == 0 {
+					return nil, fmt.Errorf("cluster: get %q: %w", key, ErrNotFound)
+				}
+				return resp[2:], nil
+			}
+			break
+		}
+	}
+	c.stats.Failures++
+	if lastErr == nil {
+		lastErr = engine.ErrDeadline
+	}
+	return nil, fmt.Errorf("cluster: get %q: %w", key, lastErr)
+}
+
+// step classifies one attempt's outcome and applies the routing
+// protocol. Returns the status byte (when a response arrived) and
+// whether the caller should retry.
+func (c *Client) step(p *sim.Proc, shard int, resp []byte, err error, lastErr *error) (byte, bool) {
+	switch {
+	case err != nil:
+		// Transport-level: the primary (or the path to it) is gone. A
+		// fresher view may exist anywhere in the roster — sweep for it.
+		*lastErr = err
+		c.Refresh(p)
+		p.Sleep(sim.Duration(c.cfg.ClientBackoffNs))
+		return 0, true
+	case len(resp) < 1:
+		*lastErr = engine.ErrDeadline
+		p.Sleep(sim.Duration(c.cfg.ClientBackoffNs))
+		return 0, true
+	case resp[0] == stOK:
+		return stOK, false
+	case resp[0] == stStale:
+		// The replica told us exactly where to go: adopt and replay now.
+		if e, pr, ok := decodeStale(resp); ok {
+			c.adopt(shard, e, pr)
+		}
+		c.stats.StaleRetries++
+		*lastErr = engine.ErrStaleShardEpoch
+		return stStale, true
+	case resp[0] == stFenced || resp[0] == stNotQuorum:
+		// Failover in progress (fenced) or the replica set can't reach
+		// majority: wait for the view change, refreshing as we go.
+		*lastErr = engine.ErrStaleShardEpoch
+		p.Sleep(sim.Duration(c.cfg.ClientBackoffNs))
+		c.Refresh(p)
+		return resp[0], true
+	default:
+		*lastErr = fmt.Errorf("cluster: status %d", resp[0])
+		p.Sleep(sim.Duration(c.cfg.ClientBackoffNs))
+		return resp[0], true
+	}
+}

@@ -1,0 +1,658 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hatrpc/internal/engine"
+	"hatrpc/internal/hatkv"
+	kvgen "hatrpc/internal/hatkv/gen"
+	"hatrpc/internal/obs"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// Config is the shared cluster configuration. Every node and every
+// client must be built from the same (Seed, NodeIDs, NShards, RF) —
+// ring placement is a pure function of them. The zero value of each
+// timing knob gets a default.
+type Config struct {
+	Seed    int64
+	NodeIDs []int // simnet node ids hosting cluster nodes, ascending
+	NShards int
+	RF      int // replicas per shard (primary included)
+
+	// Monitor/failover pacing, virtual ns.
+	ProbeIntervalNs int64 // monitor tick spacing
+	ProbeDeadlineNs int64 // one liveness/status probe
+	CallDeadlineNs  int64 // replication, prepare, pull and install calls
+	FailThreshold   int   // consecutive failed primary probes before candidacy
+
+	// Client knobs.
+	ClientDeadlineNs int64 // one client-facing call
+	ClientAttempts   int   // retry budget per Put/Get
+	ClientBackoffNs  int64 // pacing between client retries
+}
+
+func (c Config) withDefaults() Config {
+	if c.NShards <= 0 {
+		c.NShards = 8
+	}
+	if c.RF <= 0 {
+		c.RF = 3
+	}
+	if c.ProbeIntervalNs <= 0 {
+		c.ProbeIntervalNs = 150_000
+	}
+	if c.ProbeDeadlineNs <= 0 {
+		c.ProbeDeadlineNs = 120_000
+	}
+	if c.CallDeadlineNs <= 0 {
+		c.CallDeadlineNs = 300_000
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.ClientDeadlineNs <= 0 {
+		c.ClientDeadlineNs = 300_000
+	}
+	if c.ClientAttempts <= 0 {
+		c.ClientAttempts = 12
+	}
+	if c.ClientBackoffNs <= 0 {
+		c.ClientBackoffNs = 150_000
+	}
+	return c
+}
+
+// shardState is one shard's in-memory state at one replica, rebuilt
+// from the durable meta record on every boot. Content fields mirror
+// what the local store holds; learned fields are routing hearsay
+// (always ≥ content) served to clients and used to demote deposed
+// primaries.
+type shardState struct {
+	id       int
+	replicas []int // configured replica set, ring order
+
+	epoch   uint64 // content epoch
+	primary int    // content primary
+	seq     uint64 // last applied replication seq in the content epoch
+
+	learnedEpoch   uint64
+	learnedPrimary int
+
+	promised   uint64 // durable candidacy promise (mirrors meta)
+	promisedBy int
+
+	// mu serializes writes, installs and candidacy on this shard at
+	// this replica. Lock order: shard mu → session mu, never reversed.
+	mu *sim.Mutex
+
+	// Primary-side replication bookkeeping.
+	suspect    map[int]bool // backup → needs a resync install (direct index only)
+	probeFails int          // backup-side: consecutive failed primary probes
+}
+
+// NodeStats counts a cluster node's lifecycle events (deterministic
+// under one seed; the soak folds them into its report).
+type NodeStats struct {
+	Promotions   int64 // candidacies won (view installs reaching quorum)
+	Candidacies  int64 // candidacies started
+	Resyncs      int64 // same-epoch snapshot installs pushed to lagging backups
+	StaleWrites  int64 // stStale replies sent
+	FencedWrites int64 // writes refused under an outstanding promise
+}
+
+// Node is one cluster server: a shard-aware KV service over the node's
+// durable hatkv store, plus the failover monitor that probes primaries,
+// runs epoch-fenced candidacies, and resynchronizes lagging backups.
+// Build one per boot with NewNode — it dies with the simnet node's
+// crash, while the store underneath survives into the next boot.
+type Node struct {
+	cfg    Config
+	self   int // index into cfg.NodeIDs == position in roster
+	env    *sim.Env
+	eng    *engine.Engine
+	store  *hatkv.Store
+	roster []*simnet.Node // cluster nodes by index
+
+	shards   map[int]*shardState // shards where self is a configured replica
+	shardIDs []int               // sorted keys of shards
+	initial  *ShardMap           // static epoch-1 map for non-owned entries
+
+	smu  *sim.Mutex              // guards sess creation
+	sess map[int]*engine.Session // peer index → replication session
+
+	stats NodeStats
+
+	promotions *obs.Counter
+	resyncs    *obs.Counter
+	staleRej   *obs.Counter
+	fencedRej  *obs.Counter
+}
+
+// NewNode builds the cluster service for one boot of a simnet node:
+// recovers per-shard meta from the durable store, registers the wire
+// handler, and spawns the failover monitor as a node-owned process.
+// self is the node's index into cfg.NodeIDs.
+func NewNode(eng *engine.Engine, store *hatkv.Store, roster []*simnet.Node, self int, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	env := eng.Node().Cluster().Env()
+	n := &Node{
+		cfg:     cfg,
+		self:    self,
+		env:     env,
+		eng:     eng,
+		store:   store,
+		roster:  roster,
+		shards:  make(map[int]*shardState),
+		initial: NewShardMap(cfg.Seed, cfg.NodeIDs, cfg.NShards, cfg.RF),
+		smu:     sim.NewMutex(env),
+		sess:    make(map[int]*engine.Session),
+	}
+	for s := 0; s < cfg.NShards; s++ {
+		reps32 := n.initial.Shards[s].Replicas
+		mine := false
+		reps := make([]int, len(reps32))
+		for i, r := range reps32 {
+			reps[i] = int(r)
+			if int(r) == self {
+				mine = true
+			}
+		}
+		if !mine {
+			continue
+		}
+		st := &shardState{
+			id:             s,
+			replicas:       reps,
+			epoch:          1,
+			primary:        reps[0],
+			learnedEpoch:   1,
+			learnedPrimary: reps[0],
+			mu:             sim.NewMutex(env),
+			suspect:        make(map[int]bool),
+		}
+		n.recoverMeta(st)
+		n.shards[s] = st
+		n.shardIDs = append(n.shardIDs, s)
+	}
+	// shardIDs is built in ascending shard order already (the loop above).
+	eng.Serve(Port, n.handle)
+	n.startMonitor()
+	return n
+}
+
+// Stats returns the node's lifecycle counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// SetObs attaches cluster counters (cluster.promotions, cluster.resyncs,
+// cluster.stale_writes, cluster.fenced_writes) to the node.
+func (n *Node) SetObs(r *obs.Registry) {
+	if r == nil {
+		n.promotions, n.resyncs, n.staleRej, n.fencedRej = nil, nil, nil, nil
+		return
+	}
+	n.promotions = r.Counter("cluster.promotions")
+	n.resyncs = r.Counter("cluster.resyncs")
+	n.staleRej = r.Counter("cluster.stale_writes")
+	n.fencedRej = r.Counter("cluster.fenced_writes")
+}
+
+// recoverMeta loads the shard's durable meta record, if any: a restart
+// resumes at the exact (epoch, primary, seq, promise) its surviving
+// data belongs to. Reads the backing env directly — recovery happens at
+// boot, outside any simulated request.
+func (n *Node) recoverMeta(st *shardState) {
+	txn, err := n.store.Env().BeginRead()
+	if err != nil {
+		return
+	}
+	defer txn.Abort()
+	raw, err := txn.Get([]byte(metaKey(st.id)))
+	if err != nil {
+		return
+	}
+	m, err := decodeShardMeta(raw)
+	if err != nil {
+		return
+	}
+	st.epoch = m.Epoch
+	st.primary = int(m.Primary)
+	st.seq = m.Seq
+	st.promised = m.Promised
+	st.promisedBy = int(m.PromisedBy)
+	st.learnedEpoch = m.Epoch
+	st.learnedPrimary = int(m.Primary)
+}
+
+// meta renders the shard's current durable record.
+func (st *shardState) meta() shardMeta {
+	return shardMeta{
+		Epoch:      st.epoch,
+		Primary:    int32(st.primary),
+		Seq:        st.seq,
+		Promised:   st.promised,
+		PromisedBy: int32(st.promisedBy),
+	}
+}
+
+// adoptLearned folds fresher routing hearsay into the shard (monotone
+// in epoch). It never touches content state — only installs do.
+func (st *shardState) adoptLearned(epoch uint64, primary int) {
+	if epoch > st.learnedEpoch {
+		st.learnedEpoch = epoch
+		st.learnedPrimary = primary
+	}
+}
+
+// staleReply answers with the freshest routing this replica knows.
+func (n *Node) staleReply(st *shardState) []byte {
+	n.stats.StaleWrites++
+	n.staleRej.Inc()
+	return encodeStale(st.learnedEpoch, int32(st.learnedPrimary))
+}
+
+// applyWrite commits one replicated record and the covering meta in a
+// single store transaction, so durability of the data and of its
+// (epoch, seq) position are inseparable under every sync mode.
+func (n *Node) applyWrite(p *sim.Proc, st *shardState, key string, val []byte, seq uint64) error {
+	st.seq = seq
+	err := n.store.MultiPut(p, []*kvgen.KVPair{
+		{Key: dataKey(st.id, key), Value: val},
+		{Key: metaKey(st.id), Value: st.meta().encode()},
+	})
+	if err != nil {
+		st.seq = seq - 1
+	}
+	return err
+}
+
+// applyInstall replaces the shard's state wholesale: every snapshot
+// record plus the new meta in one commit. Records never deleted under
+// this protocol can only be overwritten, so replacement == overwrite.
+func (n *Node) applyInstall(p *sim.Proc, st *shardState, q installReq) error {
+	prev := *st
+	st.epoch = q.Epoch
+	st.primary = int(q.Primary)
+	st.seq = q.Seq
+	if q.Epoch > st.promised {
+		st.promised = q.Epoch
+		st.promisedBy = int(q.Primary)
+	}
+	st.adoptLearned(q.Epoch, int(q.Primary))
+	pairs := make([]*kvgen.KVPair, 0, len(q.Pairs)+1)
+	for i := range q.Pairs {
+		pairs = append(pairs, &kvgen.KVPair{Key: q.Pairs[i].Key, Value: q.Pairs[i].Value})
+	}
+	pairs = append(pairs, &kvgen.KVPair{Key: metaKey(st.id), Value: st.meta().encode()})
+	if err := n.store.MultiPut(p, pairs); err != nil {
+		*st = prev
+		return err
+	}
+	return nil
+}
+
+// promise durably records an epoch promise (the prepare half of
+// candidacy): from this commit on — across crashes — the replica
+// refuses writes and view-change installs below the promised epoch.
+func (n *Node) promise(p *sim.Proc, st *shardState, epoch uint64, candidate int) error {
+	prevE, prevBy := st.promised, st.promisedBy
+	st.promised = epoch
+	st.promisedBy = candidate
+	if err := n.store.Put(p, metaKey(st.id), st.meta().encode()); err != nil {
+		st.promised, st.promisedBy = prevE, prevBy
+		return err
+	}
+	return nil
+}
+
+// snapshotLocked collects every record of the shard plus its content
+// position. Caller holds st.mu, so the snapshot is a consistent prefix.
+func (n *Node) snapshotLocked(st *shardState) ([]snapPair, error) {
+	txn, err := n.store.Env().BeginRead()
+	if err != nil {
+		return nil, err
+	}
+	defer txn.Abort()
+	prefix := dataPrefix(st.id)
+	var out []snapPair
+	for c := txn.Seek([]byte(prefix)); c.Valid(); c.Next() {
+		k := c.Key()
+		if len(k) < len(prefix) || string(k[:len(prefix)]) != prefix {
+			break
+		}
+		out = append(out, snapPair{
+			Key:   string(k),
+			Value: append([]byte(nil), c.Value()...),
+		})
+	}
+	return out, nil
+}
+
+// callPeer performs one idempotent RPC to another cluster node over a
+// cached session (created on first use; the session itself survives
+// peer restarts by re-dialing).
+func (n *Node) callPeer(p *sim.Proc, peer int, fn uint32, req []byte) ([]byte, error) {
+	return n.callPeerDL(p, peer, fn, req, n.cfg.CallDeadlineNs)
+}
+
+// callPeerDL is callPeer with an explicit deadline: liveness probes run
+// tighter than replication so a dead primary is detected within a few
+// monitor ticks.
+func (n *Node) callPeerDL(p *sim.Proc, peer int, fn uint32, req []byte, deadlineNs int64) ([]byte, error) {
+	n.smu.Lock(p)
+	s := n.sess[peer]
+	if s == nil {
+		var err error
+		s, err = n.eng.NewSession(p, n.roster[peer], Port, engine.SessionConfig{
+			MaxRedials:    2,
+			RedialBackoff: 50_000,
+		})
+		if err != nil {
+			n.smu.Unlock()
+			return nil, err
+		}
+		n.sess[peer] = s
+	}
+	n.smu.Unlock()
+	return s.Call(p, fn, req, engine.CallOpts{
+		Proto:      engine.EagerSendRecv,
+		Idempotent: true,
+		Deadline:   sim.Duration(deadlineNs),
+	})
+}
+
+// handle dispatches the cluster wire protocol.
+func (n *Node) handle(p *sim.Proc, fn uint32, req []byte) []byte {
+	switch fn {
+	case FnShardMap:
+		return n.handleShardMap()
+	case FnClusterPut:
+		return n.handlePut(p, req)
+	case FnClusterGet:
+		return n.handleGet(p, req)
+	case FnReplicate:
+		return n.handleReplicate(p, req)
+	case FnShardStatus:
+		return n.handleStatus(p, req)
+	case FnShardPull:
+		return n.handlePull(p, req)
+	case FnInstall:
+		return n.handleInstall(p, req)
+	}
+	return []byte{stErr}
+}
+
+// handleShardMap serves this node's routing view: its own shards'
+// learned (epoch, primary), the static epoch-1 map for the rest.
+// Clients merge views across nodes, so each shard's replicas — which
+// always know the freshest epoch — win.
+func (n *Node) handleShardMap() []byte {
+	m := &ShardMap{Shards: make([]ShardInfo, len(n.initial.Shards))}
+	copy(m.Shards, n.initial.Shards)
+	for _, id := range n.shardIDs {
+		st := n.shards[id]
+		m.Shards[id].Epoch = st.learnedEpoch
+		m.Shards[id].Primary = int32(st.learnedPrimary)
+	}
+	out := []byte{stOK}
+	return append(out, m.Encode()...)
+}
+
+// handlePut executes a client write as the shard primary: fence and
+// epoch checks, local durable apply, then sequential replication to the
+// backups; the ack requires a majority of the replica set (self
+// included). Split-brain safety lives here: a deposed or minority-side
+// primary cannot assemble a quorum, so it can never acknowledge.
+func (n *Node) handlePut(p *sim.Proc, req []byte) []byte {
+	q, err := decodePut(req)
+	if err != nil {
+		return []byte{stErr}
+	}
+	st := n.shards[int(q.Shard)]
+	if st == nil {
+		// Not a replica of this shard: answer with the static view so a
+		// confused client re-routes.
+		e := n.initial.Shards[int(q.Shard)%len(n.initial.Shards)]
+		return encodeStale(e.Epoch, e.Primary)
+	}
+	st.mu.Lock(p)
+	defer st.mu.Unlock()
+	if st.promised > st.epoch {
+		// A candidacy holds our durable promise: the old view is fenced.
+		n.stats.FencedWrites++
+		n.fencedRej.Inc()
+		return []byte{stFenced}
+	}
+	if st.primary != n.self || q.Epoch != st.epoch || st.learnedEpoch != st.epoch {
+		return n.staleReply(st)
+	}
+	seq := st.seq + 1
+	if err := n.applyWrite(p, st, q.Key, q.Value, seq); err != nil {
+		return []byte{stErr}
+	}
+	acks := 1
+	rr := encodeRepl(replReq{
+		Shard: q.Shard, Epoch: st.epoch, Primary: int32(n.self),
+		Seq: seq, Key: q.Key, Value: q.Value,
+	})
+	for _, b := range st.replicas {
+		if b == n.self || st.suspect[b] {
+			continue // suspects catch up through resync installs
+		}
+		resp, err := n.callPeer(p, b, FnReplicate, rr)
+		if err != nil || len(resp) == 0 {
+			st.suspect[b] = true
+			continue
+		}
+		switch resp[0] {
+		case stOK:
+			acks++
+		case stStale:
+			if e, pr, ok := decodeStale(resp); ok {
+				st.adoptLearned(e, int(pr))
+			}
+			return n.staleReply(st) // deposed mid-write; never ack
+		default: // stNeedSync, stFenced, stErr
+			st.suspect[b] = true
+		}
+	}
+	if acks < quorum(len(st.replicas)) {
+		return []byte{stNotQuorum}
+	}
+	return []byte{stOK}
+}
+
+// handleGet serves a read from the primary's local store. Reads carry
+// the same epoch check as writes, so a client routing at a stale epoch
+// refreshes instead of reading from a deposed primary.
+func (n *Node) handleGet(p *sim.Proc, req []byte) []byte {
+	q, err := decodeGet(req)
+	if err != nil {
+		return []byte{stErr}
+	}
+	st := n.shards[int(q.Shard)]
+	if st == nil {
+		e := n.initial.Shards[int(q.Shard)%len(n.initial.Shards)]
+		return encodeStale(e.Epoch, e.Primary)
+	}
+	st.mu.Lock(p)
+	defer st.mu.Unlock()
+	if st.primary != n.self || q.Epoch != st.epoch || st.learnedEpoch != st.epoch {
+		return n.staleReply(st)
+	}
+	v, err := n.store.Get(p, dataKey(st.id, q.Key))
+	if err != nil {
+		return []byte{stOK, 0} // not found (or store error): absent
+	}
+	out := []byte{stOK, 1}
+	return append(out, v...)
+}
+
+// handleReplicate accepts one ordered log append from the shard
+// primary. Acceptance demands the exact content view (epoch AND
+// primary), no fresher hearsay, no outstanding higher promise, and a
+// contiguous seq. Duplicates (session replays after a reconnect) ack
+// idempotently; gaps demand a snapshot install — a replica's content is
+// therefore always a prefix of its primary's write sequence, which is
+// what lets candidacy pick "freshest replica" by (epoch, seq) alone.
+func (n *Node) handleReplicate(p *sim.Proc, req []byte) []byte {
+	q, err := decodeRepl(req)
+	if err != nil {
+		return []byte{stErr}
+	}
+	st := n.shards[int(q.Shard)]
+	if st == nil {
+		return []byte{stErr} // replicate to a non-replica: config bug
+	}
+	st.mu.Lock(p)
+	defer st.mu.Unlock()
+	if q.Epoch < st.epoch || (q.Epoch == st.epoch && int(q.Primary) != st.primary) ||
+		q.Epoch < st.learnedEpoch {
+		return n.staleReply(st)
+	}
+	if q.Epoch < st.promised {
+		n.stats.FencedWrites++
+		n.fencedRej.Inc()
+		return []byte{stFenced}
+	}
+	if q.Epoch > st.epoch {
+		return []byte{stNeedSync} // only installs advance content epochs
+	}
+	if q.Seq <= st.seq {
+		return []byte{stOK} // duplicate of an already-applied append
+	}
+	if q.Seq != st.seq+1 {
+		return []byte{stNeedSync}
+	}
+	if err := n.applyWrite(p, st, q.Key, q.Value, q.Seq); err != nil {
+		return []byte{stErr}
+	}
+	return []byte{stOK}
+}
+
+// handleStatus answers a probe with the shard's full state; with the
+// prepare flag it first durably promises the candidate's epoch. The
+// promise is the fence: from its commit on — across this replica's own
+// crashes — every write below the promised epoch is refused, so an old
+// primary can never assemble an ack quorum behind a candidacy's back.
+func (n *Node) handleStatus(p *sim.Proc, req []byte) []byte {
+	q, err := decodeStatus(req)
+	if err != nil {
+		return []byte{stErr}
+	}
+	st := n.shards[int(q.Shard)]
+	if st == nil {
+		return []byte{stErr}
+	}
+	st.mu.Lock(p)
+	defer st.mu.Unlock()
+	status := stOK
+	if q.Prepare {
+		if q.NewEpoch > st.promised && q.NewEpoch > st.epoch {
+			if err := n.promise(p, st, q.NewEpoch, int(q.Candidate)); err != nil {
+				return []byte{stErr}
+			}
+		} else {
+			status = stStale // candidate must re-propose above what we reply
+		}
+	}
+	out := []byte{status}
+	return append(out, encodeStatusResp(statusResp{
+		Epoch:          st.epoch,
+		Seq:            st.seq,
+		LearnedEpoch:   st.learnedEpoch,
+		LearnedPrimary: int32(st.learnedPrimary),
+		Promised:       st.promised,
+		PromisedBy:     int32(st.promisedBy),
+	})...)
+}
+
+// handlePull serves a consistent snapshot of the shard to a candidate.
+func (n *Node) handlePull(p *sim.Proc, req []byte) []byte {
+	r := &rbuf{b: req}
+	shard := int(r.u16())
+	if !r.done() {
+		return []byte{stErr}
+	}
+	st := n.shards[shard]
+	if st == nil {
+		return []byte{stErr}
+	}
+	st.mu.Lock(p)
+	defer st.mu.Unlock()
+	pairs, err := n.snapshotLocked(st)
+	if err != nil {
+		return []byte{stErr}
+	}
+	out := []byte{stOK}
+	return append(out, encodePullResp(st.epoch, st.seq, pairs)...)
+}
+
+// handleInstall applies a wholesale shard state push. Two legal shapes:
+// a view-change install, which must clear this replica's durable
+// promise (an expired candidacy's install bounces off a newer one); and
+// a same-epoch resync from the current primary, which fast-forwards a
+// lagging backup. Both replace records and meta in one commit.
+func (n *Node) handleInstall(p *sim.Proc, req []byte) []byte {
+	q, err := decodeInstall(req)
+	if err != nil {
+		return []byte{stErr}
+	}
+	st := n.shards[int(q.Shard)]
+	if st == nil {
+		return []byte{stErr}
+	}
+	st.mu.Lock(p)
+	defer st.mu.Unlock()
+	switch {
+	case q.Epoch > st.epoch:
+		// View change. Installs below our outstanding promise are an
+		// expired candidacy's stragglers and bounce off the fence. At or
+		// above the promise they are accepted even if we never promised
+		// this epoch (we were down or partitioned during the candidacy):
+		// only a candidate whose prepare reached a majority ever sends
+		// installs, prepare's strictly-greater promise rule makes that
+		// candidate unique per epoch, and applyInstall records the epoch
+		// as our new promise floor — so accepting doubles as the promise
+		// we missed, and crashed-through-failover replicas can rejoin via
+		// plain resync instead of waiting for the next view change.
+		if q.Epoch < st.promised {
+			n.stats.FencedWrites++
+			n.fencedRej.Inc()
+			return []byte{stFenced}
+		}
+		if err := n.applyInstall(p, st, q); err != nil {
+			return []byte{stErr}
+		}
+		st.probeFails = 0
+		return []byte{stOK}
+	case q.Epoch == st.epoch && int(q.Primary) == st.primary:
+		// Resync from the current primary. Refuse while a candidacy holds
+		// a higher promise — prepare froze this replica's reported state.
+		if st.promised > st.epoch {
+			n.stats.FencedWrites++
+			n.fencedRej.Inc()
+			return []byte{stFenced}
+		}
+		if q.Seq <= st.seq {
+			return []byte{stOK} // duplicate or no-op catch-up
+		}
+		if err := n.applyInstall(p, st, q); err != nil {
+			return []byte{stErr}
+		}
+		return []byte{stOK}
+	default:
+		return n.staleReply(st)
+	}
+}
+
+// String renders the node's shard table for debugging.
+func (n *Node) String() string {
+	s := fmt.Sprintf("cluster node %d:", n.self)
+	for _, id := range n.shardIDs {
+		st := n.shards[id]
+		s += fmt.Sprintf(" [s%d e%d p%d seq%d]", id, st.epoch, st.primary, st.seq)
+	}
+	return s
+}

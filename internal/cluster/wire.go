@@ -1,0 +1,543 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire functions of the cluster service, served on Port by every
+// cluster node. Client-facing: FnShardMap (routing bootstrap/refresh),
+// FnClusterPut, FnClusterGet. Node-to-node: FnReplicate (primary →
+// backup log append), FnShardStatus (liveness probe; with the prepare
+// flag, a durable epoch promise), FnShardPull (snapshot fetch during
+// candidacy), FnInstall (epoch install / resync: wholesale snapshot +
+// meta in one durable commit).
+const (
+	FnShardMap uint32 = 0x20 + iota
+	FnClusterPut
+	FnClusterGet
+	FnReplicate
+	FnShardStatus
+	FnShardPull
+	FnInstall
+)
+
+// Port is the cluster service's engine port.
+const Port = "hatkv-cluster"
+
+// Response status codes. Every handler reply starts with one status
+// byte; stStale appends the responder's (learnedEpoch, learnedPrimary)
+// so the caller can adopt fresher routing in the same round trip.
+const (
+	stOK        uint8 = iota
+	stStale           // request's epoch/primary is behind the responder's view
+	stNotQuorum       // primary could not assemble a replication quorum
+	stNeedSync        // replica missed writes; needs a snapshot install
+	stFenced          // shard is fenced by a durable candidacy promise
+	stErr             // malformed request or internal failure
+)
+
+// Decode bounds. The shard map, snapshot and key/value fields are all
+// length-prefixed; decoders reject anything beyond these caps before
+// allocating, so a hostile or fuzzed buffer cannot balloon memory.
+const (
+	maxShards    = 1 << 12
+	maxReplicas  = 16
+	maxKeyLen    = 1 << 12
+	maxValueLen  = 1 << 20
+	maxSnapPairs = 1 << 20
+)
+
+// errDecode is the sentinel wrapped by every decoder failure.
+var errDecode = errors.New("cluster: malformed message")
+
+// ---------------------------------------------------------------------------
+// Bounds-checked reader.
+
+// rbuf is a cursor over a wire buffer. The first short read latches
+// fail; every subsequent read returns zero values, so decoders can run
+// straight-line and check fail once at the end.
+type rbuf struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (r *rbuf) u8() uint8 {
+	if r.fail || r.off+1 > len(r.b) {
+		r.fail = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u16() uint16 {
+	if r.fail || r.off+2 > len(r.b) {
+		r.fail = true
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.fail || r.off+4 > len(r.b) {
+		r.fail = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.fail || r.off+8 > len(r.b) {
+		r.fail = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) bytes(n int) []byte {
+	if r.fail || n < 0 || r.off+n > len(r.b) {
+		r.fail = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// done reports a clean, fully-consumed decode.
+func (r *rbuf) done() bool { return !r.fail && r.off == len(r.b) }
+
+// ---------------------------------------------------------------------------
+// Appending writer.
+
+func putU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func putU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func putU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// ---------------------------------------------------------------------------
+// Shard map.
+
+// ShardInfo is one shard's routing entry: its current epoch, the node
+// serving as primary, and the configured replica set in ring order.
+type ShardInfo struct {
+	Epoch    uint64
+	Primary  int32
+	Replicas []int32
+}
+
+// ShardMap is the wire-encoded routing table served by FnShardMap.
+// Clients bootstrap from it and refresh it whenever a call fails with a
+// stale epoch or an unreachable primary.
+type ShardMap struct {
+	Shards []ShardInfo
+}
+
+// Encode renders the map: u16 shard count, then per shard u64 epoch,
+// u32 primary, u8 replica count, u32 replicas.
+func (m *ShardMap) Encode() []byte {
+	b := putU16(nil, uint16(len(m.Shards)))
+	for _, s := range m.Shards {
+		b = putU64(b, s.Epoch)
+		b = putU32(b, uint32(s.Primary))
+		b = append(b, byte(len(s.Replicas)))
+		for _, r := range s.Replicas {
+			b = putU32(b, uint32(r))
+		}
+	}
+	return b
+}
+
+// DecodeShardMap parses an encoded map, rejecting out-of-bounds counts
+// and trailing garbage.
+func DecodeShardMap(b []byte) (*ShardMap, error) {
+	r := &rbuf{b: b}
+	n := int(r.u16())
+	if n > maxShards {
+		return nil, fmt.Errorf("%w: %d shards (max %d)", errDecode, n, maxShards)
+	}
+	m := &ShardMap{Shards: make([]ShardInfo, 0, n)}
+	for i := 0; i < n; i++ {
+		var s ShardInfo
+		s.Epoch = r.u64()
+		s.Primary = int32(r.u32())
+		nr := int(r.u8())
+		if nr > maxReplicas {
+			return nil, fmt.Errorf("%w: %d replicas (max %d)", errDecode, nr, maxReplicas)
+		}
+		s.Replicas = make([]int32, 0, nr)
+		for j := 0; j < nr; j++ {
+			s.Replicas = append(s.Replicas, int32(r.u32()))
+		}
+		m.Shards = append(m.Shards, s)
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("%w: shard map framing", errDecode)
+	}
+	return m, nil
+}
+
+// Merge folds fresher routing into the map: per shard, the higher epoch
+// wins (replica sets are static configuration and never change). This
+// is the client's refresh rule, so a node with a stale view can never
+// roll a client's routing backwards.
+func (m *ShardMap) Merge(o *ShardMap) {
+	for i := range m.Shards {
+		if i < len(o.Shards) && o.Shards[i].Epoch > m.Shards[i].Epoch {
+			m.Shards[i].Epoch = o.Shards[i].Epoch
+			m.Shards[i].Primary = o.Shards[i].Primary
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Durable per-shard meta record.
+//
+// One record per shard per replica, committed in the SAME transaction
+// as the data it covers, so a restart recovers the exact (epoch,
+// primary, seq) its surviving data corresponds to. The promise pair is
+// the durable half of candidacy fencing: a replica that promised epoch
+// E refuses every write below E even across its own crash–restart —
+// volatile fences would forget the promise exactly when it matters.
+
+const metaLen = 8 + 4 + 8 + 8 + 4
+
+type shardMeta struct {
+	Epoch      uint64 // content epoch: the view this replica's data belongs to
+	Primary    int32  // that view's primary
+	Seq        uint64 // last replication seq applied in that view
+	Promised   uint64 // highest epoch durably promised to a candidate
+	PromisedBy int32  // the candidate holding the promise
+}
+
+func (m shardMeta) encode() []byte {
+	b := putU64(make([]byte, 0, metaLen), m.Epoch)
+	b = putU32(b, uint32(m.Primary))
+	b = putU64(b, m.Seq)
+	b = putU64(b, m.Promised)
+	b = putU32(b, uint32(m.PromisedBy))
+	return b
+}
+
+func decodeShardMeta(b []byte) (shardMeta, error) {
+	r := &rbuf{b: b}
+	m := shardMeta{
+		Epoch:   r.u64(),
+		Primary: int32(r.u32()),
+		Seq:     r.u64(),
+	}
+	m.Promised = r.u64()
+	m.PromisedBy = int32(r.u32())
+	if !r.done() {
+		return shardMeta{}, fmt.Errorf("%w: shard meta", errDecode)
+	}
+	return m, nil
+}
+
+// Store key layout. User keys are namespaced per shard so a snapshot
+// cursor can walk one shard's records; meta records live under a
+// distinct prefix.
+func dataKey(shard int, key string) string {
+	return fmt.Sprintf("u:%04x:%s", shard, key)
+}
+
+func dataPrefix(shard int) string { return fmt.Sprintf("u:%04x:", shard) }
+
+func metaKey(shard int) string { return fmt.Sprintf("m:%04x", shard) }
+
+// ---------------------------------------------------------------------------
+// Request/response bodies.
+
+// putReq: client → primary write. The epoch is the client's routing
+// belief; the primary rejects mismatches with stStale so stale clients
+// refresh instead of writing into a deposed view.
+type putReq struct {
+	Shard uint16
+	Epoch uint64
+	Key   string
+	Value []byte
+}
+
+func encodePut(q putReq) []byte {
+	b := putU16(nil, q.Shard)
+	b = putU64(b, q.Epoch)
+	b = putU16(b, uint16(len(q.Key)))
+	b = append(b, q.Key...)
+	return append(b, q.Value...)
+}
+
+func decodePut(b []byte) (putReq, error) {
+	r := &rbuf{b: b}
+	var q putReq
+	q.Shard = r.u16()
+	q.Epoch = r.u64()
+	kl := int(r.u16())
+	if kl > maxKeyLen {
+		return putReq{}, fmt.Errorf("%w: key length %d", errDecode, kl)
+	}
+	q.Key = string(r.bytes(kl))
+	rest := len(r.b) - r.off
+	if rest > maxValueLen {
+		return putReq{}, fmt.Errorf("%w: value length %d", errDecode, rest)
+	}
+	q.Value = r.bytes(rest)
+	if r.fail {
+		return putReq{}, fmt.Errorf("%w: put framing", errDecode)
+	}
+	return q, nil
+}
+
+// getReq reuses the put framing without a value.
+type getReq struct {
+	Shard uint16
+	Epoch uint64
+	Key   string
+}
+
+func encodeGet(q getReq) []byte {
+	b := putU16(nil, q.Shard)
+	b = putU64(b, q.Epoch)
+	b = putU16(b, uint16(len(q.Key)))
+	return append(b, q.Key...)
+}
+
+func decodeGet(b []byte) (getReq, error) {
+	p, err := decodePut(b)
+	if err != nil || len(p.Value) != 0 {
+		return getReq{}, fmt.Errorf("%w: get framing", errDecode)
+	}
+	return getReq{Shard: p.Shard, Epoch: p.Epoch, Key: p.Key}, nil
+}
+
+// replReq: primary → backup ordered log append. Seq is per-shard,
+// per-epoch, contiguous; the backup accepts seq == last+1, acks
+// duplicates (session replays) idempotently, and demands a snapshot
+// install on any gap.
+type replReq struct {
+	Shard   uint16
+	Epoch   uint64
+	Primary int32
+	Seq     uint64
+	Key     string
+	Value   []byte
+}
+
+func encodeRepl(q replReq) []byte {
+	b := putU16(nil, q.Shard)
+	b = putU64(b, q.Epoch)
+	b = putU32(b, uint32(q.Primary))
+	b = putU64(b, q.Seq)
+	b = putU16(b, uint16(len(q.Key)))
+	b = append(b, q.Key...)
+	return append(b, q.Value...)
+}
+
+func decodeRepl(b []byte) (replReq, error) {
+	r := &rbuf{b: b}
+	var q replReq
+	q.Shard = r.u16()
+	q.Epoch = r.u64()
+	q.Primary = int32(r.u32())
+	q.Seq = r.u64()
+	kl := int(r.u16())
+	if kl > maxKeyLen {
+		return replReq{}, fmt.Errorf("%w: key length %d", errDecode, kl)
+	}
+	q.Key = string(r.bytes(kl))
+	rest := len(r.b) - r.off
+	if rest > maxValueLen {
+		return replReq{}, fmt.Errorf("%w: value length %d", errDecode, rest)
+	}
+	q.Value = r.bytes(rest)
+	if r.fail {
+		return replReq{}, fmt.Errorf("%w: replicate framing", errDecode)
+	}
+	return q, nil
+}
+
+// statusReq: probe (Prepare=false) or durable epoch promise
+// (Prepare=true, the Paxos-prepare half of candidacy). NewEpoch and
+// Candidate are meaningful only when preparing.
+type statusReq struct {
+	Shard     uint16
+	Prepare   bool
+	NewEpoch  uint64
+	Candidate int32
+}
+
+func encodeStatus(q statusReq) []byte {
+	b := putU16(nil, q.Shard)
+	f := byte(0)
+	if q.Prepare {
+		f = 1
+	}
+	b = append(b, f)
+	b = putU64(b, q.NewEpoch)
+	return putU32(b, uint32(q.Candidate))
+}
+
+func decodeStatus(b []byte) (statusReq, error) {
+	r := &rbuf{b: b}
+	var q statusReq
+	q.Shard = r.u16()
+	q.Prepare = r.u8() == 1
+	q.NewEpoch = r.u64()
+	q.Candidate = int32(r.u32())
+	if !r.done() {
+		return statusReq{}, fmt.Errorf("%w: status framing", errDecode)
+	}
+	return q, nil
+}
+
+// statusResp reports a replica's full shard state: its durable content
+// position (epoch, seq), the routing view it has learned, and its
+// outstanding promise. Candidates compute the next epoch from the max
+// over all three epochs of a quorum.
+type statusResp struct {
+	Epoch          uint64
+	Seq            uint64
+	LearnedEpoch   uint64
+	LearnedPrimary int32
+	Promised       uint64
+	PromisedBy     int32
+}
+
+func encodeStatusResp(s statusResp) []byte {
+	b := putU64(make([]byte, 0, 40), s.Epoch)
+	b = putU64(b, s.Seq)
+	b = putU64(b, s.LearnedEpoch)
+	b = putU32(b, uint32(s.LearnedPrimary))
+	b = putU64(b, s.Promised)
+	return putU32(b, uint32(s.PromisedBy))
+}
+
+func decodeStatusResp(b []byte) (statusResp, error) {
+	r := &rbuf{b: b}
+	s := statusResp{
+		Epoch:          r.u64(),
+		Seq:            r.u64(),
+		LearnedEpoch:   r.u64(),
+		LearnedPrimary: int32(r.u32()),
+		Promised:       r.u64(),
+	}
+	s.PromisedBy = int32(r.u32())
+	if !r.done() {
+		return statusResp{}, fmt.Errorf("%w: status resp framing", errDecode)
+	}
+	return s, nil
+}
+
+// snapPair is one record of a shard snapshot, carried with its full
+// store key (data prefix included) so installs apply it verbatim.
+type snapPair struct {
+	Key   string
+	Value []byte
+}
+
+// installReq: wholesale shard state push. A view-change install (epoch
+// > receiver's content epoch, matching the receiver's durable promise)
+// replaces the shard's records and meta in one commit; a same-epoch
+// install from the current primary resynchronizes a lagging backup.
+type installReq struct {
+	Shard   uint16
+	Epoch   uint64
+	Primary int32
+	Seq     uint64
+	Pairs   []snapPair
+}
+
+func encodeInstall(q installReq) []byte {
+	b := putU16(nil, q.Shard)
+	b = putU64(b, q.Epoch)
+	b = putU32(b, uint32(q.Primary))
+	b = putU64(b, q.Seq)
+	b = putU32(b, uint32(len(q.Pairs)))
+	for _, kv := range q.Pairs {
+		b = putU16(b, uint16(len(kv.Key)))
+		b = append(b, kv.Key...)
+		b = putU32(b, uint32(len(kv.Value)))
+		b = append(b, kv.Value...)
+	}
+	return b
+}
+
+func decodeInstall(b []byte) (installReq, error) {
+	r := &rbuf{b: b}
+	var q installReq
+	q.Shard = r.u16()
+	q.Epoch = r.u64()
+	q.Primary = int32(r.u32())
+	q.Seq = r.u64()
+	n := int(r.u32())
+	if n > maxSnapPairs {
+		return installReq{}, fmt.Errorf("%w: %d snapshot pairs", errDecode, n)
+	}
+	q.Pairs = make([]snapPair, 0, n)
+	for i := 0; i < n; i++ {
+		kl := int(r.u16())
+		if kl > maxKeyLen {
+			return installReq{}, fmt.Errorf("%w: key length %d", errDecode, kl)
+		}
+		k := string(r.bytes(kl))
+		vl := int(r.u32())
+		if vl > maxValueLen {
+			return installReq{}, fmt.Errorf("%w: value length %d", errDecode, vl)
+		}
+		v := r.bytes(vl)
+		if r.fail {
+			break
+		}
+		q.Pairs = append(q.Pairs, snapPair{Key: k, Value: append([]byte(nil), v...)})
+	}
+	if !r.done() {
+		return installReq{}, fmt.Errorf("%w: install framing", errDecode)
+	}
+	return q, nil
+}
+
+// pullResp: snapshot fetch answer — the responder's content position
+// plus every record of the shard. Reuses the install framing.
+func encodePullResp(epoch, seq uint64, pairs []snapPair) []byte {
+	return encodeInstall(installReq{Epoch: epoch, Seq: seq, Pairs: pairs})
+}
+
+func decodePullResp(b []byte) (epoch, seq uint64, pairs []snapPair, err error) {
+	q, err := decodeInstall(b)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return q.Epoch, q.Seq, q.Pairs, nil
+}
+
+// Stale replies carry the responder's learned routing so one round trip
+// both rejects and re-educates.
+func encodeStale(epoch uint64, primary int32) []byte {
+	b := []byte{stStale}
+	b = putU64(b, epoch)
+	return putU32(b, uint32(primary))
+}
+
+func decodeStale(b []byte) (epoch uint64, primary int32, ok bool) {
+	if len(b) != 13 || b[0] != stStale {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(b[1:]), int32(binary.BigEndian.Uint32(b[9:])), true
+}

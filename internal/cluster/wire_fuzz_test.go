@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzShardMapDecode checks the shard-map wire codec against arbitrary
+// bytes: DecodeShardMap must reject malformed, truncated or oversized
+// buffers without panicking or over-allocating (every count field is
+// bounds-checked before any allocation), and every accepted map must
+// re-encode to the exact input bytes — the codec is bijective on its
+// domain, so client-side merges and server-side re-serves can never
+// drift from what traveled the wire.
+func FuzzShardMapDecode(f *testing.F) {
+	f.Add(NewShardMap(7, []int{0, 1, 2, 3, 4}, 8, 3).Encode())
+	m := NewShardMap(3, []int{0, 1}, 2, 1)
+	m.Shards[1].Epoch = 1 << 40
+	f.Add(m.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})                   // count 1, no shard body
+	f.Add([]byte{0xFF, 0xFF})             // count over maxShards
+	f.Add(m.Encode()[:len(m.Encode())-1]) // truncated tail
+	f.Add(append(m.Encode(), 0x00))       // trailing garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dm, err := DecodeShardMap(data)
+		if err != nil {
+			return
+		}
+		if len(dm.Shards) > maxShards {
+			t.Fatalf("decoded %d shards past the bound", len(dm.Shards))
+		}
+		for _, s := range dm.Shards {
+			if len(s.Replicas) > maxReplicas {
+				t.Fatalf("decoded %d replicas past the bound", len(s.Replicas))
+			}
+		}
+		if out := dm.Encode(); !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not bijective:\n in:  %x\n out: %x", data, out)
+		}
+	})
+}

@@ -279,6 +279,11 @@ type engineMetrics struct {
 	rnrNaks       *obs.Counter             // WCRNRRetryExceeded completions
 	breakerOpen   *obs.Counter             // breaker open transitions
 	creditUpdates *obs.Counter             // async kCredit messages sent
+
+	// Session-lifecycle instruments (only move when Sessions are used).
+	sessionRedials   *obs.Counter // dial attempts while re-establishing
+	sessionFailovers *obs.Counter // successful reconnects (epoch ≥ 2)
+	sessionReplays   *obs.Counter // idempotent calls replayed across a reconnect
 }
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
@@ -300,6 +305,10 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		rnrNaks:       r.Counter("engine.rnr_naks"),
 		breakerOpen:   r.Counter("engine.breaker_open"),
 		creditUpdates: r.Counter("engine.credit_updates"),
+
+		sessionRedials:   r.Counter("engine.session_redials"),
+		sessionFailovers: r.Counter("engine.session_failovers"),
+		sessionReplays:   r.Counter("engine.replays"),
 	}
 	for i := 0; i < nProtocols; i++ {
 		name := Protocol(i).String()

@@ -22,16 +22,39 @@ var (
 	// error state — the transport to the peer was failing at expiry
 	// (link flap, partition, peer crash), not merely slow.
 	ErrPeerDown = errors.New("engine: peer unreachable")
+	// ErrStaleShardEpoch: the request carried a shard epoch older than
+	// the replica's current one — the shard failed over and this client
+	// (or a deposed primary) is routing on a stale shard map. Minted by
+	// cluster tiers layered above the engine (internal/cluster), defined
+	// here so it joins the engine's unavailability class: the remedy —
+	// refresh routing state and replay — is the session playbook, one
+	// layer up. Mirrors the verbs epoch-tagged-RKey discipline
+	// (WCRemoteInvalid on stale rkeys) at the shard level.
+	ErrStaleShardEpoch = errors.New("engine: stale shard epoch")
 )
 
-// IsUnavailable reports whether err is an availability-class failure —
-// ErrDeadline, ErrPeerDown or ErrOverloaded, wrapped or bare. These are
-// the errors that say "the peer, or the path to it, is unhealthy right
-// now": the circuit breaker counts them toward its trip threshold and
-// the session layer reacts to them; validation and typed application
-// errors are not in the class.
+// IsUnavailable reports whether err is an availability-class failure,
+// wrapped or bare. These are the errors that say "the peer, or the path
+// to it, or the routing state naming it, is unhealthy right now": the
+// session layer and cluster clients react to them with
+// reconnect/refresh + replay; validation and typed application errors
+// are not in the class. The full set is pinned by a table test:
+//
+//	ErrDeadline        — response never arrived in time
+//	ErrPeerDown        — transport failing at expiry
+//	ErrOverloaded      — server shed the request under admission control
+//	ErrSessionReset    — reconnect interrupted a non-idempotent call
+//	ErrCircuitOpen     — breaker is open; peer recently unhealthy
+//	ErrStaleShardEpoch — shard failed over; routing state is stale
+//
+// Of these only the first three feed the circuit breaker: breakerObserve
+// runs on transport call outcomes, where the last three are never
+// produced (ErrCircuitOpen is minted by the breaker gate before the
+// call, ErrSessionReset and ErrStaleShardEpoch by layers above Conn).
 func IsUnavailable(err error) bool {
-	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrPeerDown) || errors.Is(err, ErrOverloaded)
+	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrPeerDown) ||
+		errors.Is(err, ErrOverloaded) || errors.Is(err, ErrSessionReset) ||
+		errors.Is(err, ErrCircuitOpen) || errors.Is(err, ErrStaleShardEpoch)
 }
 
 // Retry pacing. The backoff starts comfortably above the RC retry

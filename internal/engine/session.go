@@ -167,6 +167,9 @@ func (s *Session) Call(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byt
 				s.target.ID(), s.epoch, err, ErrSessionReset)
 		}
 		s.stats.Replays++
+		if m := s.eng.em; m != nil {
+			m.sessionReplays.Inc()
+		}
 		s.eng.trc.Instant("session", "replay", s.eng.node.ID(), s.target.ID(),
 			int64(p.Now()), obs.Arg{K: "fn", V: fn}, obs.Arg{K: "epoch", V: s.epoch})
 	}
@@ -195,10 +198,22 @@ func (s *Session) ensureConn(p *sim.Proc) error {
 				backoff = redialBackoffCapNs
 			}
 		}
+		if s.epoch > 0 {
+			// Re-establishment attempt after an outage (the first dial of
+			// the session's life is a connect, not a redial).
+			if m := s.eng.em; m != nil {
+				m.sessionRedials.Inc()
+			}
+		}
 		c, err := s.eng.TryDial(p, s.target, s.port, p.Now()+sim.Time(sessionHandshakeTimeoutNs))
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if s.epoch > 0 {
+			if m := s.eng.em; m != nil {
+				m.sessionFailovers.Inc()
+			}
 		}
 		s.conn = c
 		s.down = false
@@ -224,12 +239,22 @@ func (s *Session) teardown(p *sim.Proc) {
 		int64(p.Now()), obs.Arg{K: "epoch", V: s.epoch})
 }
 
+// keepaliveFailThreshold is how many consecutive deadline-expired
+// probes count as a dead path. One expiry can be a transient drop; a
+// streak means the response direction is gone even though our sends
+// still complete — the asymmetric-partition case, where the QP never
+// errors and ErrPeerDown is never produced.
+const keepaliveFailThreshold = 2
+
 // startKeepalive launches the liveness prober as a node-owned process
 // (it dies with the client node, like the session's user would). Each
-// tick sends one reserved-function probe when the session is idle; a
-// probe failing with ErrPeerDown tears the connection down and
-// immediately attempts to re-establish, so an idle session is usually
-// live again before its next real call.
+// tick sends one reserved-function probe when the session is idle. A
+// probe failing with ErrPeerDown tears the connection down at once;
+// keepaliveFailThreshold consecutive ErrDeadline expiries do the same
+// (a silent one-way cut never errors the QP, so without this an idle
+// session would stay wedged on a half-dead link forever). Either way
+// the prober immediately attempts to re-establish, so an idle session
+// is usually live again before its next real call.
 func (s *Session) startKeepalive() {
 	ivl := s.cfg.KeepaliveInterval
 	if ivl <= 0 {
@@ -240,6 +265,7 @@ func (s *Session) startKeepalive() {
 		dl = DefaultKeepaliveDeadline
 	}
 	s.eng.node.Spawn(fmt.Sprintf("session-ka-%d-%s", s.target.ID(), s.port), func(p *sim.Proc) {
+		expired := 0 // consecutive probes that died by deadline
 		for {
 			p.Sleep(ivl)
 			if s.shut {
@@ -251,8 +277,22 @@ func (s *Session) startKeepalive() {
 			if s.conn != nil && !s.down {
 				s.stats.Probes++
 				_, err := s.conn.Call(p, FnKeepalive, nil, CallOpts{Proto: EagerSendRecv, Deadline: dl})
-				if err != nil && errors.Is(err, ErrPeerDown) {
+				switch {
+				case err == nil:
+					expired = 0
+				case errors.Is(err, ErrPeerDown):
+					expired = 0
 					s.teardown(p)
+				case errors.Is(err, ErrDeadline):
+					if expired++; expired >= keepaliveFailThreshold {
+						expired = 0
+						s.teardown(p)
+					}
+				default:
+					// ErrOverloaded means the peer answered (alive, just
+					// busy); ErrCircuitOpen means our own breaker is gating.
+					// Neither says the path is dead.
+					expired = 0
 				}
 			}
 			if s.down && !s.shut {

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// TestIsUnavailableCoversTypedUnavailability pins the availability
+// class: every typed unavailability error — bare or wrapped — is in it,
+// and validation/flow errors are not. Adding a typed unavailability
+// error without extending IsUnavailable (or vice versa) fails here.
+func TestIsUnavailableCoversTypedUnavailability(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrDeadline, true},
+		{ErrPeerDown, true},
+		{ErrOverloaded, true},
+		{ErrSessionReset, true},
+		{ErrCircuitOpen, true},
+		{ErrStaleShardEpoch, true},
+		{ErrNoCredits, false},
+		{errors.New("engine: some validation failure"), false},
+	}
+	for _, tc := range cases {
+		if got := IsUnavailable(tc.err); got != tc.want {
+			t.Errorf("IsUnavailable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+		wrapped := fmt.Errorf("seq 42: %w", tc.err)
+		if got := IsUnavailable(wrapped); got != tc.want {
+			t.Errorf("IsUnavailable(wrapped %v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+	if IsUnavailable(nil) {
+		t.Error("IsUnavailable(nil) = true")
+	}
+}
+
+// TestSessionKeepaliveAsymmetricPartition: only the server→client
+// direction of the link is cut, so the client's keepalive probes reach
+// the server but the replies vanish. The prober must time out, tear the
+// connection down and re-dial — blocked (typed, not hanging) while the
+// cut also blocks the dial handshake, succeeding as soon as it heals.
+func TestSessionKeepaliveAsymmetricPartition(t *testing.T) {
+	env, cl, cliEng, _ := sessionCluster(131)
+	cl.InstallFaults(simnet.FaultConfig{
+		OneWayCuts: []simnet.LinkCut{{From: 0, To: 1, StartNs: 1_000_000, EndNs: 3_000_000}},
+	})
+	finished := false
+	var s *Session
+	env.Spawn("client", func(p *sim.Proc) {
+		var err error
+		s, err = cliEng.NewSession(p, cl.Node(0), "svc", SessionConfig{KeepaliveInterval: 200_000})
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		resp, err := s.Call(p, 1, []byte("pre"), CallOpts{Proto: EagerSendRecv, Busy: true, Idempotent: true})
+		if err != nil || string(resp) != "ECHOpre" {
+			t.Fatalf("pre-cut call: %q, %v", resp, err)
+		}
+		for p.Now() < 1_200_000 {
+			p.Sleep(50_000) // into the cut window
+		}
+		// A fresh dial during the cut fails typed: the handshake needs the
+		// severed direction.
+		if _, err := cliEng.NewSession(p, cl.Node(0), "svc", SessionConfig{
+			MaxRedials: 2, RedialBackoff: 100_000,
+		}); !IsUnavailable(err) {
+			t.Errorf("dial during asymmetric cut: %v, want typed unavailability", err)
+		}
+		// Idle across the heal: the established session's prober detects
+		// the silent link and re-dials on its own once the cut lifts.
+		for p.Now() < 3_600_000 {
+			p.Sleep(200_000)
+		}
+		if s.Epoch() < 2 {
+			t.Errorf("session epoch = %d, want ≥ 2 (prober never re-dialed)", s.Epoch())
+		}
+		resp, err = s.Call(p, 2, []byte("post"), CallOpts{Proto: EagerSendRecv, Busy: true, Idempotent: true})
+		if err != nil || string(resp) != "ECHOpost" {
+			t.Fatalf("post-heal call: %q, %v", resp, err)
+		}
+		finished = true
+		env.Stop()
+	})
+	env.At(30_000_000, env.Stop) // watchdog: a hang is a failure, not a deadlock
+	env.Run()
+	if !finished {
+		t.Fatal("client never finished — session hung under the asymmetric partition")
+	}
+	if st := s.Stats(); st.Connects < 2 {
+		t.Errorf("connects = %d, want ≥ 2", st.Connects)
+	}
+}
+
+// TestBreakerHalfOpenRespectsHeal: the breaker trips while the
+// response direction is cut, rejects locally while open, and the
+// half-open probe after the heal closes it — exactly one open over the
+// whole episode.
+func TestBreakerHalfOpenRespectsHeal(t *testing.T) {
+	env := sim.NewEnv(137)
+	cl := simnet.NewCluster(env, simnet.Config{
+		Nodes: 2, Cores: 28, Sockets: 2, LinkGbps: 100, PropDelayNs: 600, NUMAPenalty: 1.25,
+	})
+	// The cut opens well after the blocking dial handshake (~100µs of
+	// OOB round trips) completes.
+	cl.InstallFaults(simnet.FaultConfig{
+		OneWayCuts: []simnet.LinkCut{{From: 0, To: 1, StartNs: 600_000, EndNs: 2_000_000}},
+	})
+	cfg := DefaultConfig()
+	cfg.CallDeadline = 300_000
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = 1_000_000
+	srvEng := New(cl.Node(0), cfg)
+	cliEng := New(cl.Node(1), cfg)
+	srvEng.Serve("svc", echoHandler)
+	env.Spawn("client", func(p *sim.Proc) {
+		c := cliEng.Dial(p, srvEng.Node(), "svc") // dialed before the cut
+		for p.Now() < 700_000 {
+			p.Sleep(50_000) // cut active: requests arrive, replies vanish
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := c.Call(p, uint32(i), []byte("x"), CallOpts{Proto: EagerSendRecv, Busy: true}); !IsUnavailable(err) {
+				t.Fatalf("call %d under cut: %v, want unavailable", i, err)
+			}
+		}
+		if _, err := c.Call(p, 2, []byte("x"), CallOpts{Proto: EagerSendRecv, Busy: true}); !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("open-state err = %v, want ErrCircuitOpen", err)
+		}
+		// Past the heal AND the cooldown: the half-open probe must see the
+		// healed link and close the breaker.
+		for p.Now() < 2_500_000 {
+			p.Sleep(100_000)
+		}
+		resp, err := c.Call(p, 3, []byte("probe"), CallOpts{Proto: EagerSendRecv, Busy: true})
+		if err != nil || string(resp) != "ECHOprobe" {
+			t.Fatalf("half-open probe after heal: %q, %v", resp, err)
+		}
+		if _, err := c.Call(p, 4, []byte("after"), CallOpts{Proto: EagerSendRecv, Busy: true}); err != nil {
+			t.Fatalf("post-close call: %v", err)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if got := cliEng.BreakerOpens(); got != 1 {
+		t.Errorf("BreakerOpens = %d, want 1 (trip, then close on healed probe)", got)
+	}
+}

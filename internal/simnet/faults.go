@@ -43,6 +43,36 @@ type FaultConfig struct {
 	PauseForNs    int64
 	// PausedNodes lists the node IDs subject to pauses (empty = none).
 	PausedNodes []int
+	// PartitionPeriodNs/PartitionForNs: every PartitionPeriodNs the nodes
+	// in PartitionNodes split into two sides for PartitionForNs, and every
+	// message crossing the cut — in either direction, on the fabric AND on
+	// the out-of-band control channel — is dropped. Side membership is
+	// redrawn per window from per-node values drawn eagerly at install, so
+	// successive partitions cut different minorities; a window where every
+	// node lands on one side is simply a quiet window. This is the
+	// split-brain fault: unlike a flap (one directed link) it isolates a
+	// node group completely, which is what epoch-fenced failover must
+	// survive.
+	PartitionPeriodNs int64
+	PartitionForNs    int64
+	// PartitionNodes lists the node IDs subject to partitions (empty =
+	// none; links with an endpoint outside the set are never cut).
+	PartitionNodes []int
+	// OneWayCuts scripts asymmetric directed-link outages: messages
+	// from→to inside [StartNs, EndNs) are dropped while the reverse
+	// direction stays healthy. Unlike the seeded periodic faults these are
+	// explicit test scripts (no RNG draws), used to pin down behavior
+	// under asymmetric partitions — e.g. a keepalive prober whose probes
+	// vanish while the peer's responses would still flow.
+	OneWayCuts []LinkCut
+}
+
+// LinkCut is one scripted directed-link outage (see
+// FaultConfig.OneWayCuts).
+type LinkCut struct {
+	From, To int
+	StartNs  int64
+	EndNs    int64
 }
 
 // FaultPlan is an installed fault model. Obtain one with
@@ -54,11 +84,14 @@ type FaultPlan struct {
 
 	flapPhase  map[[2]int]int64 // directed link → flap window phase
 	pausePhase map[int]int64    // node → pause window phase
+	partPhase  int64            // partition window phase (one global clock)
+	partSide   map[int]uint64   // node → per-node side-draw value
 
 	// Counters are nil-safe; SetObs attaches them.
-	drops     *obs.Counter // messages lost (random + flap)
-	flapDrops *obs.Counter // of which lost to a down link
-	delays    *obs.Counter // messages delayed by jitter or a paused node
+	drops          *obs.Counter // messages lost (random + flap + partition)
+	flapDrops      *obs.Counter // of which lost to a down link
+	partitionDrops *obs.Counter // of which lost crossing a partition cut
+	delays         *obs.Counter // messages delayed by jitter or a paused node
 }
 
 // InstallFaults attaches a fault plan to the cluster and returns it. The
@@ -87,6 +120,13 @@ func (c *Cluster) InstallFaults(cfg FaultConfig) *FaultPlan {
 			fp.pausePhase[n] = rng.Int63n(cfg.PausePeriodNs)
 		}
 	}
+	if cfg.partitionOn() {
+		fp.partPhase = rng.Int63n(cfg.PartitionPeriodNs)
+		fp.partSide = make(map[int]uint64)
+		for _, n := range cfg.PartitionNodes {
+			fp.partSide[n] = uint64(rng.Int63())
+		}
+	}
 	// A config with nothing enabled leaves the cluster fault-free: Faults()
 	// stays nil, so transports and the engine's reliability heuristics take
 	// the exact no-fault code path (byte-identical traces).
@@ -102,7 +142,13 @@ func (c *Cluster) InstallFaults(cfg FaultConfig) *FaultPlan {
 func (cfg FaultConfig) enabled() bool {
 	return cfg.DropProb > 0 || cfg.JitterNs > 0 ||
 		(cfg.FlapPeriodNs > 0 && cfg.FlapDownNs > 0) ||
-		(cfg.PausePeriodNs > 0 && cfg.PauseForNs > 0 && len(cfg.PausedNodes) > 0)
+		(cfg.PausePeriodNs > 0 && cfg.PauseForNs > 0 && len(cfg.PausedNodes) > 0) ||
+		cfg.partitionOn() || len(cfg.OneWayCuts) > 0
+}
+
+// partitionOn reports whether the periodic partition fault is configured.
+func (cfg FaultConfig) partitionOn() bool {
+	return cfg.PartitionPeriodNs > 0 && cfg.PartitionForNs > 0 && len(cfg.PartitionNodes) >= 2
 }
 
 // Faults returns the installed fault plan, or nil when fault injection
@@ -119,7 +165,52 @@ func (fp *FaultPlan) SetObs(r *obs.Registry) {
 	}
 	fp.drops = r.Counter("simnet.drops")
 	fp.flapDrops = r.Counter("simnet.flap_drops")
+	fp.partitionDrops = r.Counter("simnet.partition_drops")
 	fp.delays = r.Counter("simnet.delayed")
+}
+
+// partMix derives node side's for partition window w from its eagerly
+// drawn per-node value: a splitmix64-style finalizer over (side, w) so
+// consecutive windows redraw membership without touching the RNG at
+// runtime (runtime draws would make fault timing depend on message
+// timing and break byte-identical replay).
+func partMix(side, w uint64) uint64 {
+	z := side ^ (w * 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Severed reports whether the directed link from→to is cut at time t —
+// by the periodic partition (both endpoints in PartitionNodes, on
+// opposite sides of the current window) or by a scripted one-way cut.
+// Unlike drops and flaps, severed links also kill the out-of-band
+// control channel: a partitioned node cannot re-handshake across the
+// cut, which is what makes split-brain scenarios real.
+func (fp *FaultPlan) Severed(from, to int, t sim.Time) bool {
+	if fp == nil {
+		return false
+	}
+	if fp.cfg.partitionOn() {
+		into := (int64(t) + fp.partPhase) % fp.cfg.PartitionPeriodNs
+		if into < fp.cfg.PartitionForNs {
+			sf, okf := fp.partSide[from]
+			st, okt := fp.partSide[to]
+			if okf && okt {
+				w := uint64((int64(t) + fp.partPhase) / fp.cfg.PartitionPeriodNs)
+				if partMix(sf, w)&1 != partMix(st, w)&1 {
+					return true
+				}
+			}
+		}
+	}
+	for _, cut := range fp.cfg.OneWayCuts {
+		if cut.From == from && cut.To == to &&
+			int64(t) >= cut.StartNs && int64(t) < cut.EndNs {
+			return true
+		}
+	}
+	return false
 }
 
 // linkDown reports whether the directed link from→to is inside a flap
@@ -162,6 +253,11 @@ func (fp *FaultPlan) Outcome(from, to int) (drop bool, extra sim.Duration) {
 	if fp.linkDown(from, to, now) {
 		fp.drops.Inc()
 		fp.flapDrops.Inc()
+		return true, 0
+	}
+	if fp.Severed(from, to, now) {
+		fp.drops.Inc()
+		fp.partitionDrops.Inc()
 		return true, 0
 	}
 	if fp.cfg.DropProb > 0 && fp.env.Rand().Float64() < fp.cfg.DropProb {

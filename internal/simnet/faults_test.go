@@ -183,3 +183,118 @@ func TestGateUtilizationNeverExceedsOne(t *testing.T) {
 		t.Fatalf("CompletedBusyNs(5000) = %d, want 5000", c)
 	}
 }
+
+func TestPartitionDisabledConfigsStayOff(t *testing.T) {
+	_, cl := faultCluster(11)
+	// Partition needs period, duration AND at least two listed nodes:
+	// anything less must not enable the plan (or, combined with other
+	// faults, must never sever), so pre-partition configs replay
+	// byte-identically after this feature.
+	for _, cfg := range []FaultConfig{
+		{PartitionPeriodNs: 10_000},
+		{PartitionForNs: 2_000},
+		{PartitionPeriodNs: 10_000, PartitionForNs: 2_000, PartitionNodes: []int{0}},
+	} {
+		if cl.InstallFaults(cfg); cl.Faults() != nil {
+			t.Fatalf("partial partition config %+v installed a plan", cfg)
+		}
+	}
+	fp := cl.InstallFaults(FaultConfig{DropProb: 0.1})
+	for tm := sim.Time(0); tm < 100_000; tm += 500 {
+		if fp.Severed(0, 1, tm) {
+			t.Fatal("Severed fired with partitioning disabled")
+		}
+	}
+}
+
+func TestPartitionSeversBothDirections(t *testing.T) {
+	env, cl := faultCluster(12)
+	fp := cl.InstallFaults(FaultConfig{
+		PartitionPeriodNs: 10_000, PartitionForNs: 3_000, PartitionNodes: []int{0, 1},
+	})
+	severed := 0
+	const samples = 10_000
+	for i := 0; i < samples; i++ {
+		tm := sim.Time(i * 37)
+		a, b := fp.Severed(0, 1, tm), fp.Severed(1, 0, tm)
+		if a != b {
+			t.Fatalf("partition asymmetric at t=%d: %v vs %v", tm, a, b)
+		}
+		if a {
+			severed++
+		}
+		// Node 2 is outside PartitionNodes: never cut.
+		if fp.Severed(0, 2, tm) || fp.Severed(2, 1, tm) {
+			t.Fatalf("unlisted node severed at t=%d", tm)
+		}
+	}
+	// Two nodes land on opposite sides in ~half the windows, and windows
+	// are open 30% of the time: expect ~15% severed samples.
+	if severed < samples/20 || severed > samples/3 {
+		t.Fatalf("severed %d/%d samples, expected ~15%%", severed, samples)
+	}
+	// A severed instant must also drop on the fabric path: schedule the
+	// Outcome check inside a severed window and run the sim to it.
+	var windowAt sim.Time
+	for i := 0; i < samples; i++ {
+		if tm := sim.Time(i * 37); fp.Severed(0, 1, tm) {
+			windowAt = tm
+			break
+		}
+	}
+	if windowAt == 0 {
+		t.Fatal("no severed window sampled")
+	}
+	checked := false
+	env.At(windowAt, func() {
+		checked = true
+		if drop, _ := fp.Outcome(0, 1); !drop {
+			t.Errorf("Outcome did not drop during a severed window at t=%d", windowAt)
+		}
+		env.Stop()
+	})
+	env.Run()
+	if !checked {
+		t.Fatal("scheduled Outcome check never ran")
+	}
+}
+
+func TestOneWayCutsAreDirectional(t *testing.T) {
+	_, cl := faultCluster(13)
+	fp := cl.InstallFaults(FaultConfig{
+		OneWayCuts: []LinkCut{{From: 0, To: 1, StartNs: 5_000, EndNs: 8_000}},
+	})
+	for tm := sim.Time(0); tm < 12_000; tm += 100 {
+		fwd := fp.Severed(0, 1, tm)
+		rev := fp.Severed(1, 0, tm)
+		want := tm >= 5_000 && tm < 8_000
+		if fwd != want {
+			t.Fatalf("forward cut at t=%d: got %v want %v", tm, fwd, want)
+		}
+		if rev {
+			t.Fatalf("reverse direction cut at t=%d — one-way cut leaked", tm)
+		}
+	}
+}
+
+func TestPartitionSeedDeterministic(t *testing.T) {
+	plan := func(seed int64) *FaultPlan {
+		_, cl := faultCluster(seed)
+		return cl.InstallFaults(FaultConfig{
+			PartitionPeriodNs: 10_000, PartitionForNs: 3_000, PartitionNodes: []int{0, 1, 2},
+		})
+	}
+	a, b := plan(7), plan(7)
+	if a.partPhase != b.partPhase {
+		t.Fatalf("same seed, different partition phase: %d vs %d", a.partPhase, b.partPhase)
+	}
+	for n, s := range a.partSide {
+		if b.partSide[n] != s {
+			t.Fatalf("same seed, different side draw for node %d", n)
+		}
+	}
+	c := plan(8)
+	if c.partPhase == a.partPhase {
+		t.Error("different seeds drew identical partition phases")
+	}
+}

@@ -375,6 +375,17 @@ func (n *Node) TryConnect(p *sim.Proc, target *Node, port string) (*Endpoint, er
 	if target.down {
 		return nil, ErrNodeDown
 	}
+	// A severed link (partition or scripted one-way cut) kills the
+	// handshake in either direction: the SYN or the SYN-ACK is lost, and
+	// to the caller that is indistinguishable from a dead node. Drops and
+	// flaps deliberately do NOT apply here — the OOB channel models a
+	// retrying kernel TCP path that rides out transient loss.
+	if f := n.cluster.faults; f != nil {
+		now := n.cluster.env.Now()
+		if f.Severed(n.id, target.id, now) || f.Severed(target.id, n.id, now) {
+			return nil, ErrNodeDown
+		}
+	}
 	q, ok := target.listeners[port]
 	if !ok {
 		return nil, ErrNoListener
@@ -409,6 +420,11 @@ func (ep *Endpoint) Send(p *sim.Proc, payload any, size int) {
 	src, dst := ep.local, peer.local
 	srcEpoch, dstEpoch := src.epoch, dst.epoch
 	p.Sleep(2000) // sender syscall + copy
+	// Partition cuts sever the control channel too (kernel TCP retries
+	// cannot cross a cut link); random drops and flaps do not.
+	if f := src.cluster.faults; f != nil && f.Severed(src.id, dst.id, env.Now()) {
+		return
+	}
 	env.After(wire, func() {
 		if src.epoch != srcEpoch || dst.epoch != dstEpoch || dst.down {
 			return
