@@ -5,21 +5,31 @@
 package analyzers
 
 import (
+	"hatrpc/internal/analyzers/arenaalias"
+	"hatrpc/internal/analyzers/epochfence"
+	"hatrpc/internal/analyzers/errtaxonomy"
 	"hatrpc/internal/analyzers/framework"
 	"hatrpc/internal/analyzers/maporder"
 	"hatrpc/internal/analyzers/nogoroutine"
 	"hatrpc/internal/analyzers/obsnames"
 	"hatrpc/internal/analyzers/simdet"
+	"hatrpc/internal/analyzers/wirebounds"
 	"hatrpc/internal/analyzers/wrsigned"
 )
 
 // All returns every analyzer in the hatlint suite, in stable order.
+// The first five are AST/type-based (PR 4); the last four ride the
+// flow-sensitive engine (DESIGN.md §16).
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		arenaalias.Analyzer,
+		epochfence.Analyzer,
+		errtaxonomy.Analyzer,
 		maporder.Analyzer,
 		nogoroutine.Analyzer,
 		obsnames.Analyzer,
 		simdet.Analyzer,
+		wirebounds.Analyzer,
 		wrsigned.Analyzer,
 	}
 }

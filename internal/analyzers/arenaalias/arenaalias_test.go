@@ -1,0 +1,12 @@
+package arenaalias_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers/arenaalias"
+	"hatrpc/internal/analyzers/framework/analysistest"
+)
+
+func TestArenaAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", arenaalias.Analyzer, "hotpath")
+}

@@ -1,0 +1,12 @@
+// Fixture stub of the engine arena surface.
+package engine
+
+// Conn owns an arena of payload buffers.
+type Conn struct{}
+
+// Recycle returns a payload to the arena; the caller must not touch it
+// afterwards.
+func (c *Conn) Recycle(b []byte) {}
+
+// Alloc hands out a fresh payload.
+func (c *Conn) Alloc(n int) []byte { return make([]byte, n) }

@@ -1,0 +1,12 @@
+package epochfence_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers/epochfence"
+	"hatrpc/internal/analyzers/framework/analysistest"
+)
+
+func TestEpochFence(t *testing.T) {
+	analysistest.Run(t, "testdata", epochfence.Analyzer, "cluster")
+}

@@ -1,0 +1,102 @@
+// Fixture: epoch/seq/promised adoption discipline. The flagged cases
+// are the node.go promise/install ladder with its fences reverted.
+package cluster
+
+type shardState struct {
+	epoch        uint64
+	seq          uint64
+	promised     uint64
+	learnedEpoch uint64
+}
+
+type installReq struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// adoptGuarded fences the store with a strictly-greater comparison.
+func adoptGuarded(st *shardState, e uint64) {
+	if e > st.epoch {
+		st.epoch = e
+	}
+}
+
+// adoptEarlyReturn uses the early-return ladder shape.
+func adoptEarlyReturn(st *shardState, seq uint64) {
+	if seq <= st.seq {
+		return
+	}
+	st.seq = seq
+}
+
+// adoptShortCircuit fences through a short-circuit condition.
+func adoptShortCircuit(st *shardState, e uint64, ok bool) {
+	if ok && e > st.promised {
+		st.promised = e
+	}
+}
+
+// adoptCrossName: comparing the wire field against the state field
+// fences stores to both (name match is case-insensitive).
+func adoptCrossName(st *shardState, q installReq) {
+	if q.Epoch <= st.epoch {
+		return
+	}
+	st.epoch = q.Epoch
+}
+
+// adoptBare stores with no fence on any path.
+func adoptBare(st *shardState, e uint64) {
+	st.epoch = e // want `store to st.epoch is not dominated by an ordered comparison`
+}
+
+// adoptWrongField fences seq with an epoch comparison only.
+func adoptWrongField(st *shardState, e uint64) {
+	if e > st.epoch {
+		st.seq = e // want `store to st.seq is not dominated by an ordered comparison`
+	}
+}
+
+// adoptOneBranch fences one path but not the other.
+func adoptOneBranch(st *shardState, e uint64, ok bool) {
+	if ok {
+		if e > st.epoch {
+			st.epoch = e
+		}
+		return
+	}
+	st.epoch = e // want `store to st.epoch is not dominated by an ordered comparison`
+}
+
+// bump increments without a fence: still a monotone-field store.
+func bump(st *shardState) {
+	st.seq++ // want `store to st.seq is not dominated by an ordered comparison`
+}
+
+// caseFence: a fence inside one switch clause covers only that clause.
+func caseFence(st *shardState, e uint64, k int) {
+	switch k {
+	case 1:
+		if e > st.learnedEpoch {
+			st.learnedEpoch = e
+		}
+	case 2:
+		st.learnedEpoch = e // want `store to st.learnedEpoch is not dominated by an ordered comparison`
+	}
+}
+
+// decode fills a value-typed request struct: not adoption, not
+// flagged.
+func decode() installReq {
+	var q installReq
+	q.Epoch = 7
+	q.Seq = 9
+	return q
+}
+
+// otherFields are not monitored.
+type counters struct{ hits uint64 }
+
+func touch(c *counters) {
+	c.hits = 3
+}

@@ -1,0 +1,216 @@
+// Package errtaxonomy enforces the typed-error discipline from
+// DESIGN.md §10 in two parts:
+//
+//  1. Everywhere (non-test code repo-wide): a sentinel error — a
+//     package-level `var Err…`/`var err…` of type error — must be
+//     matched with errors.Is, never compared with == or != (wrapping
+//     with %w silently breaks identity comparison; comparisons against
+//     nil are fine).
+//
+//  2. In internal/engine: every EXPORTED sentinel must appear in the
+//     IsUnavailable membership table test (the
+//     TestIsUnavailableCovers… table in unavailable_test.go pins each
+//     sentinel's availability classification), so adding a sentinel
+//     without deciding its class fails hatlint before it fails a human.
+//     The membership scan parses the package's _test.go files (the
+//     loader deliberately excludes them from the pass) and counts a
+//     sentinel as covered when its name appears inside any function or
+//     value whose name contains "IsUnavailable" other than the
+//     classifier itself — the implementation lists only the in-class
+//     sentinels and must not double as the coverage table.
+//
+// A sentinel that genuinely has no availability classification carries
+// //hatlint:allow errtaxonomy -- <reason> on its declaration.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hatrpc/internal/analyzers/framework"
+	"hatrpc/internal/analyzers/internal/lintutil"
+)
+
+// Analyzer is the errtaxonomy check.
+var Analyzer = &framework.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "require errors.Is over ==/!= for sentinel errors, and require every " +
+		"exported engine sentinel to appear in the IsUnavailable membership table test",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	checkComparisons(pass)
+	if lintutil.PkgTail(pass.Pkg.Path()) == "engine" {
+		checkMembership(pass)
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: no ==/!= on sentinels
+
+// isSentinel reports whether obj is a package-level error variable
+// following the Err*/err* naming convention.
+func isSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	name := v.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+		return false
+	}
+	return types.Identical(v.Type(), types.Universe.Lookup("error").Type())
+}
+
+// sentinelOperand returns the sentinel object if e resolves to one.
+func sentinelOperand(pass *framework.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil && isSentinel(obj) {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[e.Sel]; obj != nil && isSentinel(obj) {
+			return obj
+		}
+	}
+	return nil
+}
+
+func checkComparisons(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isNil(be.X) || isNil(be.Y) {
+				return true // `ErrFoo != nil` is a plain nil check
+			}
+			obj := sentinelOperand(pass, be.X)
+			if obj == nil {
+				obj = sentinelOperand(pass, be.Y)
+			}
+			if obj == nil {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"sentinel %s compared with %s: wrapped errors defeat identity — use "+
+					"errors.Is(err, %s)",
+				obj.Name(), be.Op, obj.Name())
+			return true
+		})
+	}
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: IsUnavailable membership coverage (engine only)
+
+func checkMembership(pass *framework.Pass) {
+	// Exported sentinels declared in this package.
+	type sentinel struct {
+		name string
+		pos  token.Pos
+	}
+	var sentinels []sentinel
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj != nil && obj.Exported() && strings.HasPrefix(name.Name, "Err") && isSentinel(obj) {
+						sentinels = append(sentinels, sentinel{name: name.Name, pos: name.Pos()})
+					}
+				}
+			}
+		}
+	}
+	if len(sentinels) == 0 {
+		return
+	}
+	covered := map[string]bool{}
+	// Membership tables in the loaded files themselves (fixture shape),
+	// then in the package directory's _test.go files, which the loader
+	// excludes from the pass (real shape: unavailable_test.go).
+	loaded := map[string]bool{}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		loaded[filepath.Base(name)] = true
+		collectMembership(f, covered)
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") || loaded[e.Name()] {
+				continue
+			}
+			// Parser-only: the table scan is purely syntactic.
+			tf, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, e.Name()), nil, 0)
+			if err != nil {
+				continue
+			}
+			collectMembership(tf, covered)
+		}
+	}
+	for _, s := range sentinels {
+		if !covered[s.name] {
+			pass.Reportf(s.pos,
+				"exported sentinel %s does not appear in the IsUnavailable membership "+
+					"table test: add it to the availability table (true or false) so its "+
+					"class is pinned",
+				s.name)
+		}
+	}
+}
+
+// collectMembership records every identifier mentioned inside a
+// declaration whose name contains "IsUnavailable" (excluding the
+// classifier function itself).
+func collectMembership(f *ast.File, covered map[string]bool) {
+	record := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				covered[id.Name] = true
+			}
+			return true
+		})
+	}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if name := d.Name.Name; strings.Contains(name, "IsUnavailable") && name != "IsUnavailable" && d.Body != nil {
+				record(d.Body)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if strings.Contains(name.Name, "IsUnavailable") && i < len(vs.Values) {
+							record(vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}

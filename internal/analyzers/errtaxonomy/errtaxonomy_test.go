@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers/errtaxonomy"
+	"hatrpc/internal/analyzers/framework/analysistest"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, "testdata", errtaxonomy.Analyzer, "engine", "client")
+}

@@ -1,0 +1,40 @@
+// Fixture: sentinel comparisons outside the defining package.
+package client
+
+import (
+	"errors"
+
+	"engine"
+)
+
+var errLocal = errors.New("local")
+
+// bad compares a sentinel by identity: wrapping defeats it.
+func bad(err error) bool {
+	return err == engine.ErrDeadline // want `use errors.Is`
+}
+
+// badNeq: != is the same trap.
+func badNeq(err error) bool {
+	return err != engine.ErrDeadline // want `use errors.Is`
+}
+
+// badLocal: package-local sentinels count too.
+func badLocal(err error) bool {
+	return errLocal == err // want `use errors.Is`
+}
+
+// good uses errors.Is.
+func good(err error) bool {
+	return errors.Is(err, engine.ErrDeadline)
+}
+
+// nilChecks are plain presence tests, not identity comparisons.
+func nilChecks(err error) bool {
+	return err == nil || engine.ErrDeadline != nil
+}
+
+// notSentinel: comparing non-error or non-sentinel values is fine.
+func notSentinel(a, b error, n int) bool {
+	return a == b && n == 3
+}

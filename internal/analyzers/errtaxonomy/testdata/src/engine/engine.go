@@ -1,0 +1,32 @@
+// Fixture mirror of internal/engine's sentinel taxonomy: the
+// membership table covers two sentinels and misses one.
+package engine
+
+import "errors"
+
+// Availability-class sentinels.
+var (
+	ErrDeadline = errors.New("deadline")
+	ErrPeerDown = errors.New("peer down")
+)
+
+// ErrOrphan has no membership-table entry: its availability class was
+// never pinned.
+var ErrOrphan = errors.New("orphan") // want `sentinel ErrOrphan does not appear in the IsUnavailable membership`
+
+// errInternal is unexported: membership is not required.
+var errInternal = errors.New("internal")
+
+// IsUnavailable is the classifier itself: it lists only the in-class
+// sentinels and must NOT count as the coverage table.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrPeerDown)
+}
+
+// wantIsUnavailable stands in for the membership table the real repo
+// pins in unavailable_test.go: every exported sentinel appears with its
+// classification, in-class or not.
+var wantIsUnavailable = map[error]bool{
+	ErrDeadline: true,
+	ErrPeerDown: true,
+}

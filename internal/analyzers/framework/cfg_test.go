@@ -1,0 +1,429 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"hatrpc/internal/analyzers/framework"
+)
+
+// buildFunc type-checks src (a complete file without imports), builds
+// the CFG of the named function and returns it with the types info.
+func buildFunc(t *testing.T, src, name string) (*framework.CFG, *types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("t", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return framework.BuildCFG(fd.Body), info, fd
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil, nil
+}
+
+// findNode returns the first node under root satisfying pred, in
+// source order.
+func findNode(t *testing.T, root ast.Node, pred func(ast.Node) bool) ast.Node {
+	t.Helper()
+	var out ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if out != nil || n == nil {
+			return false
+		}
+		if pred(n) {
+			out = n
+			return false
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("node not found")
+	}
+	return out
+}
+
+// isLenCheck matches a comparison whose left operand is len(<ident>).
+func isLenCheck(n ast.Node) bool {
+	be, ok := n.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	call, ok := be.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "len"
+}
+
+// indexByLit finds the IndexExpr whose index literal equals lit.
+func indexByLit(t *testing.T, root ast.Node, lit string) ast.Node {
+	t.Helper()
+	return findNode(t, root, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		bl, ok := ix.Index.(*ast.BasicLit)
+		return ok && bl.Value == lit
+	})
+}
+
+func TestShortCircuitGuardDominates(t *testing.T) {
+	src := `package t
+func guarded(b []byte) byte {
+	if len(b) < 13 || b[0] != 5 {
+		return 0
+	}
+	return b[12]
+}`
+	cfg, _, fd := buildFunc(t, src, "guarded")
+	// b[12] runs only when the whole condition is false, so the len
+	// check dominates it.
+	if !cfg.MustPrecede(indexByLit(t, fd.Body, "12").Pos(), isLenCheck) {
+		t.Errorf("len check should dominate b[12] after short-circuit guard")
+	}
+	// b[0] in the || right operand evaluates only when len(b) < 13 is
+	// false — the len check dominates it too.
+	if !cfg.MustPrecede(indexByLit(t, fd.Body, "0").Pos(), isLenCheck) {
+		t.Errorf("len check should dominate b[0] in the || right operand")
+	}
+}
+
+func TestShortCircuitWrongOrderDoesNotDominate(t *testing.T) {
+	src := `package t
+func unguarded(b []byte) byte {
+	if b[0] == 5 && len(b) >= 13 {
+		return b[12]
+	}
+	return 0
+}`
+	cfg, _, fd := buildFunc(t, src, "unguarded")
+	// b[0] evaluates BEFORE the len check: not dominated.
+	if cfg.MustPrecede(indexByLit(t, fd.Body, "0").Pos(), isLenCheck) {
+		t.Errorf("b[0] evaluates before the len check; must not count as guarded")
+	}
+	// b[12] in the then-branch is reached only when both operands held,
+	// so it IS dominated by the len check.
+	if !cfg.MustPrecede(indexByLit(t, fd.Body, "12").Pos(), isLenCheck) {
+		t.Errorf("b[12] inside the then-branch should be dominated by the len check")
+	}
+}
+
+func TestBranchGuardDoesNotDominateMerge(t *testing.T) {
+	src := `package t
+func merge(b []byte, ok bool) byte {
+	if ok {
+		if len(b) < 1 {
+			return 0
+		}
+	}
+	return b[0]
+}`
+	cfg, _, fd := buildFunc(t, src, "merge")
+	// The len check sits on only one path to b[0].
+	if cfg.MustPrecede(indexByLit(t, fd.Body, "0").Pos(), isLenCheck) {
+		t.Errorf("guard on one branch must not dominate the merge point")
+	}
+}
+
+// bufClassifier builds a TrackReleases classifier for the test corpus:
+// put(x) releases x, get() results are tracked by type []byte, every
+// other mention of a tracked object is a use. The ident argument inside
+// a release call is attributed to the release, not double-counted as a
+// use (walkUses visits the call before its children, so the skip set is
+// populated in time).
+func bufClassifier(info *types.Info) func(ast.Node) []framework.ObjEvent {
+	tracked := func(obj types.Object) bool {
+		return obj != nil && obj.Type() != nil && obj.Type().String() == "[]byte"
+	}
+	return func(n ast.Node) []framework.ObjEvent {
+		var evs []framework.ObjEvent
+		skip := map[ast.Node]bool{}
+		framework.FlattenEvents(n, func(m ast.Node, isDef bool) {
+			if isDef {
+				if id, ok := m.(*ast.Ident); ok {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if tracked(obj) {
+						evs = append(evs, framework.ObjEvent{Obj: obj, Event: framework.EvDef, Node: m})
+					}
+				}
+				return
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "put" && len(call.Args) == 1 {
+					if arg, ok := call.Args[0].(*ast.Ident); ok {
+						if obj := info.Uses[arg]; tracked(obj) {
+							evs = append(evs, framework.ObjEvent{Obj: obj, Event: framework.EvRelease, Node: call})
+							skip[arg] = true
+							return
+						}
+					}
+				}
+			}
+			if id, ok := m.(*ast.Ident); ok && !skip[id] {
+				if obj := info.Uses[id]; tracked(obj) {
+					evs = append(evs, framework.ObjEvent{Obj: obj, Event: framework.EvUse, Node: id})
+				}
+			}
+		})
+		return evs
+	}
+}
+
+const trackPrelude = `package t
+func get() []byte    { return nil }
+func use(b []byte)   {}
+func put(b []byte)   {}
+`
+
+func TestTrackReleasesLoopRedefinitionClean(t *testing.T) {
+	src := trackPrelude + `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		buf := get()
+		use(buf)
+		put(buf)
+	}
+}`
+	cfg, info, _ := buildFunc(t, src, "f")
+	if v := cfg.TrackReleases(bufClassifier(info)); len(v) != 0 {
+		t.Errorf("per-iteration := must kill the release taint on the back edge, got %d violations", len(v))
+	}
+}
+
+func TestTrackReleasesLoopCarriedUse(t *testing.T) {
+	src := trackPrelude + `
+func f(n int) {
+	buf := get()
+	for i := 0; i < n; i++ {
+		use(buf)
+		put(buf)
+	}
+}`
+	cfg, info, _ := buildFunc(t, src, "f")
+	v := cfg.TrackReleases(bufClassifier(info))
+	if len(v) == 0 {
+		t.Fatalf("use of buf on iteration 2 follows the release on iteration 1; want a violation")
+	}
+}
+
+func TestTrackReleasesRangeRebindClean(t *testing.T) {
+	src := trackPrelude + `
+func f(l [][]byte) {
+	for _, frag := range l {
+		use(frag)
+		put(frag)
+	}
+}`
+	cfg, info, _ := buildFunc(t, src, "f")
+	if v := cfg.TrackReleases(bufClassifier(info)); len(v) != 0 {
+		t.Errorf("range rebinding must kill the release taint on the back edge, got %d violations", len(v))
+	}
+}
+
+func TestTrackReleasesBranchMerge(t *testing.T) {
+	src := trackPrelude + `
+func f(ok bool) {
+	buf := get()
+	if ok {
+		put(buf)
+	}
+	use(buf)
+}`
+	cfg, info, _ := buildFunc(t, src, "f")
+	v := cfg.TrackReleases(bufClassifier(info))
+	if len(v) != 1 {
+		t.Fatalf("use after a release on ONE incoming path is a may-violation; got %d", len(v))
+	}
+}
+
+func TestTrackReleasesDoubleRelease(t *testing.T) {
+	src := trackPrelude + `
+func f() {
+	buf := get()
+	put(buf)
+	put(buf)
+}`
+	cfg, info, _ := buildFunc(t, src, "f")
+	v := cfg.TrackReleases(bufClassifier(info))
+	if len(v) != 1 {
+		t.Fatalf("double release must report exactly once, got %d", len(v))
+	}
+}
+
+func TestTrackReleasesDeferRunsAtExit(t *testing.T) {
+	// defer put(buf) releases at function exit: every ordinary use
+	// precedes it, so this is clean...
+	src := trackPrelude + `
+func f() {
+	buf := get()
+	defer put(buf)
+	use(buf)
+	use(buf)
+}`
+	cfg, info, _ := buildFunc(t, src, "f")
+	if v := cfg.TrackReleases(bufClassifier(info)); len(v) != 0 {
+		t.Errorf("defer release runs after every use; got %d violations", len(v))
+	}
+	// ...while an explicit put before the deferred one is a double
+	// release observed in the exit block.
+	src2 := trackPrelude + `
+func f() {
+	buf := get()
+	defer put(buf)
+	use(buf)
+	put(buf)
+}`
+	cfg2, info2, _ := buildFunc(t, src2, "f")
+	if v := cfg2.TrackReleases(bufClassifier(info2)); len(v) != 1 {
+		t.Errorf("explicit put + deferred put is a double release; got %d violations", len(v))
+	}
+}
+
+func TestMustPrecedeEarlyReturnGuard(t *testing.T) {
+	// The rbuf/decodeStale shape: an early-return guard dominates the
+	// whole remainder of the function.
+	src := `package t
+func f(b []byte) byte {
+	if len(b) < 4 {
+		return 0
+	}
+	x := b[0]
+	for i := 0; i < 3; i++ {
+		x += b[3]
+	}
+	return x
+}`
+	cfg, _, fd := buildFunc(t, src, "f")
+	if !cfg.MustPrecede(indexByLit(t, fd.Body, "3").Pos(), isLenCheck) {
+		t.Errorf("early-return len guard should dominate accesses inside the loop body")
+	}
+}
+
+func TestMustPrecedeSwitchClause(t *testing.T) {
+	src := `package t
+func f(b []byte, k int) byte {
+	switch k {
+	case 1:
+		if len(b) < 2 {
+			return 0
+		}
+		return b[1]
+	case 2:
+		return b[7]
+	}
+	return 0
+}`
+	cfg, _, fd := buildFunc(t, src, "f")
+	if !cfg.MustPrecede(indexByLit(t, fd.Body, "1").Pos(), isLenCheck) {
+		t.Errorf("guard inside case 1 should dominate the access in the same clause")
+	}
+	if cfg.MustPrecede(indexByLit(t, fd.Body, "7").Pos(), isLenCheck) {
+		t.Errorf("guard in case 1 must not cover the access in case 2")
+	}
+}
+
+func TestMustPrecedeSwitchSequentialTests(t *testing.T) {
+	// Expression switches evaluate case expressions in order: an early
+	// `case len(b) < 1:` clause guards every later clause's test and
+	// body (the cluster status-switch shape).
+	src := `package t
+func f(b []byte) byte {
+	switch {
+	case len(b) < 1:
+		return 0
+	case b[0] == 7:
+		return b[0]
+	default:
+		return 1
+	}
+}`
+	cfg, _, fd := buildFunc(t, src, "f")
+	if !cfg.MustPrecede(indexByLit(t, fd.Body, "0").Pos(), isLenCheck) {
+		t.Errorf("the len case test should dominate later case tests")
+	}
+}
+
+func TestCFGShape(t *testing.T) {
+	// Sanity: single entry, single exit, loop has a back edge.
+	src := `package t
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`
+	cfg, _, _ := buildFunc(t, src, "f")
+	if cfg.Entry == nil || cfg.Exit == nil {
+		t.Fatalf("entry/exit missing")
+	}
+	if len(cfg.Exit.Succs) != 0 {
+		t.Errorf("exit block must have no successors")
+	}
+	back := false
+	order := map[*framework.Block]int{}
+	for i, b := range cfg.Blocks {
+		order[b] = i
+	}
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if order[s] < order[b] {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Errorf("for loop should produce at least one back edge")
+	}
+}
+
+func TestFlattenEventsAssignOrder(t *testing.T) {
+	// b = grow(b): the RHS use must be emitted before the LHS def, so
+	// a tracked object read feeds the old binding.
+	src := `package t
+func grow(b []byte) []byte { return b }
+func f(b []byte) []byte {
+	b = grow(b)
+	return b
+}`
+	_, _, fd := buildFunc(t, src, "f")
+	asg := findNode(t, fd.Body, func(n ast.Node) bool {
+		_, ok := n.(*ast.AssignStmt)
+		return ok
+	})
+	var got []string
+	framework.FlattenEvents(asg, func(n ast.Node, isDef bool) {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "b" {
+			if isDef {
+				got = append(got, "def")
+			} else {
+				got = append(got, "use")
+			}
+		}
+	})
+	if strings.Join(got, ",") != "use,def" {
+		t.Errorf("assignment flattening order = %v, want [use def]", got)
+	}
+}

@@ -83,22 +83,37 @@ type suppressions struct {
 	byLine map[int][]*suppression
 }
 
+// ParseAllow parses one comment's text against the //hatlint:allow
+// grammar. ok reports whether the text is an allow marker at all;
+// names are the comma-separated analyzer names exactly as written
+// (possibly empty segments — the runner rejects those as unregistered);
+// justified reports whether a non-empty "-- <reason>" suffix follows.
+// Exported so the fuzz harness and external tooling exercise the same
+// parser the runner uses.
+func ParseAllow(text string) (names []string, justified bool, ok bool) {
+	m := allowRe.FindStringSubmatch(strings.TrimSpace(text))
+	if m == nil {
+		return nil, false, false
+	}
+	return strings.Split(m[1], ","), strings.TrimSpace(m[3]) != "", true
+}
+
 // parseSuppressions scans a file's comments for //hatlint:allow markers.
 func parseSuppressions(fset *token.FileSet, f *ast.File) *suppressions {
 	s := &suppressions{byLine: map[int][]*suppression{}}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			m := allowRe.FindStringSubmatch(strings.TrimSpace(c.Text))
-			if m == nil {
+			names, justified, ok := ParseAllow(c.Text)
+			if !ok {
 				continue
 			}
 			sup := &suppression{
 				line:      fset.Position(c.Pos()).Line,
 				analyzers: map[string]bool{},
-				justified: strings.TrimSpace(m[3]) != "",
+				justified: justified,
 				pos:       c.Pos(),
 			}
-			for _, name := range strings.Split(m[1], ",") {
+			for _, name := range names {
 				sup.analyzers[name] = true
 			}
 			s.byLine[sup.line] = append(s.byLine[sup.line], sup)
@@ -130,6 +145,10 @@ func (s *suppressions) match(analyzer string, line int) *suppression {
 // "suppression").
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	known := map[string]bool{"suppression": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		sups := make([]*suppressions, len(pkg.Files))
 		for i, f := range pkg.Files {
@@ -180,10 +199,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 		// An allow comment that suppressed nothing is stale — flag it so
-		// suppressions cannot outlive the code they excused.
+		// suppressions cannot outlive the code they excused. A comment
+		// naming an analyzer that is not registered can never suppress
+		// anything (typo, or a check since renamed), so it is rejected
+		// outright instead of reported as merely unused.
 		for _, s := range sups {
 			for _, list := range s.byLine {
 				for _, sup := range list {
+					var unknown []string
+					for n := range sup.analyzers {
+						if !known[n] {
+							unknown = append(unknown, n)
+						}
+					}
+					if len(unknown) > 0 {
+						sort.Strings(unknown)
+						out = append(out, Diagnostic{
+							Pos:      sup.pos,
+							Analyzer: "suppression",
+							Message: fmt.Sprintf(
+								"//hatlint:allow names unregistered analyzer %s (see cmd/hatlint -list)",
+								strings.Join(unknown, ",")),
+						})
+						continue
+					}
 					if !used[sup] {
 						names := make([]string, 0, len(sup.analyzers))
 						for n := range sup.analyzers {

@@ -45,8 +45,10 @@ func TestSuppressionSemantics(t *testing.T) {
 		"[testcheck] function reported",
 		// unjustified()'s allow matches but lacks "-- reason".
 		"[suppression] //hatlint:allow testcheck needs a justification (\"-- <reason>\")",
-		// othercheck's allow suppressed nothing.
-		"[suppression] unused //hatlint:allow othercheck",
+		// stale's allow names a registered analyzer but suppressed nothing.
+		"[suppression] unused //hatlint:allow testcheck",
+		// typo's allow names an analyzer that is not registered at all.
+		"[suppression] //hatlint:allow names unregistered analyzer othercheck (see cmd/hatlint -list)",
 	}
 	for _, w := range want {
 		found := false

@@ -1,0 +1,89 @@
+package framework
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzParseAllow fuzzes the //hatlint:allow comment parser. Two layers:
+// structural invariants on ParseAllow's output for arbitrary input, and
+// a differential check that parseSuppressions — which consumes real
+// *ast.Comment text — agrees with ParseAllow when the input survives a
+// round-trip through the Go parser. The checked-in corpus lives in
+// testdata/fuzz/FuzzParseAllow; CI's fuzz-smoke job replays it plus a
+// short randomized burst.
+func FuzzParseAllow(f *testing.F) {
+	for _, s := range []string{
+		"//hatlint:allow simdet -- bench reports wall-clock by design",
+		"//hatlint:allow maporder,obsnames -- two checks, one line",
+		"//hatlint:allow wrsigned",
+		"//hatlint:allow epochfence --",
+		"//hatlint:allow ,,",
+		"//hatlint:allowsimdet -- missing space",
+		"// hatlint:allow simdet -- leading space breaks the marker",
+		"//hatlint:sorted",
+		"//hatlint:allow simdet --  \t  ",
+		"//hatlint:allow a_b_0 -- unders and digits",
+		"/*hatlint:allow simdet -- block comments are not markers*/",
+		"//hatlint:allow simdet -- trailing \x00 byte",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		names, justified, ok := ParseAllow(s)
+
+		// Determinism: same input, same answer.
+		names2, justified2, ok2 := ParseAllow(s)
+		if ok != ok2 || justified != justified2 || len(names) != len(names2) {
+			t.Fatalf("ParseAllow not deterministic on %q", s)
+		}
+
+		if !ok {
+			if names != nil || justified {
+				t.Fatalf("ParseAllow(%q): !ok must zero the other results", s)
+			}
+			return
+		}
+		if len(names) == 0 {
+			t.Fatalf("ParseAllow(%q): ok with no names", s)
+		}
+		for _, n := range names {
+			if strings.ContainsAny(n, ", \t") || strings.ToLower(n) != n {
+				t.Fatalf("ParseAllow(%q): malformed name %q", s, n)
+			}
+		}
+		if justified && !strings.Contains(s, "--") {
+			t.Fatalf("ParseAllow(%q): justified without a -- separator", s)
+		}
+
+		// Differential check: embed the comment in a source file and
+		// make sure the runner-side parser extracts the same marker.
+		// Only single-line inputs that the Go lexer keeps as one line
+		// comment round-trip this way.
+		trimmed := strings.TrimSpace(s)
+		if strings.ContainsAny(s, "\n\r\x00") || !strings.HasPrefix(trimmed, "//") {
+			return
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "f.go", "package p\n"+trimmed+"\nvar x int\n", parser.ParseComments)
+		if err != nil {
+			return
+		}
+		list := parseSuppressions(fset, file).byLine[2]
+		if len(list) != 1 {
+			t.Fatalf("parseSuppressions missed marker %q", trimmed)
+		}
+		sup := list[0]
+		if sup.justified != justified {
+			t.Fatalf("justified mismatch for %q: comment parser %v, suppression parser %v",
+				trimmed, justified, sup.justified)
+		}
+		for _, n := range names {
+			if !sup.analyzers[n] {
+				t.Fatalf("parseSuppressions dropped name %q from %q", n, trimmed)
+			}
+		}
+	})
+}

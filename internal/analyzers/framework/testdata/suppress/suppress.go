@@ -12,5 +12,8 @@ func suppressedEOL() {} //hatlint:allow testcheck -- end-of-line placement
 //hatlint:allow testcheck
 func unjustified() {}
 
-//hatlint:allow othercheck -- this analyzer never fires here
+//hatlint:allow testcheck -- this analyzer never fires here
 var stale = 1
+
+//hatlint:allow othercheck -- no analyzer by this name is registered
+var typo = 2

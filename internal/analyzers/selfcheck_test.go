@@ -12,6 +12,28 @@ import (
 // The suite being clean is a standing invariant: any finding here is
 // either a real determinism/protocol bug or a site that needs a
 // justified //hatlint:allow.
+// TestSuiteComposition pins the analyzer roster: all nine checks, in
+// stable order, each with a name (the //hatlint:allow key) and a doc
+// string. A dropped registration would silently shrink CI coverage.
+func TestSuiteComposition(t *testing.T) {
+	want := []string{
+		"arenaalias", "epochfence", "errtaxonomy", "maporder",
+		"nogoroutine", "obsnames", "simdet", "wirebounds", "wrsigned",
+	}
+	all := analyzers.All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run function", a.Name)
+		}
+	}
+}
+
 func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module; skipped in -short")

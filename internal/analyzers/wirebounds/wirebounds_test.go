@@ -1,0 +1,12 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"hatrpc/internal/analyzers/framework/analysistest"
+	"hatrpc/internal/analyzers/wirebounds"
+)
+
+func TestWireBounds(t *testing.T) {
+	analysistest.Run(t, "testdata", wirebounds.Analyzer, "thrift")
+}

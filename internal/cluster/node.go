@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"hatrpc/internal/engine"
@@ -216,13 +217,19 @@ func (n *Node) recoverMeta(st *shardState) {
 	if err != nil {
 		return
 	}
+	// A durable record can only move the shard forward. At boot (the
+	// only call site) st holds the epoch-1 defaults, so the fence is a
+	// no-op there; it makes recoverMeta safe to call from any future
+	// re-read path without resurrecting a deposed position.
+	if m.Epoch < st.epoch || m.Seq < st.seq || m.Promised < st.promised {
+		return
+	}
 	st.epoch = m.Epoch
 	st.primary = int(m.Primary)
 	st.seq = m.Seq
 	st.promised = m.Promised
 	st.promisedBy = int(m.PromisedBy)
-	st.learnedEpoch = m.Epoch
-	st.learnedPrimary = int(m.Primary)
+	st.adoptLearned(m.Epoch, int(m.Primary))
 }
 
 // meta renders the shard's current durable record.
@@ -255,14 +262,32 @@ func (n *Node) staleReply(st *shardState) []byte {
 // applyWrite commits one replicated record and the covering meta in a
 // single store transaction, so durability of the data and of its
 // (epoch, seq) position are inseparable under every sync mode.
+// Fence trips. These mark a caller trying to move a shard backwards —
+// impossible through the current handlers, which all pre-check — and
+// surface as stErr to the peer if a future path forgets to.
+var (
+	errStaleSeq     = errors.New("cluster: write seq not past the shard position")
+	errStaleInstall = errors.New("cluster: install below the shard epoch")
+	errStalePromise = errors.New("cluster: promise not past the prepare fence")
+)
+
 func (n *Node) applyWrite(p *sim.Proc, st *shardState, key string, val []byte, seq uint64) error {
-	st.seq = seq
+	// Content position only advances. Both callers already hand the
+	// next contiguous seq (handlePut computes st.seq+1, handleReplicate
+	// rejects gaps and duplicates), so the fence never trips today.
+	if seq <= st.seq {
+		return errStaleSeq
+	}
+	m := st.meta()
+	m.Seq = seq
 	err := n.store.MultiPut(p, []*kvgen.KVPair{
 		{Key: dataKey(st.id, key), Value: val},
-		{Key: metaKey(st.id), Value: st.meta().encode()},
+		{Key: metaKey(st.id), Value: m.encode()},
 	})
-	if err != nil {
-		st.seq = seq - 1
+	if err == nil {
+		// Commit the in-memory position only once the store did: no
+		// transient advance to roll back on failure.
+		st.seq = seq
 	}
 	return err
 }
@@ -271,10 +296,19 @@ func (n *Node) applyWrite(p *sim.Proc, st *shardState, key string, val []byte, s
 // record plus the new meta in one commit. Records never deleted under
 // this protocol can only be overwritten, so replacement == overwrite.
 func (n *Node) applyInstall(p *sim.Proc, st *shardState, q installReq) error {
+	// Installs move the content view forward. Callers bounce stale
+	// pushes before getting here (handleInstall's fence, the candidate's
+	// own promised epoch); this local fence makes the invariant hold no
+	// matter who calls.
+	if q.Epoch < st.epoch {
+		return errStaleInstall
+	}
 	prev := *st
 	st.epoch = q.Epoch
 	st.primary = int(q.Primary)
-	st.seq = q.Seq
+	// The content seq is epoch-scoped: a view-change install legally
+	// resets it to the snapshot's position, lower or not.
+	st.seq = q.Seq //hatlint:allow epochfence -- seq is epoch-scoped; an install adopts the snapshot position wholesale
 	if q.Epoch > st.promised {
 		st.promised = q.Epoch
 		st.promisedBy = int(q.Primary)
@@ -296,6 +330,12 @@ func (n *Node) applyInstall(p *sim.Proc, st *shardState, q installReq) error {
 // candidacy): from this commit on — across crashes — the replica
 // refuses writes and view-change installs below the promised epoch.
 func (n *Node) promise(p *sim.Proc, st *shardState, epoch uint64, candidate int) error {
+	// The prepare fence only ratchets up. handleStatus and runCandidacy
+	// both check before calling; the local fence keeps promise() safe to
+	// call bare.
+	if epoch <= st.promised {
+		return errStalePromise
+	}
 	prevE, prevBy := st.promised, st.promisedBy
 	st.promised = epoch
 	st.promisedBy = candidate

@@ -456,6 +456,7 @@ type hdr struct {
 }
 
 func putHdr(b []byte, h hdr) {
+	_ = b[hdrSize-1] // bounds hint: callers hand fixed-size registered MRs
 	b[0] = h.kind
 	b[1] = byte(h.proto)
 	b[2] = byte(h.respProto)
@@ -481,6 +482,7 @@ func decodeHdr(b []byte) (hdr, bool) {
 }
 
 func getHdr(b []byte) hdr {
+	_ = b[hdrSize-1] // bounds hint: callers hand fixed-size registered MRs
 	return hdr{
 		kind:      b[0],
 		proto:     Protocol(b[1]),

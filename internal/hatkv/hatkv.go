@@ -7,6 +7,7 @@
 package hatkv
 
 import (
+	"errors"
 	"fmt"
 
 	"hatrpc/internal/engine"
@@ -154,7 +155,7 @@ func (s *Store) Get(p *sim.Proc, key string) ([]byte, error) {
 	defer txn.Abort()
 	v, err := txn.Get([]byte(key))
 	s.charge(p, float64(s.costs.LookupNs)+float64(len(v))*s.costs.CopyPerByte)
-	if err == lmdb.ErrNotFound {
+	if errors.Is(err, lmdb.ErrNotFound) {
 		return nil, &kvgen.KVError{Message: fmt.Sprintf("key %q not found", key)}
 	}
 	if err != nil {
@@ -205,7 +206,7 @@ func (s *Store) MultiGet(p *sim.Proc, keys []string) ([][]byte, error) {
 	var bytesOut int
 	for _, k := range keys {
 		v, err := txn.Get([]byte(k))
-		if err == lmdb.ErrNotFound {
+		if errors.Is(err, lmdb.ErrNotFound) {
 			out = append(out, nil)
 			continue
 		}
