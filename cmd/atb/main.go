@@ -9,6 +9,7 @@
 //	atb -bench crash [-sync full|meta|none] [-uptimes NS,NS,...] [-crash-horizon NS]
 //	atb -bench cluster [-rf N,N,...] [-sync full|meta|none] [-uptimes NS,NS,...] [-crash-horizon NS]
 //	atb -bench fanin [-vclients N,N,...] [-pools N,N,...] [-workers N] [-tenant-limit N]
+//	atb -bench rolling [-drain-deadlines NS,NS,...] [-staggers NS,NS,...] [-rounds N]
 //
 // -bench fanin sweeps the connection-virtualization tier (DESIGN.md
 // §14): goodput and small-call p99 versus connected virtual-client
@@ -31,6 +32,14 @@
 // promotions, the zero-loss audit, and failover recovery times. The
 // same seed drives every point, so the crash schedule is held constant
 // while RF varies.
+//
+// -bench rolling sweeps the node-lifecycle tier (DESIGN.md §17) over
+// graceful-drain deadline × restart stagger: each point rolls a 5-node
+// cluster one restart at a time (drain → stop → reboot → rejoin →
+// resync) under a retry-until-acked workload and reports availability,
+// the error-visible window (summed put-latency excess during restart
+// cycles), and post-stop recovery times. One hard-kill baseline row per
+// stagger shows what the graceful drain must beat.
 //
 // -metrics prints the obs counter/histogram/gauge tables accumulated
 // across every simulation of the sweep; -trace writes a deterministic
@@ -83,6 +92,9 @@ func main() {
 	uptimes := flag.String("uptimes", "", "crash/cluster bench: comma-separated mean uptimes in ns")
 	crashHorizon := flag.Int64("crash-horizon", 0, "crash/cluster bench: schedule horizon in ns")
 	rfs := flag.String("rf", "", "cluster bench: comma-separated replication factors (default 1,2,3)")
+	drainDeadlines := flag.String("drain-deadlines", "", "rolling bench: comma-separated graceful drain deadlines in ns (default 150000,600000)")
+	staggers := flag.String("staggers", "", "rolling bench: comma-separated restart staggers in ns (default 800000,1600000)")
+	rounds := flag.Int("rounds", 0, "rolling bench: rolling rounds over all nodes (default 1)")
 	flag.Parse()
 
 	if *faults || *loss > 0 || *jitter > 0 {
@@ -291,6 +303,34 @@ func main() {
 				stats.FormatNs(p.RecovAvgNs), stats.FormatNs(p.RecovP99Ns))
 		}
 		fmt.Print(tb)
+	case "rolling":
+		cfg := atb.DefaultRollingBenchConfig()
+		if *drainDeadlines != "" {
+			cfg.DrainDeadlines = parseNsList("-drain-deadlines", *drainDeadlines)
+		}
+		if *staggers != "" {
+			cfg.Staggers = parseNsList("-staggers", *staggers)
+		}
+		if *rounds > 0 {
+			cfg.Rounds = *rounds
+		}
+		pts := atb.RunRollingBench(cfg)
+		tb := stats.NewTable("mode", "drain-deadline", "stagger", "acked", "lost", "avail",
+			"escalations", "fenced", "promotions", "err-window", "recov avg", "recov max", "ready avg")
+		for _, p := range pts {
+			mode, dl := "hard-kill", "-"
+			if p.Graceful {
+				mode = "graceful"
+				dl = stats.FormatNs(float64(p.DrainDeadlineNs))
+			}
+			tb.Row(mode, dl, stats.FormatNs(float64(p.StaggerNs)), p.Acked, p.Lost,
+				fmt.Sprintf("%.3f", p.Availability),
+				p.Escalations, p.DrainedReqs, p.Promotions,
+				stats.FormatNs(float64(p.ErrWindowNs)),
+				stats.FormatNs(p.RecovAvgNs), stats.FormatNs(float64(p.RecovMaxNs)),
+				stats.FormatNs(p.ReadyAvgNs))
+		}
+		fmt.Print(tb)
 	default:
 		fmt.Fprintf(os.Stderr, "atb: unknown benchmark %q\n", *bench)
 		os.Exit(2)
@@ -350,6 +390,21 @@ func parseUptimes(arg string) []int64 {
 		ns, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 		if err != nil || ns <= 0 {
 			fmt.Fprintf(os.Stderr, "atb: bad -uptimes %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		out = append(out, ns)
+	}
+	return out
+}
+
+// parseNsList parses a comma-separated positive-ns list for the named
+// flag, exiting on a malformed entry.
+func parseNsList(flagName, arg string) []int64 {
+	var out []int64
+	for _, s := range strings.Split(arg, ",") {
+		ns, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil || ns <= 0 {
+			fmt.Fprintf(os.Stderr, "atb: bad %s %q: %v\n", flagName, s, err)
 			os.Exit(2)
 		}
 		out = append(out, ns)

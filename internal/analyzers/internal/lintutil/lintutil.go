@@ -18,7 +18,7 @@ var desPackages = map[string]bool{
 	"sim": true, "simnet": true, "verbs": true, "engine": true,
 	"ipoib": true, "trdma": true, "lmdb": true, "hatkv": true,
 	"atb": true, "tpch": true, "ycsb": true, "chaos": true,
-	"cluster": true,
+	"cluster": true, "node": true,
 }
 
 // PkgTail returns the last segment of an import path.

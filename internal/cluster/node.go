@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"hatrpc/internal/engine"
 	"hatrpc/internal/hatkv"
@@ -122,6 +123,7 @@ type Node struct {
 
 	smu  *sim.Mutex              // guards sess creation
 	sess map[int]*engine.Session // peer index → replication session
+	srv  *engine.Server          // nil for NewUnservedNode (caller serves Handle)
 
 	stats NodeStats
 
@@ -136,6 +138,10 @@ type Node struct {
 // handler, and spawns the failover monitor as a node-owned process.
 // self is the node's index into cfg.NodeIDs.
 func NewNode(eng *engine.Engine, store *hatkv.Store, roster []*simnet.Node, self int, cfg Config) *Node {
+	return newNode(eng, store, roster, self, cfg, true)
+}
+
+func newNode(eng *engine.Engine, store *hatkv.Store, roster []*simnet.Node, self int, cfg Config, serve bool) *Node {
 	cfg = cfg.withDefaults()
 	env := eng.Node().Cluster().Env()
 	n := &Node{
@@ -178,9 +184,20 @@ func NewNode(eng *engine.Engine, store *hatkv.Store, roster []*simnet.Node, self
 		n.shardIDs = append(n.shardIDs, s)
 	}
 	// shardIDs is built in ascending shard order already (the loop above).
-	eng.Serve(Port, n.handle)
+	if serve {
+		n.srv = eng.Serve(Port, n.handle)
+	}
 	n.startMonitor()
 	return n
+}
+
+// NewUnservedNode is NewNode without registering the wire handler: the
+// caller serves Handle on cluster.Port itself — the node lifecycle layer
+// (internal/node) does this to multiplex its ops surface onto the same
+// port and dispatcher processes, keeping the DES process set (and hence
+// the event schedule) identical to an ops-free NewNode build.
+func NewUnservedNode(eng *engine.Engine, store *hatkv.Store, roster []*simnet.Node, self int, cfg Config) *Node {
+	return newNode(eng, store, roster, self, cfg, false)
 }
 
 // Stats returns the node's lifecycle counters.
@@ -400,6 +417,33 @@ func (n *Node) callPeerDL(p *sim.Proc, peer int, fn uint32, req []byte, deadline
 		Idempotent: true,
 		Deadline:   sim.Duration(deadlineNs),
 	})
+}
+
+// Handle exposes the cluster wire dispatcher for callers that serve the
+// port themselves (NewUnservedNode): the node lifecycle layer wraps it
+// to multiplex ops functions onto cluster.Port.
+func (n *Node) Handle(p *sim.Proc, fn uint32, req []byte) []byte {
+	return n.handle(p, fn, req)
+}
+
+// Server returns the engine server created by NewNode (nil for
+// NewUnservedNode, where the caller owns the server).
+func (n *Node) Server() *engine.Server { return n.srv }
+
+// CloseSessions closes the node's cached replication sessions in
+// deterministic (sorted-peer) order — part of graceful shutdown, so the
+// peers' keepalive state and this node's QPs are released before the
+// engine closes.
+func (n *Node) CloseSessions() {
+	peers := make([]int, 0, len(n.sess))
+	for peer := range n.sess {
+		peers = append(peers, peer)
+	}
+	sort.Ints(peers)
+	for _, peer := range peers {
+		n.sess[peer].Close()
+	}
+	n.sess = make(map[int]*engine.Session)
 }
 
 // handle dispatches the cluster wire protocol.

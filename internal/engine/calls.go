@@ -180,8 +180,8 @@ func (c *Conn) doCall(p *sim.Proc, fn uint32, req []byte, opts CallOpts) ([]byte
 			switch a.Kind {
 			case kResp:
 				out = a.Payload
-			case kErr:
-				err = ErrOverloaded
+			case kErr, kDrain:
+				err = rejectErr(a.Kind)
 			default:
 				return nil, fmt.Errorf("engine: expected response, got kind %d", a.Kind)
 			}
@@ -458,9 +458,9 @@ func (c *Conn) readRemote(p *sim.Proc, rk verbs.RKey, off, n int, poll PollMode)
 // server's response region until the sequence stamp matches, fetching
 // the tail with a second READ when the response exceeds the first
 // chunk. A non-zero until bounds the polling (zero = forever); a failed
-// READ (loss) recovers the QP and keeps polling until the bound. A kErr
-// stamp for the current seq is the server's shed marker and surfaces as
-// a terminal ErrOverloaded. Poll pacing follows the call's polling
+// READ (loss) recovers the QP and keeps polling until the bound. A
+// kErr/kDrain stamp for the current seq is the server's typed rejection
+// and surfaces as a terminal error. Poll pacing follows the call's polling
 // discipline (fetchPace): busy calls keep the tight spin, event calls
 // back off to the interrupt-wake granularity, adaptive calls spin for
 // the connection's window and then back off.
@@ -483,9 +483,9 @@ func (c *Conn) fetchRFPUntil(p *sim.Proc, poll PollMode, until sim.Time) ([]byte
 			continue
 		}
 		h := getHdr(b)
-		if h.seq == c.seq && h.kind == kErr {
+		if h.seq == c.seq && (h.kind == kErr || h.kind == kDrain) {
 			c.noteCredits(h)
-			return nil, false, ErrOverloaded
+			return nil, false, rejectErr(h.kind)
 		}
 		if h.seq != c.seq || h.kind != kResp {
 			c.noteReadRetry(p)
@@ -527,17 +527,22 @@ func (c *Conn) noteReadRetry(p *sim.Proc) {
 		obs.Arg{K: "seq", V: c.seq})
 }
 
-// kvShedLen is the length marker a shed Pilaf/FaRM request's metadata
-// record carries in place of a real response length. It cannot collide
-// with a genuine response: lengths are bounded by MaxMsgSize.
-const kvShedLen = ^uint32(0)
+// kvShedLen / kvDrainLen are the length markers a rejected Pilaf/FaRM
+// request's metadata record carries in place of a real response length:
+// shed under admission control vs fenced during graceful drain. They
+// cannot collide with a genuine response: lengths are bounded by
+// MaxMsgSize.
+const (
+	kvShedLen  = ^uint32(0)
+	kvDrainLen = ^uint32(0) - 1
+)
 
 // fetchKVUntil is the Pilaf/FaRM client fetch: metaReads metadata READs
 // (two for Pilaf, one for FaRM) followed by one payload READ of the
 // published length. A non-zero until bounds the polling (zero =
 // forever); a failed READ (loss) recovers the QP and keeps polling
-// until the bound. The kvShedLen length marker is the server's shed
-// signal and surfaces as a terminal ErrOverloaded.
+// until the bound. The kvShedLen/kvDrainLen length markers are the
+// server's typed rejections and surface as terminal errors.
 func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, poll PollMode, until sim.Time) ([]byte, bool, error) {
 	var spun sim.Duration
 	pace := func() {
@@ -564,6 +569,9 @@ func (c *Conn) fetchKVUntil(p *sim.Proc, metaReads int, poll PollMode, until sim
 		}
 		if rawLen == kvShedLen {
 			return nil, false, ErrOverloaded
+		}
+		if rawLen == kvDrainLen {
+			return nil, false, ErrDraining
 		}
 		n := int(rawLen)
 		for i := 1; i < metaReads; i++ {
@@ -744,19 +752,24 @@ func (c *Conn) publish(p *sim.Proc, mr *verbs.MR, h hdr, payload []byte) {
 	c.putHdrC(mr.Buf, h) // header (with seq stamp) written last
 }
 
-// sendOverloaded answers a shed request with the typed overload marker
-// on whatever response channel the client is watching. Header-only on
-// every path — the whole point of shedding is that the rejection costs
-// the server ~nothing.
-func (c *Conn) sendOverloaded(p *sim.Proc, a Arrival, busy bool) {
+// sendReject answers a rejected request with a typed header-only marker
+// (kErr for admission sheds, kDrain for the graceful-drain fence) on
+// whatever response channel the client is watching. Header-only on
+// every path — the whole point of rejecting is that it costs the server
+// ~nothing.
+func (c *Conn) sendReject(p *sim.Proc, a Arrival, kind byte) {
 	c.recoverQP(p)
 	respProto := hybridSwitch(a.RespProto, 0, c.eng.cfg.RndvThreshold)
-	h := hdr{kind: kErr, proto: respProto, respProto: respProto, fn: a.Fn, seq: a.Seq, sid: a.SID}
+	h := hdr{kind: kind, proto: respProto, respProto: respProto, fn: a.Fn, seq: a.Seq, sid: a.SID}
 	switch respProto {
 	case RFP:
-		c.putHdrC(c.rfpOutMR.Buf, h) // client's poll sees kErr at its seq
+		c.putHdrC(c.rfpOutMR.Buf, h) // client's poll sees the marker at its seq
 	case Pilaf, FaRM:
-		binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[4:], kvShedLen)
+		mark := kvShedLen
+		if kind == kDrain {
+			mark = kvDrainLen
+		}
+		binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[4:], mark)
 		binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[8:], 0xABCD)
 		binary.LittleEndian.PutUint32(c.kvMetaMR.Buf[0:], a.Seq) // seq last
 	default:

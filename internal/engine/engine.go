@@ -439,6 +439,7 @@ const (
 	kFin    byte = 6
 	kCredit byte = 7 // async credit-grant update (header-only)
 	kErr    byte = 8 // typed overload rejection (header-only)
+	kDrain  byte = 9 // typed draining rejection (header-only)
 )
 
 const immDirect uint32 = 0xFFFFFFFF
@@ -1347,10 +1348,10 @@ func (c *Conn) handleRecvSlot(p *sim.Proc, wc verbs.WC) (Arrival, bool) {
 		// Async credit grant: the piggybacked total was consumed by
 		// noteCredits above; nothing else to do.
 		return Arrival{}, false
-	case kErr:
-		// Typed overload rejection (header-only): surface it so the
-		// caller's response wait maps it to ErrOverloaded.
-		return Arrival{Kind: kErr, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid}, true
+	case kErr, kDrain:
+		// Typed rejection (header-only): surface it so the caller's
+		// response wait maps it to ErrOverloaded / ErrDraining.
+		return Arrival{Kind: h.kind, Proto: h.proto, RespProto: h.respProto, Fn: h.fn, Seq: h.seq, SID: h.sid}, true
 	case kFin:
 		if buf, ok := c.rndvOut[h.seq]; ok {
 			delete(c.rndvOut, h.seq)

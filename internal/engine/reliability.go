@@ -31,6 +31,12 @@ var (
 	// layer up. Mirrors the verbs epoch-tagged-RKey discipline
 	// (WCRemoteInvalid on stale rkeys) at the shard level.
 	ErrStaleShardEpoch = errors.New("engine: stale shard epoch")
+	// ErrDraining: the server is in graceful drain — it answered the
+	// request with a typed header-only rejection instead of executing it.
+	// Unlike ErrOverloaded (a transient shed under admission pressure),
+	// draining announces the node is going away on purpose: clients
+	// should re-route to another replica rather than retry the same peer.
+	ErrDraining = errors.New("engine: server draining (session fenced)")
 )
 
 // IsUnavailable reports whether err is an availability-class failure,
@@ -43,18 +49,30 @@ var (
 //	ErrDeadline        — response never arrived in time
 //	ErrPeerDown        — transport failing at expiry
 //	ErrOverloaded      — server shed the request under admission control
+//	ErrDraining        — server fenced the request during graceful drain
 //	ErrSessionReset    — reconnect interrupted a non-idempotent call
 //	ErrCircuitOpen     — breaker is open; peer recently unhealthy
 //	ErrStaleShardEpoch — shard failed over; routing state is stale
 //
-// Of these only the first three feed the circuit breaker: breakerObserve
+// Of these only the first four feed the circuit breaker: breakerObserve
 // runs on transport call outcomes, where the last three are never
 // produced (ErrCircuitOpen is minted by the breaker gate before the
 // call, ErrSessionReset and ErrStaleShardEpoch by layers above Conn).
+// A draining peer tripping the breaker is intended: it steers new calls
+// away from the node faster than per-call rejections would.
 func IsUnavailable(err error) bool {
 	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrPeerDown) ||
 		errors.Is(err, ErrOverloaded) || errors.Is(err, ErrSessionReset) ||
-		errors.Is(err, ErrCircuitOpen) || errors.Is(err, ErrStaleShardEpoch)
+		errors.Is(err, ErrCircuitOpen) || errors.Is(err, ErrStaleShardEpoch) ||
+		errors.Is(err, ErrDraining)
+}
+
+// rejectErr maps a typed header-only rejection kind to its sentinel.
+func rejectErr(kind byte) error {
+	if kind == kDrain {
+		return ErrDraining
+	}
+	return ErrOverloaded
 }
 
 // Retry pacing. The backoff starts comfortably above the RC retry
@@ -240,8 +258,8 @@ func (c *Conn) abortCall(seq uint32) {
 // the bound expires. Responses for other seqs are stale duplicates from
 // earlier attempts (or earlier calls) and are discarded — the dedup
 // guarantee means their payloads equal what the original call already
-// returned. A kErr arrival for seq is the server's shed rejection and
-// returns ErrOverloaded.
+// returned. A kErr/kDrain arrival for seq is the server's typed
+// rejection and returns ErrOverloaded / ErrDraining.
 func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, poll PollMode, until sim.Time) ([]byte, bool, error) {
 	c.enterWait(poll)
 	defer c.exitWait()
@@ -258,9 +276,9 @@ func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, poll PollMode, until sim.T
 				c.stats.BytesRecvd += int64(len(a.Payload))
 				return a.Payload, true, nil
 			}
-			if a.Kind == kErr {
+			if a.Kind == kErr || a.Kind == kDrain {
 				c.chargeDetect(p, poll)
-				return nil, false, ErrOverloaded
+				return nil, false, rejectErr(a.Kind)
 			}
 		}
 		if p.Now() >= until {
@@ -278,13 +296,13 @@ func (c *Conn) awaitResponse(p *sim.Proc, seq uint32, poll PollMode, until sim.T
 // Non-matching entries are left for awaitResponse's drain to discard.
 func (c *Conn) pollResponse(p *sim.Proc, seq uint32, poll PollMode) ([]byte, bool, error) {
 	for i, a := range c.respQueue {
-		if a.Seq != seq || (a.Kind != kResp && a.Kind != kErr) {
+		if a.Seq != seq || (a.Kind != kResp && a.Kind != kErr && a.Kind != kDrain) {
 			continue
 		}
 		c.respQueue = append(c.respQueue[:i], c.respQueue[i+1:]...)
 		c.chargeDetect(p, poll)
-		if a.Kind == kErr {
-			return nil, false, ErrOverloaded
+		if a.Kind == kErr || a.Kind == kDrain {
+			return nil, false, rejectErr(a.Kind)
 		}
 		c.stats.BytesRecvd += int64(len(a.Payload))
 		return a.Payload, true, nil

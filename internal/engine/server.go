@@ -119,6 +119,11 @@ func (q *admitQueue) acquire(p *sim.Proc) bool {
 // release frees a handler slot and promotes the longest-waiting ticket.
 func (q *admitQueue) release() {
 	q.running--
+	q.promote()
+}
+
+// promote admits waiting tickets while slots are free, FIFO.
+func (q *admitQueue) promote() {
 	for q.running < q.limit && len(q.waiting) > 0 {
 		t := q.waiting[0]
 		q.waiting = q.waiting[1:]
@@ -126,6 +131,17 @@ func (q *admitQueue) release() {
 		t.state = 1
 		t.sig.Fire()
 	}
+}
+
+// setLimit rewires the concurrency bound live (hint hot-reload). Raising
+// it promotes queued waiters immediately; limit <= 0 means unbounded —
+// every waiter is promoted and future requests bypass the queue.
+func (q *admitQueue) setLimit(limit int) {
+	if limit <= 0 {
+		limit = int(^uint(0) >> 1)
+	}
+	q.limit = limit
+	q.promote()
 }
 
 // Server accepts engine connections on a port and runs one dispatcher
@@ -172,10 +188,22 @@ type Server struct {
 	Shed int64
 	// TenantShed counts requests rejected by the per-tenant partition.
 	TenantShed int64
+	// Drained counts requests fenced by the graceful-drain gate.
+	Drained int64
 
 	conns     []*Conn
 	adm       *admitQueue
 	tenantRun map[uint32]int // tenant → concurrently executing handlers
+
+	// draining fences new requests with the typed kDrain rejection while
+	// in-flight handlers run to completion (graceful drain, DESIGN.md §17).
+	draining bool
+	// exempt lists function ids the drain fence lets through (the node
+	// ops surface: health and metrics must answer while draining).
+	exempt map[uint32]bool
+	// active counts dispatchers currently executing a handler (admitted,
+	// not merely queued — queued waiters are counted via adm.waiting).
+	active int
 }
 
 // Serve starts accepting connections for the named port, dispatching each
@@ -201,8 +229,11 @@ func (s *Server) acceptLoop(p *sim.Proc) {
 
 func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 	eng := s.eng
-	poll := resolvePoll(s.Poll, s.Busy)
 	for {
+		// Resolved per iteration (not hoisted) so a hint hot-reload that
+		// flips Poll/Busy takes effect on the next request without
+		// restarting dispatchers.
+		poll := resolvePoll(s.Poll, s.Busy)
 		a := c.nextArrival(p, poll)
 		if a.Kind != kReq {
 			continue
@@ -211,9 +242,15 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 			// Session keepalive probe: answered header-only before dedup
 			// and admission — a probe must never be shed, and must not
 			// disturb the cached response of the last real request. The
-			// handler never sees it.
+			// handler never sees it. While draining, the probe answer IS
+			// the drain announcement: the prober's typed ErrDraining
+			// suppresses further probes and redials (session.go).
 			if a.RespProto != ProtoAuto {
-				c.sendResponse(p, a, nil, poll)
+				if s.draining {
+					c.sendReject(p, a, kDrain)
+				} else {
+					c.sendResponse(p, a, nil, poll)
+				}
 			}
 			continue
 		}
@@ -232,6 +269,21 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 			}
 			continue
 		}
+		if s.draining && !s.exempt[a.Fn] {
+			// Graceful-drain fence: new work is rejected typed and
+			// immediately (after dedup, so retransmissions of already
+			// served requests still get their cached responses). No dedup
+			// entry is recorded — the handler never ran, and a client that
+			// re-routes and later retries here post-restart deserves a
+			// fresh execution.
+			s.Drained++
+			eng.trc.Instant("rpc", "drained", eng.node.ID(), c.id,
+				int64(p.Now()), obs.Arg{K: "fn", V: a.Fn}, obs.Arg{K: "seq", V: a.Seq})
+			if a.RespProto != ProtoAuto {
+				c.sendReject(p, a, kDrain)
+			}
+			continue
+		}
 		var tenant uint32
 		tenantHeld := false
 		if s.TenantLimit > 0 && a.SID != 0 {
@@ -247,13 +299,14 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 				eng.trc.Instant("rpc", "tenant_shed", eng.node.ID(), c.id,
 					int64(p.Now()), obs.Arg{K: "tenant", V: tenant}, obs.Arg{K: "seq", V: a.Seq})
 				if a.RespProto != ProtoAuto {
-					c.sendOverloaded(p, a, s.Busy)
+					c.sendReject(p, a, kErr)
 				}
 				continue
 			}
 			s.tenantRun[tenant]++
 			tenantHeld = true
 		}
+		acquired := false
 		if s.AdmitLimit > 0 {
 			if s.adm == nil {
 				s.adm = newAdmitQueue(eng.env, s.AdmitLimit, s.Admit)
@@ -274,17 +327,20 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 				eng.trc.Instant("rpc", "shed."+a.Proto.String(), eng.node.ID(), c.id,
 					int64(p.Now()), obs.Arg{K: "seq", V: a.Seq})
 				if a.RespProto != ProtoAuto {
-					c.sendOverloaded(p, a, s.Busy)
+					c.sendReject(p, a, kErr)
 				}
 				continue
 			}
+			acquired = true
 		}
+		s.active++
 		start := int64(p.Now())
 		resp := s.handler(p, a.Fn, a.Payload)
 		if a.RespProto != ProtoAuto { // ProtoAuto marks a oneway request
 			c.sendResponse(p, a, resp, poll)
 		}
-		if s.adm != nil {
+		s.active--
+		if acquired {
 			s.adm.release()
 		}
 		if tenantHeld {
@@ -313,3 +369,76 @@ func (s *Server) dispatch(p *sim.Proc, c *Conn) {
 
 // Conns returns the accepted server-side connections (for inspection).
 func (s *Server) Conns() []*Conn { return s.conns }
+
+// ---------------------------------------------------------------------------
+// Graceful drain + live reconfiguration (DESIGN.md §17)
+
+// drainPollNs paces the Drain quiesce wait. Coarse enough to stay off
+// the hot path, fine enough that quiescence is observed well inside any
+// realistic drain deadline.
+const drainPollNs = 10_000
+
+// SetDraining flips the drain fence. While set, new requests (except
+// Exempt function ids) are rejected with the typed kDrain marker and
+// keepalive probes answer kDrain — the announcement the session prober
+// keys its probe suppression on. In-flight handlers are unaffected.
+func (s *Server) SetDraining(v bool) { s.draining = v }
+
+// Draining reports whether the drain fence is up.
+func (s *Server) Draining() bool { return s.draining }
+
+// Exempt marks function ids the drain fence lets through — the node ops
+// surface (health, metrics) must keep answering while draining.
+func (s *Server) Exempt(fns ...uint32) {
+	if s.exempt == nil {
+		s.exempt = make(map[uint32]bool)
+	}
+	for _, fn := range fns {
+		s.exempt[fn] = true
+	}
+}
+
+// Active returns the number of requests currently in flight: handlers
+// executing plus requests queued in admission control.
+func (s *Server) Active() int {
+	n := s.active
+	if s.adm != nil {
+		n += len(s.adm.waiting)
+	}
+	return n
+}
+
+// Drain raises the drain fence and waits until every in-flight request
+// (executing or admission-queued) has completed. Returns true when the
+// server quiesced, false when the deadline expired first or the node
+// went down mid-wait (the caller escalates to the crash path). Must run
+// on a process that survives the node crashing — an env-owned ops
+// process, not a node-owned dispatcher.
+func (s *Server) Drain(p *sim.Proc, deadline sim.Time) bool {
+	s.SetDraining(true)
+	for {
+		if s.eng.node.Down() {
+			return false
+		}
+		if s.Active() == 0 {
+			return true
+		}
+		if deadline > 0 && p.Now() >= deadline {
+			return false
+		}
+		p.Sleep(drainPollNs)
+	}
+}
+
+// SetAdmission rewires the admission bound and policy live (hint
+// hot-reload): queued waiters are promoted immediately when the limit
+// rises, and limit 0 disables admission for future requests while
+// promoting everything still queued.
+func (s *Server) SetAdmission(limit int, policy AdmitPolicy) {
+	s.AdmitLimit = limit
+	s.Admit = policy
+	if s.adm != nil {
+		s.adm.policy = policy
+		s.adm.setLimit(limit)
+	}
+}

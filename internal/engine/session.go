@@ -56,14 +56,21 @@ type SessionConfig struct {
 	// CallDeadline overrides DefaultSessionCallDeadline as the fallback
 	// per-call deadline.
 	CallDeadline sim.Duration
+	// DrainHold is how long the prober stays quiet after a probe is
+	// answered with the typed ErrDraining announcement: no probes and no
+	// eager redials until the hold expires, so a rolling restart does not
+	// trigger session_redials storms against a node that said it is going
+	// away on purpose. Zero defaults to DefaultDrainHoldProbes intervals.
+	DrainHold sim.Duration
 }
 
 // SessionStats counts a session's lifecycle events.
 type SessionStats struct {
-	Connects int64 // successful dials (first connect included)
-	Replays  int64 // idempotent calls replayed on a fresh connection
-	Resets   int64 // non-idempotent calls failed with ErrSessionReset
-	Probes   int64 // keepalive probes issued
+	Connects   int64 // successful dials (first connect included)
+	Replays    int64 // idempotent calls replayed on a fresh connection
+	Resets     int64 // non-idempotent calls failed with ErrSessionReset
+	Probes     int64 // keepalive probes issued
+	DrainHolds int64 // probe holds entered on a peer's drain announcement
 }
 
 // Session is an epoch-numbered reconnecting RPC channel above Conn.
@@ -239,6 +246,12 @@ func (s *Session) teardown(p *sim.Proc) {
 		int64(p.Now()), obs.Arg{K: "epoch", V: s.epoch})
 }
 
+// DefaultDrainHoldProbes sizes the default SessionConfig.DrainHold: a
+// drain announcement silences this many probe intervals. Long enough to
+// cover a typical drain-stop-restart cycle, short enough that the
+// prober re-verifies liveness soon after the peer should be back.
+const DefaultDrainHoldProbes = 8
+
 // keepaliveFailThreshold is how many consecutive deadline-expired
 // probes count as a dead path. One expiry can be a transient drop; a
 // streak means the response direction is gone even though our sends
@@ -254,7 +267,11 @@ const keepaliveFailThreshold = 2
 // (a silent one-way cut never errors the QP, so without this an idle
 // session would stay wedged on a half-dead link forever). Either way
 // the prober immediately attempts to re-establish, so an idle session
-// is usually live again before its next real call.
+// is usually live again before its next real call. A probe answered
+// with the typed ErrDraining announcement instead silences the prober
+// for cfg.DrainHold: the peer is leaving on purpose, and probing or
+// redialing it during the restart would only manufacture
+// session_redials storms.
 func (s *Session) startKeepalive() {
 	ivl := s.cfg.KeepaliveInterval
 	if ivl <= 0 {
@@ -264,12 +281,20 @@ func (s *Session) startKeepalive() {
 	if dl <= 0 {
 		dl = DefaultKeepaliveDeadline
 	}
+	hold := s.cfg.DrainHold
+	if hold <= 0 {
+		hold = ivl * DefaultDrainHoldProbes
+	}
 	s.eng.node.Spawn(fmt.Sprintf("session-ka-%d-%s", s.target.ID(), s.port), func(p *sim.Proc) {
 		expired := 0 // consecutive probes that died by deadline
+		var holdUntil sim.Time
 		for {
 			p.Sleep(ivl)
 			if s.shut {
 				return
+			}
+			if p.Now() < holdUntil {
+				continue // peer announced draining; stay quiet
 			}
 			if !s.mu.TryLock() {
 				continue // a call is in flight; it is its own liveness probe
@@ -283,6 +308,16 @@ func (s *Session) startKeepalive() {
 				case errors.Is(err, ErrPeerDown):
 					expired = 0
 					s.teardown(p)
+				case errors.Is(err, ErrDraining):
+					// The peer fenced the probe: it is draining for a planned
+					// restart. Hold off probes AND eager redials — the session
+					// stays formally up, and the first post-hold tick (or a
+					// real call's typed failure) re-verifies the path.
+					expired = 0
+					holdUntil = p.Now() + sim.Time(hold)
+					s.stats.DrainHolds++
+					s.eng.trc.Instant("session", "drain_hold", s.eng.node.ID(), s.target.ID(),
+						int64(p.Now()), obs.Arg{K: "epoch", V: s.epoch})
 				case errors.Is(err, ErrDeadline):
 					if expired++; expired >= keepaliveFailThreshold {
 						expired = 0

@@ -24,6 +24,7 @@ func TestIsUnavailableCoversTypedUnavailability(t *testing.T) {
 		{ErrSessionReset, true},
 		{ErrCircuitOpen, true},
 		{ErrStaleShardEpoch, true},
+		{ErrDraining, true},
 		{ErrNoCredits, false},
 		{errors.New("engine: some validation failure"), false},
 	}

@@ -1,0 +1,396 @@
+package node_test
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"hatrpc/internal/cluster"
+	"hatrpc/internal/engine"
+	"hatrpc/internal/node"
+	"hatrpc/internal/obs"
+	"hatrpc/internal/sim"
+	"hatrpc/internal/simnet"
+)
+
+// rig is a booted HatNode cluster plus a spare client machine.
+type rig struct {
+	env    *sim.Env
+	cl     *simnet.Cluster
+	roster []*simnet.Node
+	hats   []*node.HatNode
+	reg    *obs.Registry
+	cli    *engine.Engine
+}
+
+func newRig(t *testing.T, cfg *node.Config) *rig {
+	t.Helper()
+	env := sim.NewEnv(cfg.Protocol.Seed)
+	cl := simnet.NewCluster(env, simnet.Config{
+		Nodes: cfg.Protocol.Servers + 1, Cores: 28, Sockets: 2, LinkGbps: 100, PropDelayNs: 600, NUMAPenalty: 1.25,
+	})
+	r := &rig{env: env, cl: cl, reg: obs.NewRegistry()}
+	r.roster = make([]*simnet.Node, cfg.Protocol.Servers)
+	for i := range r.roster {
+		r.roster[i] = cl.Node(i)
+	}
+	r.hats = make([]*node.HatNode, cfg.Protocol.Servers)
+	for i := range r.hats {
+		h, err := node.New(cl.Node(i), r.roster, i, cfg, r.reg)
+		if err != nil {
+			t.Fatalf("node.New(%d): %v", i, err)
+		}
+		r.hats[i] = h
+	}
+	r.cli = engine.New(cl.Node(cfg.Protocol.Servers), engine.DefaultConfig())
+	return r
+}
+
+// smallConfig is the shared test topology: 3 servers so drains keep
+// quorum, light defaults elsewhere.
+func smallConfig() *node.Config {
+	cfg := node.DefaultConfig()
+	cfg.Protocol.Servers = 3
+	cfg.Protocol.Shards = 4
+	return cfg
+}
+
+func TestBootTransitions(t *testing.T) {
+	r := newRig(t, smallConfig())
+	h := r.hats[0]
+	if h.State() != node.StateReady {
+		t.Fatalf("state after New = %v, want ready", h.State())
+	}
+	tr := h.Transitions()
+	if len(tr) != 2 || tr[0].To != node.StateStarting || tr[1].To != node.StateReady {
+		t.Errorf("transitions = %+v, want [starting ready]", tr)
+	}
+}
+
+// TestDrainIdleImmediate: with zero in-flight work and no linger a
+// drain quiesces instantly, and Stop releases every pinned byte.
+func TestDrainIdleImmediate(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Application.DrainLingerNs = 0
+	r := newRig(t, cfg)
+	h := r.hats[0]
+	var rep node.DrainReport
+	r.env.Spawn("ops", func(p *sim.Proc) {
+		p.Sleep(100_000)
+		rep = h.Drain(p, 300_000)
+		h.Stop()
+		r.env.Stop()
+	})
+	r.env.Run()
+	if !rep.Completed || rep.Escalated || rep.Crashed || rep.AlreadyDrained {
+		t.Fatalf("report = %+v, want Completed", rep)
+	}
+	if rep.ActiveAtStart != 0 || rep.Quiesced != rep.Started {
+		t.Errorf("idle drain: active=%d quiesced=%d started=%d, want instant quiesce",
+			rep.ActiveAtStart, rep.Quiesced, rep.Started)
+	}
+	if h.State() != node.StateDown {
+		t.Errorf("state after Stop = %v, want down", h.State())
+	}
+	if got := r.reg.Counter("node.drains").Value(); got != 1 {
+		t.Errorf("node.drains = %d, want 1", got)
+	}
+	if pinned := h.Engine().PinnedBytes(); pinned != 0 {
+		t.Errorf("%d bytes still pinned after Stop", pinned)
+	}
+}
+
+// TestDrainDoubleIdempotent: a second drain on a draining (or stopped)
+// node is a typed no-op, not a second escalation countdown.
+func TestDrainDoubleIdempotent(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Application.DrainLingerNs = 0
+	r := newRig(t, cfg)
+	h := r.hats[0]
+	var first, second, third node.DrainReport
+	r.env.Spawn("ops", func(p *sim.Proc) {
+		p.Sleep(100_000)
+		first = h.Drain(p, 300_000)
+		second = h.Drain(p, 300_000)
+		h.Stop()
+		third = h.Drain(p, 300_000)
+		r.env.Stop()
+	})
+	r.env.Run()
+	if !first.Completed {
+		t.Fatalf("first drain = %+v, want Completed", first)
+	}
+	if !second.AlreadyDrained || !third.AlreadyDrained {
+		t.Errorf("repeat drains = %+v / %+v, want AlreadyDrained", second, third)
+	}
+	if got := r.reg.Counter("node.drains").Value(); got != 1 {
+		t.Errorf("node.drains = %d, want 1 (idempotent)", got)
+	}
+}
+
+// TestDrainDeadlineEscalation: a drain that cannot quiesce inside its
+// deadline reports Escalated (the caller then stops anyway), in order:
+// fence up → deadline expiry → escalation counter, never a completed
+// drain.
+func TestDrainDeadlineEscalation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Application.Workload = node.WorkloadConfig{}
+	r := newRig(t, cfg)
+	h := r.hats[0]
+	// Hammer every shard with parallel writers so the server always has
+	// work in flight or queued when the drain starts.
+	for w := 0; w < 12; w++ {
+		w := w
+		r.env.Spawn(fmt.Sprintf("hammer-%d", w), func(p *sim.Proc) {
+			c := cluster.NewClient(r.cli, r.roster, h.Config().ClusterConfig())
+			for i := 0; ; i++ {
+				_ = c.Put(p, fmt.Sprintf("h%02d-%04d", w, i), []byte("x")) //nolint:errcheck
+			}
+		})
+	}
+	var rep node.DrainReport
+	r.env.Spawn("ops", func(p *sim.Proc) {
+		for h.Server().Active() == 0 {
+			p.Sleep(5_000)
+		}
+		rep = h.Drain(p, 1) // 1ns deadline: quiescing in time is impossible
+		h.Stop()
+		r.env.Stop()
+	})
+	r.env.Run()
+	if !rep.Escalated || rep.Completed {
+		t.Fatalf("report = %+v, want Escalated", rep)
+	}
+	if rep.ActiveAtStart == 0 {
+		t.Error("escalation test raced: no in-flight work at drain start")
+	}
+	if got := r.reg.Counter("node.drain_escalations").Value(); got != 1 {
+		t.Errorf("node.drain_escalations = %d, want 1", got)
+	}
+	if got := r.reg.Counter("node.drains").Value(); got != 0 {
+		t.Errorf("node.drains = %d, want 0 — an escalated drain is not a completed one", got)
+	}
+}
+
+// TestDrainCrashRace: a crash landing mid-linger turns the drain report
+// into Crashed — no completed-drain accounting, state machine at down.
+func TestDrainCrashRace(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Application.DrainLingerNs = 600_000
+	r := newRig(t, cfg)
+	h := r.hats[0]
+	var rep node.DrainReport
+	r.env.Spawn("ops", func(p *sim.Proc) {
+		p.Sleep(100_000)
+		rep = h.Drain(p, 300_000) // quiesces instantly, lingers to 700us
+		r.env.Stop()
+	})
+	r.env.At(300_000, r.cl.Node(0).Crash)
+	r.env.Run()
+	if !rep.Crashed || rep.Completed || rep.Escalated {
+		t.Fatalf("report = %+v, want Crashed", rep)
+	}
+	if h.State() != node.StateDown {
+		t.Errorf("state = %v, want down (crash hook ran)", h.State())
+	}
+	if got := r.reg.Counter("node.drains").Value(); got != 0 {
+		t.Errorf("node.drains = %d, want 0", got)
+	}
+}
+
+// TestOpsSurface drives the three ops functions over the wire: health
+// reflects the state machine (and keeps answering through the fence),
+// metrics returns the exposition, drain starts an async drain.
+func TestOpsSurface(t *testing.T) {
+	cfg := smallConfig()
+	r := newRig(t, cfg)
+	r.env.Spawn("operator", func(p *sim.Proc) {
+		c := r.cli.Dial(p, r.cl.Node(0), cluster.Port)
+		opts := engine.CallOpts{Proto: engine.EagerSendRecv, Busy: true}
+		if resp, err := c.Call(p, node.FnOpsHealth, nil, opts); err != nil || string(resp) != "ready" {
+			t.Errorf("health = %q, %v; want ready", resp, err)
+		}
+		if resp, err := c.Call(p, node.FnOpsMetrics, nil, opts); err != nil || !strings.Contains(string(resp), "hatrpc_") {
+			t.Errorf("metrics = %.60q..., %v; want exposition text", resp, err)
+		}
+		if resp, err := c.Call(p, node.FnOpsDrain, nil, opts); err != nil || string(resp) != "draining" {
+			t.Errorf("drain = %q, %v; want draining", resp, err)
+		}
+		p.Sleep(50_000) // let the spawned drain put the fence up
+		if resp, err := c.Call(p, node.FnOpsHealth, nil, opts); err != nil || string(resp) != "draining" {
+			t.Errorf("health while draining = %q, %v (exempt fns must answer)", resp, err)
+		}
+		r.env.Stop()
+	})
+	r.env.Run()
+	if r.hats[0].State() != node.StateDraining {
+		t.Errorf("state = %v, want draining", r.hats[0].State())
+	}
+}
+
+func TestReloadNoop(t *testing.T) {
+	r := newRig(t, smallConfig())
+	h := r.hats[0]
+	before := h.Config()
+	rep, err := h.Reload(before.Clone())
+	if err != nil || len(rep.Changed) != 0 {
+		t.Fatalf("no-op reload: %+v, %v", rep, err)
+	}
+	if h.Config() != before {
+		t.Error("no-op reload swapped the config pointer")
+	}
+	if got := r.reg.Counter("node.reloads").Value(); got != 0 {
+		t.Errorf("node.reloads = %d, want 0", got)
+	}
+}
+
+// TestReloadPollingTakesEffect: a hint change lands on the live server
+// — same boot, same server object, no lifecycle transition.
+func TestReloadPollingTakesEffect(t *testing.T) {
+	r := newRig(t, smallConfig())
+	h := r.hats[0]
+	srvBefore, transBefore := h.Server(), len(h.Transitions())
+	next := h.Config().Clone()
+	next.Protocol.Hints["polling"] = "busy"
+	rep, err := h.Reload(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Changed) != 1 || rep.Changed[0] != "protocol.hints.polling" {
+		t.Errorf("Changed = %v, want [protocol.hints.polling]", rep.Changed)
+	}
+	if h.Server() != srvBefore {
+		t.Error("reload rebuilt the server — that is a restart, not a hot reload")
+	}
+	if h.Server().Poll != engine.PollBusyMode {
+		t.Errorf("server poll mode = %v, want busy", h.Server().Poll)
+	}
+	if len(h.Transitions()) != transBefore {
+		t.Error("reload moved the lifecycle state machine")
+	}
+	if got := r.reg.Counter("node.reloads").Value(); got != 1 {
+		t.Errorf("node.reloads = %d, want 1", got)
+	}
+}
+
+func TestReloadImmutableRejected(t *testing.T) {
+	r := newRig(t, smallConfig())
+	h := r.hats[0]
+	before := h.Config()
+	next := before.Clone()
+	next.Protocol.Shards++
+	next.Protocol.Hints["polling"] = "busy" // must NOT be applied either
+	_, err := h.Reload(next)
+	if !errors.Is(err, node.ErrImmutableKey) {
+		t.Fatalf("err = %v, want ErrImmutableKey", err)
+	}
+	var ce *node.ConfigError
+	if !errors.As(err, &ce) || ce.Key != "protocol.shards" {
+		t.Errorf("error names %q, want protocol.shards", ce.Key)
+	}
+	if h.Config() != before {
+		t.Error("rejected reload still swapped the config")
+	}
+	if h.Server().Poll == engine.PollBusyMode {
+		t.Error("rejected reload partially applied the hint change")
+	}
+}
+
+// soakDigest runs a short client workload against a rig and folds every
+// ack (key, virtual time) plus the final clock into a digest — the
+// byte-identity probe for schedule perturbation.
+func soakDigest(t *testing.T, cfg *node.Config, hook func(*rig)) string {
+	t.Helper()
+	r := newRig(t, cfg)
+	if hook != nil {
+		hook(r)
+	}
+	h := fnv.New64a()
+	done := 0
+	const workers, writes = 2, 15
+	for w := 0; w < workers; w++ {
+		w := w
+		r.env.Spawn(fmt.Sprintf("worker-%d", w), func(p *sim.Proc) {
+			c := cluster.NewClient(r.cli, r.roster, cfg.ClusterConfig())
+			for i := 0; i < writes; i++ {
+				key := fmt.Sprintf("w%d-%03d", w, i)
+				for c.Put(p, key, []byte(key)) != nil {
+					p.Sleep(250_000)
+				}
+				fmt.Fprintf(h, "%s|%d\n", key, p.Now())
+				p.Sleep(200_000)
+			}
+			if done++; done == workers {
+				r.env.Stop()
+			}
+		})
+	}
+	r.env.Run()
+	return fmt.Sprintf("%016x@%d", h.Sum64(), r.env.Now())
+}
+
+// TestOpsDisabledByteIdentical: enabling the ops surface without using
+// it must not move a single event — the ops functions multiplex onto
+// the existing dispatchers (NewUnservedNode), adding zero processes.
+func TestOpsDisabledByteIdentical(t *testing.T) {
+	on := smallConfig()
+	on.Application.Ops = true
+	off := smallConfig()
+	off.Application.Ops = false
+	if a, b := soakDigest(t, on, nil), soakDigest(t, off, nil); a != b {
+		t.Errorf("ops-enabled-unused run diverged from ops-disabled: %s vs %s", a, b)
+	}
+}
+
+// TestNoopReloadByteIdentical: a reload that changes nothing must not
+// perturb the schedule — compared against an identically-shaped idle
+// process, the only difference is the Reload call itself.
+func TestNoopReloadByteIdentical(t *testing.T) {
+	cfg := smallConfig()
+	withReload := soakDigest(t, cfg, func(r *rig) {
+		r.env.Spawn("reloader", func(p *sim.Proc) {
+			p.Sleep(2_000_000)
+			rep, err := r.hats[0].Reload(r.hats[0].Config().Clone())
+			if err != nil || len(rep.Changed) != 0 {
+				t.Errorf("no-op reload: %+v, %v", rep, err)
+			}
+		})
+	})
+	baseline := soakDigest(t, cfg, func(r *rig) {
+		r.env.Spawn("reloader", func(p *sim.Proc) {
+			p.Sleep(2_000_000)
+		})
+	})
+	if withReload != baseline {
+		t.Errorf("no-op reload perturbed the schedule: %s vs %s", withReload, baseline)
+	}
+}
+
+// TestLiveReloadUnderTraffic: a real hint reload mid-soak takes effect
+// without failing a single in-flight or subsequent write.
+func TestLiveReloadUnderTraffic(t *testing.T) {
+	cfg := smallConfig()
+	var reloaded *rig
+	digest := soakDigest(t, cfg, func(r *rig) {
+		reloaded = r
+		r.env.Spawn("reloader", func(p *sim.Proc) {
+			p.Sleep(2_000_000)
+			next := r.hats[0].Config().Clone()
+			next.Protocol.Hints["polling"] = "busy"
+			if _, err := r.hats[0].Reload(next); err != nil {
+				t.Errorf("live reload: %v", err)
+			}
+		})
+	})
+	if digest == "" {
+		t.Fatal("soak produced no digest")
+	}
+	if reloaded.hats[0].Server().Poll != engine.PollBusyMode {
+		t.Error("hint reload never reached the live server")
+	}
+	if got := reloaded.reg.Counter("node.reloads").Value(); got != 1 {
+		t.Errorf("node.reloads = %d, want 1", got)
+	}
+}

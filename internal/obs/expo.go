@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// expoPrefix namespaces every exposed series, so a scrape that merges
+// several jobs cannot collide with someone else's metric names.
+const expoPrefix = "hatrpc_"
+
+// promName mangles a registry instrument name (dotted, per DESIGN.md §10
+// obsnames: [a-z0-9_.]) into a Prometheus-legal metric name: every
+// character outside [a-zA-Z0-9_] becomes '_', and the result is
+// namespaced under expoPrefix. The mapping is injective over
+// obsnames-compliant inputs ('.' is the only mangled character and '_'
+// never abuts it in practice; a collision would merge two series in the
+// exposition, which the golden test would surface as a duplicate line).
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(expoPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Exposition renders every instrument in the Prometheus text exposition
+// format (version 0.0.4): counters as `<name>_total` counter series,
+// histograms as summaries (p50/p99 quantiles plus _sum and _count), and
+// gauges as gauge series sampled at render time. Families are emitted in
+// sorted-name order within each kind (counters, then histograms, then
+// gauges), so two identical simulation runs produce byte-identical
+// scrapes — the property the golden-file test pins. Safe on a nil
+// registry (returns "").
+func (r *Registry) Exposition() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, k := range sortedKeys(r.counters) {
+		n := promName(k) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, r.counters[k].v)
+	}
+	for _, k := range sortedKeys(r.hists) {
+		n := promName(k)
+		s := r.hists[k].Sample()
+		fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", n, formatExpo(s.Percentile(50)))
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", n, formatExpo(s.Percentile(99)))
+		fmt.Fprintf(&b, "%s_sum %s\n", n, formatExpo(s.Mean()*float64(s.N())))
+		fmt.Fprintf(&b, "%s_count %d\n", n, s.N())
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, formatExpo(r.gauges[k].fn()))
+	}
+	return b.String()
+}
+
+// formatExpo renders a sample value the way Prometheus text format
+// expects: integral values without a decimal point, everything else in
+// shortest-roundtrip form. %g alone would switch large integers to
+// scientific notation, which scrapes fine but diffs badly in goldens.
+func formatExpo(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
